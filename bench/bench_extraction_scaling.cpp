@@ -1,0 +1,67 @@
+// Scaling: the LIFT pipeline over growing layouts.  The paper's VCO is
+// one macro; a production fault extractor must stay near-linear in layout
+// size.  Inverter chains scale the generator, the extractor and the fault
+// enumeration together.
+
+#include "circuits/vco.h"
+#include "layout/cellgen.h"
+#include "lift/extract_faults.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+using namespace catlift;
+
+namespace {
+
+void print_scaling() {
+    std::printf("== LIFT scaling over inverter-chain layouts ==\n\n");
+    std::printf("  %-8s %-8s %-8s %-10s %-8s %s\n", "stages", "shapes",
+                "nets", "sites", "faults", "lift [ms]");
+    const auto tech = layout::Technology::single_poly_double_metal();
+    for (int n : {4, 8, 16, 32, 64}) {
+        const auto ckt = circuits::build_inverter_chain(n, false);
+        const auto lo = layout::generate_cell_layout(ckt);
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto res = lift::extract_faults(lo, tech, lift::LiftOptions{});
+        const double ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        std::printf("  %-8d %-8zu %-8zu %-10zu %-8zu %.1f\n", n, lo.size(),
+                    res.extraction.net_names.size(),
+                    res.stats.bridge_sites + res.stats.open_sites +
+                        res.stats.cut_sites,
+                    res.faults.size(), ms);
+    }
+    std::printf("\n");
+}
+
+void BM_LiftChain(benchmark::State& state) {
+    const auto ckt =
+        circuits::build_inverter_chain(static_cast<int>(state.range(0)),
+                                       false);
+    const auto lo = layout::generate_cell_layout(ckt);
+    const auto tech = layout::Technology::single_poly_double_metal();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            lift::extract_faults(lo, tech, lift::LiftOptions{}));
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LiftChain)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_scaling();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

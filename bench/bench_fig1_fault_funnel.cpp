@@ -1,0 +1,115 @@
+// Reproduces Fig. 1: "Analogue fault simulation from concept and schematic
+// to layout.  The arrows width represents the size of the fault lists."
+// -- the fault-list funnel: all schematic faults -> L2RFM -> GLRFM (LIFT),
+// plus the section VI breakdown (bridging / line opens / stuck-opens).
+// Benchmarks each fault-list generation step.
+
+#include "circuits/vco.h"
+#include "core/cat.h"
+#include "layout/cellgen.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace catlift;
+
+namespace {
+
+netlist::Circuit device_netlist() {
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    return circuits::build_vco(o);
+}
+
+void print_funnel() {
+    const netlist::Circuit sch = device_netlist();
+    const layout::Layout lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+
+    const lift::FaultList all = lift::all_schematic_faults(sch);
+    const lift::FaultList l2 = lift::l2rfm_faults(sch);
+    lift::LiftOptions lopt;
+    lopt.net_blocks = circuits::vco_net_blocks();
+    const lift::LiftResult glrfm = lift::extract_faults(
+        lo, layout::Technology::single_poly_double_metal(), lopt);
+    const lift::FaultList& fl = glrfm.faults;
+
+    std::printf("== Fig. 1: fault-list funnel (arrow widths) ==\n\n");
+    auto bar = [](std::size_t n) {
+        std::string s(n / 2, '#');
+        return s;
+    };
+    std::printf("  all faults (schematic) : %3zu  %s\n", all.size(),
+                bar(all.size()).c_str());
+    std::printf("    opens %zu + shorts %zu  (paper: 79 + 73 = 152)\n",
+                all.opens(), all.shorts());
+    std::printf("  L2RFM (pre-layout)     : %3zu  %s\n", l2.size(),
+                bar(l2.size()).c_str());
+    std::printf("  GLRFM / LIFT (layout)  : %3zu  %s\n", fl.size(),
+                bar(fl.size()).c_str());
+    std::printf("\n== section VI breakdown ==\n");
+    std::printf("  %-34s %-12s %s\n", " ", "this repo", "paper");
+    std::printf("  %-34s %-12zu %s\n", "extracted failures", fl.size(), "70");
+    std::printf("  %-34s %-12zu %s\n", "bridging faults", fl.shorts(), "55");
+    std::printf("  %-34s %-12zu %s\n", "line opens / split nodes",
+                fl.count(lift::FaultKind::LineOpen) +
+                    fl.count(lift::FaultKind::SplitNode),
+                "8");
+    std::printf("  %-34s %-12zu %s\n", "transistor stuck open",
+                fl.count(lift::FaultKind::StuckOpen), "7");
+    char red[16];
+    std::snprintf(red, sizeof red, "%.0f%%",
+                  100.0 * (1.0 - double(fl.size()) / double(all.size())));
+    std::printf("  %-34s %-12s %s\n", "reduction vs schematic list", red,
+                "53%");
+    std::printf("\n  raw sites: %zu bridge, %zu line-span, %zu cut cluster\n",
+                glrfm.stats.bridge_sites, glrfm.stats.open_sites,
+                glrfm.stats.cut_sites);
+    std::printf("  below keep-threshold: %zu faults (%.3g total "
+                "probability)\n\n",
+                glrfm.stats.dropped, glrfm.stats.dropped_probability);
+}
+
+void BM_AllSchematicFaults(benchmark::State& state) {
+    const netlist::Circuit sch = device_netlist();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lift::all_schematic_faults(sch));
+}
+BENCHMARK(BM_AllSchematicFaults);
+
+void BM_L2rfm(benchmark::State& state) {
+    const netlist::Circuit sch = device_netlist();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lift::l2rfm_faults(sch));
+}
+BENCHMARK(BM_L2rfm);
+
+void BM_LayoutSynthesis(benchmark::State& state) {
+    const netlist::Circuit sch = device_netlist();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(layout::generate_cell_layout(
+            sch, layout::vco_cellgen_options()));
+}
+BENCHMARK(BM_LayoutSynthesis);
+
+void BM_GlrfmExtraction(benchmark::State& state) {
+    const netlist::Circuit sch = device_netlist();
+    const layout::Layout lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    lift::LiftOptions lopt;
+    lopt.net_blocks = circuits::vco_net_blocks();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lift::extract_faults(
+            lo, layout::Technology::single_poly_double_metal(), lopt));
+}
+BENCHMARK(BM_GlrfmExtraction)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_funnel();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

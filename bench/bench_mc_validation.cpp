@@ -1,0 +1,97 @@
+// Validation: LIFT's analytic critical-area probabilities against the
+// original IFA Monte-Carlo methodology ([25], referenced in ch. II).
+// Both compute the same physical quantity -- the chance that a random
+// spot defect bridges a given net pair -- by different means; the table
+// shows the agreement per net pair.
+
+#include "circuits/vco.h"
+#include "defects/montecarlo.h"
+#include "layout/cellgen.h"
+#include "lift/extract_faults.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace catlift;
+using namespace catlift::defects;
+
+namespace {
+
+void print_validation() {
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    const auto sch = circuits::build_vco(o);
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    const auto tech = layout::Technology::single_poly_double_metal();
+    const auto ex = extract::extract(lo, tech);
+
+    lift::LiftOptions lopt;
+    lopt.net_blocks = circuits::vco_net_blocks();
+    const auto analytic = lift::extract_faults(lo, tech, lopt);
+
+    const long n = 20000000;
+    long shorts = 0;
+    const DefectStatistics stats = DefectStatistics::date95_table1();
+    const BridgeCensus census = monte_carlo_bridges(
+        ex, stats, SizeDistribution(1000.0), 25000.0, n, 4242, &shorts);
+
+    std::printf("== Monte-Carlo validation of the analytic fault "
+                "probabilities ==\n");
+    std::printf("   (%ld spot defects sampled, %ld shorts; census vs "
+                "LIFT's critical-area integrals)\n\n", n, shorts);
+    std::printf("  %-32s %-12s %-8s %s\n", "bridge", "analytic p",
+                "MC hits", "hits/p (should be ~constant)");
+    int shown = 0;
+    double ratio_min = 1e300, ratio_max = 0;
+    for (const auto& f : analytic.faults.faults) {
+        if (f.kind != lift::FaultKind::LocalShort &&
+            f.kind != lift::FaultKind::GlobalShort)
+            continue;
+        auto it = census.find({std::min(f.net_a, f.net_b),
+                               std::max(f.net_a, f.net_b)});
+        const long hits = it == census.end() ? 0 : it->second;
+        if (++shown <= 12) {
+            std::printf("  %-32s %-12.3g %-8ld %.3g\n", f.describe().c_str(),
+                        f.probability, hits,
+                        hits / f.probability / 1e6);
+        }
+        if (hits > 100) {
+            const double r = hits / f.probability;
+            ratio_min = std::min(ratio_min, r);
+            ratio_max = std::max(ratio_max, r);
+        }
+    }
+    std::printf("\n  hits/p spread over all pairs with >100 hits: x%.2f\n",
+                ratio_max / ratio_min);
+    std::printf("  (a small spread confirms the analytic integrals track "
+                "the sampled defect physics)\n\n");
+}
+
+void BM_MonteCarlo(benchmark::State& state) {
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    const auto sch = circuits::build_vco(o);
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    const auto ex = extract::extract(
+        lo, layout::Technology::single_poly_double_metal());
+    const DefectStatistics stats = DefectStatistics::date95_table1();
+    const long n = state.range(0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(monte_carlo_bridges(
+            ex, stats, SizeDistribution(1000.0), 25000.0, n, 7));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MonteCarlo)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_validation();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

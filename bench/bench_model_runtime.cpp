@@ -1,0 +1,96 @@
+// Reproduces the section VI runtime comparison: "the source model
+// simulations required a simulation time 43% longer than the simulation
+// time for the resistor model (4383 sec./3068 sec.)".
+//
+// Both hard-fault models run the same campaign; the source model's ideal
+// 0V branches enlarge the MNA system, which is where the premium comes
+// from.  Absolute times differ from 1994 hardware by five orders of
+// magnitude; the ratio is the reproduced quantity.
+
+#include "circuits/vco.h"
+#include "core/cat.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+using namespace catlift;
+
+namespace {
+
+anafault::CampaignResult run_with_model(anafault::HardFaultModel model) {
+    core::VcoExperiment e = core::make_vco_experiment(/*threads=*/1);
+    const auto lift_res =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    anafault::CampaignOptions opt = e.config.campaign;
+    opt.injection.model = model;
+    return anafault::run_campaign(e.sim_circuit, lift_res.faults, opt);
+}
+
+void print_ratio() {
+    std::printf("== section VI: resistor model vs source model ==\n\n");
+    const auto res_r = run_with_model(anafault::HardFaultModel::Resistor);
+    const auto res_s = run_with_model(anafault::HardFaultModel::Source);
+
+    std::printf("  coverage plots (paper: \"nearly identical\"):\n");
+    std::printf("    time%%      resistor   source\n");
+    double max_dev = 0.0;
+    for (int pct = 10; pct <= 100; pct += 10) {
+        const double cr = res_r.coverage_at(pct / 100.0 * res_r.tstop);
+        const double cs = res_s.coverage_at(pct / 100.0 * res_s.tstop);
+        max_dev = std::max(max_dev, std::fabs(cr - cs));
+        std::printf("    %3d        %5.1f%%     %5.1f%%\n", pct, cr, cs);
+    }
+    std::printf("    max coverage deviation: %.1f%% points\n\n", max_dev);
+
+    const double t_res = res_r.total_seconds;
+    const double t_src = res_s.total_seconds;
+    std::printf("  resistor model campaign : %8.3f s kernel time\n", t_res);
+    std::printf("  source model campaign   : %8.3f s kernel time\n", t_src);
+    std::printf("  source/resistor ratio   : %8.2f   (paper: 4383s/3068s "
+                "= 1.43)\n\n",
+                t_src / t_res);
+    std::printf("  mechanism: per short the resistor model adds one "
+                "two-terminal element, the\n  source model one extra MNA "
+                "branch equation.  On this kernel's *dense* LU over\n  ~40 "
+                "unknowns one extra row costs a few percent; the paper's "
+                "sparse 1994 kernel\n  paid 43%%.  The direction (source "
+                "model slower) and the coverage equivalence\n  are the "
+                "reproduced observations.\n\n");
+}
+
+void BM_ResistorModelFault(benchmark::State& state) {
+    netlist::Circuit ckt = circuits::build_vco();
+    anafault::inject_short(ckt, "5", "6");
+    spice::SimOptions so;
+    so.uic = true;
+    for (auto _ : state) {
+        spice::Simulator sim(ckt, so);
+        benchmark::DoNotOptimize(sim.tran());
+    }
+}
+BENCHMARK(BM_ResistorModelFault)->Unit(benchmark::kMillisecond);
+
+void BM_SourceModelFault(benchmark::State& state) {
+    netlist::Circuit ckt = circuits::build_vco();
+    anafault::InjectionOptions src;
+    src.model = anafault::HardFaultModel::Source;
+    anafault::inject_short(ckt, "5", "6", src);
+    spice::SimOptions so;
+    so.uic = true;
+    for (auto _ : state) {
+        spice::Simulator sim(ckt, so);
+        benchmark::DoNotOptimize(sim.tran());
+    }
+}
+BENCHMARK(BM_SourceModelFault)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_ratio();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation for the paper's follow-up [21] ("Recently it was improved for
+// parallel execution in a workstation cluster environment"): per-fault
+// simulations are independent, so the campaign parallelises trivially.
+// Reports wall-clock speedup over thread counts.
+
+#include "core/cat.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace catlift;
+
+namespace {
+
+double campaign_wall_seconds(unsigned threads) {
+    core::VcoExperiment e = core::make_vco_experiment(threads);
+    const auto lift_res =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    const auto t0 = std::chrono::steady_clock::now();
+    anafault::run_campaign(e.sim_circuit, lift_res.faults,
+                           e.config.campaign);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+void print_speedup() {
+    std::printf("== parallel fault simulation (after [21]) ==\n\n");
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    std::printf("  hardware threads: %u\n\n", hw);
+    const double t1 = campaign_wall_seconds(1);
+    std::printf("  threads  wall [s]  speedup\n");
+    std::printf("  %-8u %-9.3f %.2fx\n", 1u, t1, 1.0);
+    for (unsigned n : {2u, 4u, 8u}) {
+        if (n > 2 * hw) break;
+        const double tn = campaign_wall_seconds(n);
+        std::printf("  %-8u %-9.3f %.2fx\n", n, tn, t1 / tn);
+    }
+    std::printf("\n");
+}
+
+void BM_CampaignThreads(benchmark::State& state) {
+    core::VcoExperiment e =
+        core::make_vco_experiment(static_cast<unsigned>(state.range(0)));
+    const auto lift_res =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(anafault::run_campaign(
+            e.sim_circuit, lift_res.faults, e.config.campaign));
+    }
+}
+BENCHMARK(BM_CampaignThreads)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_speedup();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

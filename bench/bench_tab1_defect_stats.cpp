@@ -1,0 +1,101 @@
+// Reproduces Tab. 1 ("Likely physical failure modes in a digital CMOS
+// process and typical failure densities") and benchmarks the critical-area
+// machinery built on top of it.
+
+#include "defects/defects.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+using namespace catlift;
+using namespace catlift::defects;
+
+namespace {
+
+void print_tab1() {
+    const DefectStatistics s = DefectStatistics::date95_table1();
+    std::printf("== Tab. 1: likely physical failure modes and relative "
+                "densities ==\n");
+    std::printf("   (normalised to the metal1 short density; absolute "
+                "anchor %.1f defect/cm^2)\n\n", s.metal1_short_per_cm2);
+    std::printf("  %-12s %-8s %-22s %s\n", "layer(s)", "failure", "symbol",
+                "relative density");
+    struct Row {
+        const char* layer;
+        const char* failure;
+        const char* symbol;
+        layout::Layer l;
+        FailureMode m;
+        std::optional<layout::Layer> lower;
+    };
+    const Row rows[] = {
+        {"Diffusion", "open", "ad", layout::Layer::NDiff, FailureMode::Open,
+         {}},
+        {"Diffusion", "short", "bd", layout::Layer::NDiff,
+         FailureMode::Short, {}},
+        {"Polysilicon", "open", "ap", layout::Layer::Poly, FailureMode::Open,
+         {}},
+        {"Polysilicon", "short", "bp", layout::Layer::Poly,
+         FailureMode::Short, {}},
+        {"Metal_1", "open", "am1", layout::Layer::Metal1, FailureMode::Open,
+         {}},
+        {"Metal_1", "short", "bm1", layout::Layer::Metal1,
+         FailureMode::Short, {}},
+        {"Metal_2", "open", "am2", layout::Layer::Metal2, FailureMode::Open,
+         {}},
+        {"Metal_2", "short", "bm2", layout::Layer::Metal2,
+         FailureMode::Short, {}},
+        {"Al/diff.contacts", "open", "acd", layout::Layer::Contact,
+         FailureMode::Open, layout::Layer::NDiff},
+        {"m1/poly contacts", "open", "acp", layout::Layer::Contact,
+         FailureMode::Open, layout::Layer::Poly},
+        {"vias", "open", "acv", layout::Layer::Via, FailureMode::Open, {}},
+    };
+    for (const Row& r : rows) {
+        const Mechanism* m = s.find(r.l, r.m, r.lower);
+        std::printf("  %-12s %-8s %-22s %.2f\n", r.layer, r.failure,
+                    r.symbol, m ? m->rel_density : -1.0);
+    }
+    const double beta =
+        s.find(layout::Layer::Metal1, FailureMode::Short)->rel_density;
+    const double alpha =
+        s.find(layout::Layer::Metal1, FailureMode::Open)->rel_density;
+    std::printf("\n  beta/alpha (metal1) = %.0f  (paper: \"around 100\", "
+                "justifying the importance of bridging faults)\n\n",
+                beta / alpha);
+}
+
+void BM_BridgeWca(benchmark::State& state) {
+    const DefectModel m = DefectModel::date95();
+    const double facing = static_cast<double>(state.range(0)) * 1000.0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.bridge_wca(facing, 3000.0));
+}
+BENCHMARK(BM_BridgeWca)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_CutWca(benchmark::State& state) {
+    const DefectModel m = DefectModel::date95();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(m.cut_wca(2000.0, 6000.0));
+}
+BENCHMARK(BM_CutWca);
+
+void BM_SizePdfSweep(benchmark::State& state) {
+    const SizeDistribution d(1000.0);
+    for (auto _ : state) {
+        double acc = 0;
+        for (double x = 100; x < 25000; x += 10) acc += d.pdf(x);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_SizePdfSweep);
+
+} // namespace
+
+int main(int argc, char** argv) {
+    print_tab1();
+    ::benchmark::Initialize(&argc, argv);
+    ::benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

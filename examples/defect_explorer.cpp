@@ -1,0 +1,72 @@
+// defect_explorer -- the physics behind the fault probabilities.
+//
+// Prints the paper's Tab. 1 defect statistics, the Ferris-Prabhu size
+// distribution, and how the weighted critical area of a bridge site moves
+// with spacing and facing length -- the quantities LIFT integrates for
+// every layout site.
+//
+//   $ ./examples/defect_explorer
+
+#include "defects/defects.h"
+
+#include <cstdio>
+
+int main() {
+    using namespace catlift;
+    using namespace catlift::defects;
+
+    const DefectModel model = DefectModel::date95();
+    const DefectStatistics& stats = model.stats();
+
+    std::printf("== Tab. 1: failure mechanisms and relative densities ==\n");
+    std::printf("  %-20s %-8s %-10s %s\n", "mechanism", "mode", "rel.dens",
+                "abs [cm^-2]");
+    for (const Mechanism& m : stats.mechanisms) {
+        std::printf("  %-20s %-8s %-10.2f %.2f\n", m.name.c_str(),
+                    to_string(m.mode), m.rel_density,
+                    stats.density_per_cm2(m));
+    }
+
+    std::printf("\n== Ferris-Prabhu size distribution (x0 = %.1f um) ==\n",
+                model.dist().x0() / 1000.0);
+    std::printf("  size[um]  pdf        P(>size)\n");
+    for (double x : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+        std::printf("  %-9.2f %-10.3g %.4f\n", x, model.dist().pdf(x * 1000),
+                    model.dist().survival(x * 1000));
+    }
+
+    std::printf("\n== bridge probability vs spacing "
+                "(metal1, facing 100 um) ==\n");
+    const Mechanism* m1s =
+        stats.find(layout::Layer::Metal1, FailureMode::Short);
+    std::printf("  spacing[um]  p(bridge)\n");
+    for (double s : {2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 20.0}) {
+        std::printf("  %-12.1f %.3g\n", s,
+                    model.bridge_probability(*m1s, 100000.0, s * 1000));
+    }
+
+    std::printf("\n== bridge probability vs facing length "
+                "(metal2, spacing 3 um) ==\n");
+    const Mechanism* m2s =
+        stats.find(layout::Layer::Metal2, FailureMode::Short);
+    std::printf("  facing[um]  p(bridge)\n");
+    for (double f : {10.0, 30.0, 100.0, 300.0, 1000.0}) {
+        std::printf("  %-11.0f %.3g\n", f,
+                    model.bridge_probability(*m2s, f * 1000, 3000.0));
+    }
+
+    std::printf("\n== contact/via opens vs cluster size ==\n");
+    const Mechanism* cd = stats.find(layout::Layer::Contact,
+                                     FailureMode::Open, layout::Layer::NDiff);
+    const Mechanism* via =
+        stats.find(layout::Layer::Via, FailureMode::Open);
+    std::printf("  single 2x2 contact : %.3g\n",
+                model.cut_probability(*cd, 2000, 2000));
+    std::printf("  2-contact cluster  : %.3g   (redundancy pays)\n",
+                model.cut_probability(*cd, 2000, 10000));
+    std::printf("  single 2x2 via     : %.3g\n",
+                model.cut_probability(*via, 2000, 2000));
+    std::printf("  2-via cluster      : %.3g\n",
+                model.cut_probability(*via, 2000, 6000));
+    return 0;
+}

@@ -1,0 +1,64 @@
+#include "anafault/ac_campaign.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catlift::anafault {
+
+using netlist::Circuit;
+
+std::size_t AcCampaignResult::detected() const {
+    return static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const AcFaultResult& r) { return r.detected; }));
+}
+
+double AcCampaignResult::coverage() const {
+    if (results.empty()) return 0.0;
+    return 100.0 * static_cast<double>(detected()) /
+           static_cast<double>(results.size());
+}
+
+AcCampaignResult run_ac_campaign(const Circuit& ckt,
+                                 const lift::FaultList& faults,
+                                 const AcCampaignOptions& opt) {
+    AcCampaignResult res;
+    {
+        spice::Simulator sim(ckt, opt.sim);
+        res.nominal = sim.ac(opt.sweep);
+    }
+    for (const std::string& node : opt.observed)
+        require(res.nominal.has(node),
+                "ac campaign: observed node missing: " + node);
+
+    for (const lift::Fault& f : faults.faults) {
+        AcFaultResult r;
+        r.fault_id = f.id;
+        r.description = f.describe();
+        try {
+            const Circuit faulty = inject(ckt, f, opt.injection);
+            spice::Simulator sim(faulty, opt.sim);
+            const spice::AcResult ac = sim.ac(opt.sweep);
+            r.simulated = true;
+            for (std::size_t i = 0; i < res.nominal.points(); ++i) {
+                const double freq = res.nominal.freq()[i];
+                for (const std::string& node : opt.observed) {
+                    if (!ac.has(node)) continue;
+                    const double dev = std::fabs(ac.mag_db(node, i) -
+                                                 res.nominal.mag_db(node, i));
+                    r.max_deviation_db = std::max(r.max_deviation_db, dev);
+                    if (dev > opt.db_tol && !r.detect_freq)
+                        r.detect_freq = freq;
+                }
+            }
+            r.detected = r.detect_freq.has_value();
+        } catch (const Error& e) {
+            r.simulated = false;
+            r.error = e.what();
+        }
+        res.results.push_back(std::move(r));
+    }
+    return res;
+}
+
+} // namespace catlift::anafault

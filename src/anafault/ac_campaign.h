@@ -1,0 +1,54 @@
+// catlift/anafault/ac_campaign.h
+//
+// AC fault simulation: the classical frequency-domain detection path of
+// AnaFAULT's ancestors (ISPICE AC fault simulation [30][31], linear fault
+// recognition from AC measurements [6]).  Each fault is injected, the
+// small-signal response is swept, and the fault counts as detected when
+// its magnitude response deviates from the nominal one by more than the
+// dB tolerance anywhere in the sweep.
+
+#pragma once
+
+#include "anafault/fault_models.h"
+#include "lift/fault.h"
+#include "netlist/netlist.h"
+#include "spice/engine.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::anafault {
+
+struct AcCampaignOptions {
+    InjectionOptions injection;
+    spice::AcSpec sweep;
+    std::vector<std::string> observed = {"out"};
+    double db_tol = 3.0;  ///< magnitude deviation tolerance [dB]
+    spice::SimOptions sim;
+};
+
+struct AcFaultResult {
+    int fault_id = 0;
+    std::string description;
+    bool simulated = false;
+    std::string error;
+    bool detected = false;
+    double max_deviation_db = 0.0;       ///< worst magnitude deviation
+    std::optional<double> detect_freq;   ///< frequency of first violation
+};
+
+struct AcCampaignResult {
+    spice::AcResult nominal;
+    std::vector<AcFaultResult> results;
+
+    std::size_t detected() const;
+    double coverage() const;  ///< percent
+};
+
+/// Run the AC campaign over a fault list.
+AcCampaignResult run_ac_campaign(const netlist::Circuit& ckt,
+                                 const lift::FaultList& faults,
+                                 const AcCampaignOptions& opt = {});
+
+} // namespace catlift::anafault

@@ -1,0 +1,197 @@
+#include "anafault/campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace catlift::anafault {
+
+using netlist::Circuit;
+using netlist::TranSpec;
+using spice::Simulator;
+using spice::Waveforms;
+
+namespace {
+
+double seconds_since(
+    const std::chrono::steady_clock::time_point& t0) {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+TranSpec resolve_tran(const Circuit& ckt, const CampaignOptions& opt) {
+    if (opt.tran) return *opt.tran;
+    require(ckt.tran.has_value(),
+            "campaign: no .tran card and no explicit TranSpec");
+    return *ckt.tran;
+}
+
+/// Run one mutated circuit; fills everything except id/description.
+FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
+                            const TranSpec& ts, const CampaignOptions& opt) {
+    FaultSimResult r;
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+        Simulator sim(faulty, opt.sim);
+        r.matrix_size = sim.unknowns();
+        const Waveforms wf = sim.tran(ts);
+        r.sim_seconds = seconds_since(t0);
+        r.nr_iterations = sim.stats().nr_iterations;
+        r.simulated = true;
+        r.detect_time = detect_time(nominal, wf, opt.detection);
+    } catch (const Error& e) {
+        r.sim_seconds = seconds_since(t0);
+        r.simulated = false;
+        r.error = e.what();
+    }
+    return r;
+}
+
+template <typename MakeCircuit>
+CampaignResult run_generic(const Circuit& ckt, std::size_t n_faults,
+                           MakeCircuit make, const CampaignOptions& opt) {
+    CampaignResult res;
+    const TranSpec ts = resolve_tran(ckt, opt);
+    res.tstop = ts.tstop;
+
+    // Nominal simulation first (paper, ch. V).
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        Simulator sim(ckt, opt.sim);
+        res.nominal = sim.tran(ts);
+        res.nominal_seconds = seconds_since(t0);
+    }
+
+    res.results.resize(n_faults);
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = cursor.fetch_add(1);
+            if (i >= n_faults) break;
+            // make() fills id/description/probability and returns the
+            // mutated circuit (or an error string).
+            FaultSimResult base;
+            try {
+                const Circuit faulty = make(i, base);
+                FaultSimResult r = simulate_one(faulty, res.nominal, ts, opt);
+                r.fault_id = base.fault_id;
+                r.description = base.description;
+                r.probability = base.probability;
+                res.results[i] = std::move(r);
+            } catch (const Error& e) {
+                base.simulated = false;
+                base.error = e.what();
+                res.results[i] = std::move(base);
+            }
+        }
+    };
+
+    const unsigned n_threads = std::max(1u, opt.threads);
+    if (n_threads == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_threads);
+        for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+        for (auto& th : pool) th.join();
+    }
+
+    for (const FaultSimResult& r : res.results)
+        res.total_seconds += r.sim_seconds;
+    return res;
+}
+
+} // namespace
+
+CampaignResult run_campaign(const Circuit& ckt, const lift::FaultList& faults,
+                            const CampaignOptions& opt) {
+    return run_generic(
+        ckt, faults.size(),
+        [&](std::size_t i, FaultSimResult& base) {
+            const lift::Fault& f = faults.faults[i];
+            base.fault_id = f.id;
+            base.description = f.describe();
+            base.probability = f.probability;
+            return inject(ckt, f, opt.injection);
+        },
+        opt);
+}
+
+CampaignResult run_parametric_campaign(
+    const Circuit& ckt, const std::vector<ParametricFault>& faults,
+    const CampaignOptions& opt) {
+    return run_generic(
+        ckt, faults.size(),
+        [&](std::size_t i, FaultSimResult& base) {
+            base.fault_id = static_cast<int>(i) + 1;
+            base.description = faults[i].describe();
+            base.probability = 1.0;
+            return inject_parametric(ckt, faults[i]);
+        },
+        opt);
+}
+
+// ---------------------------------------------------------------------------
+// CampaignResult
+
+std::size_t CampaignResult::detected() const {
+    return static_cast<std::size_t>(std::count_if(
+        results.begin(), results.end(),
+        [](const FaultSimResult& r) { return r.detect_time.has_value(); }));
+}
+
+std::size_t CampaignResult::undetected() const {
+    return static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const FaultSimResult& r) {
+                          return r.simulated && !r.detect_time;
+                      }));
+}
+
+std::size_t CampaignResult::failed() const {
+    return static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const FaultSimResult& r) { return !r.simulated; }));
+}
+
+double CampaignResult::coverage_at(double t) const {
+    if (results.empty()) return 0.0;
+    std::size_t det = 0;
+    for (const FaultSimResult& r : results)
+        if (r.detect_time && *r.detect_time <= t) ++det;
+    return 100.0 * static_cast<double>(det) /
+           static_cast<double>(results.size());
+}
+
+double CampaignResult::weighted_coverage() const {
+    double total = 0.0, det = 0.0;
+    for (const FaultSimResult& r : results) {
+        total += r.probability;
+        if (r.detect_time) det += r.probability;
+    }
+    return total > 0 ? 100.0 * det / total : 0.0;
+}
+
+std::optional<double> CampaignResult::time_of_last_detection() const {
+    std::optional<double> last;
+    for (const FaultSimResult& r : results)
+        if (r.detect_time && (!last || *r.detect_time > *last))
+            last = r.detect_time;
+    return last;
+}
+
+std::vector<std::pair<double, double>> CampaignResult::coverage_curve(
+    std::size_t points) const {
+    std::vector<std::pair<double, double>> out;
+    out.reserve(points + 1);
+    for (std::size_t i = 0; i <= points; ++i) {
+        const double t = tstop * static_cast<double>(i) /
+                         static_cast<double>(points);
+        out.emplace_back(t, coverage_at(t));
+    }
+    return out;
+}
+
+} // namespace catlift::anafault

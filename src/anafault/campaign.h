@@ -1,0 +1,93 @@
+// catlift/anafault/campaign.h
+//
+// The automatic fault simulation loop (paper, ch. V): "After the execution
+// of the nominal simulation, the automatic analogue fault simulation is
+// performed in a repetitive cycle of three main phases: the preprocessing
+// of the original input file, the call of the kernel simulator and a
+// post-processing phase that compares results and generates statistics."
+//
+// The runner executes that cycle for every fault in a lift::FaultList,
+// serially or on a thread pool (the paper's follow-up work [21] ran
+// AnaFAULT in parallel on a workstation cluster; a shared-memory pool is
+// the laptop equivalent).
+
+#pragma once
+
+#include "anafault/comparator.h"
+#include "anafault/fault_models.h"
+#include "lift/fault.h"
+#include "netlist/netlist.h"
+#include "spice/engine.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::anafault {
+
+struct CampaignOptions {
+    InjectionOptions injection;
+    DetectionSpec detection;
+    spice::SimOptions sim;
+    /// Analysis grid; falls back to the circuit's own .tran card.
+    std::optional<netlist::TranSpec> tran;
+    /// Worker threads (1 = serial).
+    unsigned threads = 1;
+
+    CampaignOptions() {
+        sim.uic = true;  // paper: start at supply activation
+    }
+};
+
+/// Outcome of one fault simulation.
+struct FaultSimResult {
+    int fault_id = 0;
+    std::string description;
+    double probability = 0.0;
+    bool simulated = false;            ///< kernel run completed
+    std::string error;                 ///< failure reason when !simulated
+    std::optional<double> detect_time; ///< earliest detection instant
+    double sim_seconds = 0.0;          ///< kernel wall time
+    std::size_t nr_iterations = 0;
+    std::size_t matrix_size = 0;       ///< MNA unknowns (source model grows it)
+};
+
+/// Aggregated campaign outcome with the coverage computations behind the
+/// paper's Fig. 5.
+struct CampaignResult {
+    spice::Waveforms nominal;
+    double nominal_seconds = 0.0;
+    double total_seconds = 0.0;  ///< sum of per-fault kernel times
+    double tstop = 0.0;
+    std::vector<FaultSimResult> results;
+
+    std::size_t detected() const;
+    std::size_t undetected() const;
+    std::size_t failed() const;
+
+    /// Fault coverage (%) counting faults detected by time t.
+    double coverage_at(double t) const;
+    /// Final fault coverage (%).
+    double final_coverage() const { return coverage_at(tstop); }
+    /// Probability-weighted coverage (%): detected probability mass over
+    /// total probability mass -- the weighted fault list is "used to
+    /// evaluate the effectiveness of the test" (ch. IV).
+    double weighted_coverage() const;
+    /// Earliest time at which every detectable fault has been detected.
+    std::optional<double> time_of_last_detection() const;
+    /// Coverage curve sampled at `points` instants (Fig. 5 series).
+    std::vector<std::pair<double, double>> coverage_curve(
+        std::size_t points = 100) const;
+};
+
+/// Run the campaign for every fault in the list.
+CampaignResult run_campaign(const netlist::Circuit& ckt,
+                            const lift::FaultList& faults,
+                            const CampaignOptions& opt = {});
+
+/// Run a parametric (soft) fault set through the same cycle.
+CampaignResult run_parametric_campaign(
+    const netlist::Circuit& ckt, const std::vector<ParametricFault>& faults,
+    const CampaignOptions& opt = {});
+
+} // namespace catlift::anafault

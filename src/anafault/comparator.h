@@ -1,0 +1,51 @@
+// catlift/anafault/comparator.h
+//
+// Post-processing phase of the fault simulation cycle: compare the faulty
+// response against the fault-free (nominal) one and decide when -- if ever
+// -- the fault becomes detectable.
+//
+// Detection criterion (Fig. 5 caption: "a tolerance of 2V for the
+// amplitude and 0.2 us for the time"): the faulty response is compared
+// point-wise against the nominal one; amplitude deviations beyond v_tol
+// are mismatches, and the fault is detected at the instant the cumulative
+// mismatch duration exceeds t_tol.  Sub-t_tol phase wobble is forgiven;
+// frequency shifts and stuck outputs accumulate mismatch every cycle.
+// (See comparator.cpp for why the alternative tolerance-window reading is
+// inconsistent with the paper's Fig. 5 coverage.)
+
+#pragma once
+
+#include "spice/waveform.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::anafault {
+
+struct DetectionSpec {
+    double v_tol = 2.0;      ///< amplitude tolerance [V] (paper: 2 V)
+    double t_tol = 0.2e-6;   ///< time tolerance [s]     (paper: 0.2 us)
+    std::vector<std::string> observed = {"11"};  ///< monitored nodes
+
+    /// Optional supply-current observation (IDDQ style): names of voltage
+    /// sources whose branch current is monitored with `i_tol`.  Catches
+    /// shorts that ideal supplies would otherwise mask (e.g. a VDD-GND
+    /// bridge holds every node voltage nominal while drawing amperes).
+    std::vector<std::string> observed_supplies;
+    double i_tol = 10e-3;    ///< current tolerance [A]
+};
+
+/// Earliest detection time over all observed nodes, or nullopt if the
+/// fault stays within tolerance for the whole run.
+std::optional<double> detect_time(const spice::Waveforms& nominal,
+                                  const spice::Waveforms& faulty,
+                                  const DetectionSpec& spec);
+
+/// Detection time on a single node.
+std::optional<double> detect_time_on(const spice::Waveforms& nominal,
+                                     const spice::Waveforms& faulty,
+                                     const std::string& node,
+                                     const DetectionSpec& spec);
+
+} // namespace catlift::anafault

@@ -1,0 +1,67 @@
+#include "anafault/dc_campaign.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catlift::anafault {
+
+using netlist::Circuit;
+
+std::size_t DcScreenResult::detected() const {
+    return static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const DcFaultResult& r) { return r.detected; }));
+}
+
+double DcScreenResult::coverage() const {
+    if (results.empty()) return 0.0;
+    return 100.0 * static_cast<double>(detected()) /
+           static_cast<double>(results.size());
+}
+
+std::vector<int> DcScreenResult::undetected_ids() const {
+    std::vector<int> out;
+    for (const DcFaultResult& r : results)
+        if (!r.detected) out.push_back(r.fault_id);
+    return out;
+}
+
+DcScreenResult run_dc_screen(const Circuit& ckt,
+                             const lift::FaultList& faults,
+                             const DcScreenOptions& opt) {
+    DcScreenResult res;
+
+    spice::Simulator nominal(ckt, opt.sim);
+    const spice::DcResult nom_op = nominal.dc_op();
+    require(nom_op.converged, "dc screen: nominal operating point failed");
+    res.nominal_op = nom_op.voltages;
+    for (const std::string& n : opt.observed)
+        require(res.nominal_op.count(n) > 0,
+                "dc screen: observed node missing: " + n);
+
+    for (const lift::Fault& f : faults.faults) {
+        DcFaultResult r;
+        r.fault_id = f.id;
+        r.description = f.describe();
+        try {
+            const Circuit faulty = inject(ckt, f, opt.injection);
+            spice::Simulator sim(faulty, opt.sim);
+            const spice::DcResult op = sim.dc_op();
+            r.converged = op.converged;
+            if (op.converged) {
+                for (const std::string& n : opt.observed) {
+                    const double dv = std::fabs(op.voltages.at(n) -
+                                                res.nominal_op.at(n));
+                    r.max_deviation = std::max(r.max_deviation, dv);
+                }
+                r.detected = r.max_deviation > opt.v_tol;
+            }
+        } catch (const Error&) {
+            r.converged = false;
+        }
+        res.results.push_back(std::move(r));
+    }
+    return res;
+}
+
+} // namespace catlift::anafault

@@ -1,0 +1,58 @@
+// catlift/anafault/dc_campaign.h
+//
+// DC fault screening.  AnaFAULT's lineage (ISPICE-era fault simulators
+// [30][31][12], referenced in ch. II) covered AC and DC fault simulation;
+// a DC operating-point screen is the cheapest first pass: one nonlinear
+// solve per fault instead of a full transient.  Faults whose operating
+// point deviates beyond tolerance are detectable with a static test;
+// the rest (frequency shifts, dynamic faults) need the transient
+// campaign -- which is precisely the paper's motivation for transient
+// fault simulation on the VCO.
+
+#pragma once
+
+#include "anafault/fault_models.h"
+#include "lift/fault.h"
+#include "netlist/netlist.h"
+#include "spice/engine.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::anafault {
+
+struct DcScreenOptions {
+    InjectionOptions injection;
+    /// Observed nodes; DC deviation beyond v_tol on any of them detects.
+    std::vector<std::string> observed = {"11"};
+    double v_tol = 2.0;
+    spice::SimOptions sim;
+};
+
+struct DcFaultResult {
+    int fault_id = 0;
+    std::string description;
+    bool converged = false;      ///< operating point found
+    bool detected = false;       ///< deviation beyond tolerance
+    double max_deviation = 0.0;  ///< largest |dV| over observed nodes [V]
+};
+
+struct DcScreenResult {
+    std::map<std::string, double> nominal_op;  ///< fault-free node voltages
+    std::vector<DcFaultResult> results;
+
+    std::size_t detected() const;
+    /// DC fault coverage in percent.
+    double coverage() const;
+    /// Faults a static test cannot see (candidates for the transient run).
+    std::vector<int> undetected_ids() const;
+};
+
+/// Run the DC screen over a fault list.
+DcScreenResult run_dc_screen(const netlist::Circuit& ckt,
+                             const lift::FaultList& faults,
+                             const DcScreenOptions& opt = {});
+
+} // namespace catlift::anafault

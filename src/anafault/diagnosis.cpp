@@ -1,0 +1,101 @@
+#include "anafault/diagnosis.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catlift::anafault {
+
+using netlist::Circuit;
+using spice::Simulator;
+using spice::Waveforms;
+
+FaultDictionary FaultDictionary::build(const Circuit& ckt,
+                                       const lift::FaultList& faults,
+                                       const DictionaryOptions& opt) {
+    require(!opt.observed.empty(), "dictionary: no observed nodes");
+    require(opt.samples >= 2, "dictionary: need at least 2 samples");
+    netlist::TranSpec ts;
+    if (opt.tran) {
+        ts = *opt.tran;
+    } else {
+        require(ckt.tran.has_value(),
+                "dictionary: no .tran card and no explicit TranSpec");
+        ts = *ckt.tran;
+    }
+
+    FaultDictionary dict;
+    dict.observed_ = opt.observed;
+    for (std::size_t i = 0; i < opt.samples; ++i) {
+        dict.sample_times_.push_back(
+            ts.tstart + (ts.tstop - ts.tstart) *
+                            static_cast<double>(i + 1) /
+                            static_cast<double>(opt.samples));
+    }
+
+    // Fault-free signature.
+    {
+        Simulator sim(ckt, opt.sim);
+        dict.nominal_signature_ = dict.signature_of(sim.tran(ts));
+    }
+
+    for (const lift::Fault& f : faults.faults) {
+        try {
+            const Circuit faulty = inject(ckt, f, opt.injection);
+            Simulator sim(faulty, opt.sim);
+            DictionaryEntry e;
+            e.fault = f;
+            e.signature = dict.signature_of(sim.tran(ts));
+            dict.entries_.push_back(std::move(e));
+        } catch (const Error&) {
+            // Unsimulatable fault: skip (cannot be diagnosed by response).
+        }
+    }
+    return dict;
+}
+
+std::vector<double> FaultDictionary::signature_of(const Waveforms& wf) const {
+    std::vector<double> sig;
+    sig.reserve(observed_.size() * sample_times_.size());
+    for (const std::string& node : observed_) {
+        require(wf.has(node), "dictionary: response lacks node " + node);
+        for (double t : sample_times_) sig.push_back(wf.at(node, t));
+    }
+    return sig;
+}
+
+namespace {
+
+double rms_distance(const std::vector<double>& a,
+                    const std::vector<double>& b) {
+    require(a.size() == b.size() && !a.empty(),
+            "dictionary: signature size mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return std::sqrt(acc / static_cast<double>(a.size()));
+}
+
+} // namespace
+
+std::vector<DiagnosisMatch> FaultDictionary::diagnose(
+    const Waveforms& observed, std::size_t top_k) const {
+    const std::vector<double> sig = signature_of(observed);
+    std::vector<DiagnosisMatch> matches;
+    matches.reserve(entries_.size());
+    for (const DictionaryEntry& e : entries_)
+        matches.push_back({&e, rms_distance(sig, e.signature)});
+    std::sort(matches.begin(), matches.end(),
+              [](const DiagnosisMatch& a, const DiagnosisMatch& b) {
+                  return a.distance < b.distance;
+              });
+    if (matches.size() > top_k) matches.resize(top_k);
+    return matches;
+}
+
+double FaultDictionary::distance_to_nominal(const Waveforms& observed) const {
+    return rms_distance(signature_of(observed), nominal_signature_);
+}
+
+} // namespace catlift::anafault

@@ -1,0 +1,79 @@
+// catlift/anafault/diagnosis.h
+//
+// Fault dictionary and diagnosis.  The fault-simulation cycle produces one
+// response per fault; storing their signatures turns the campaign into a
+// diagnosis instrument (the classic dictionary approach of analogue fault
+// diagnosis, Bandler/Salama [3], and the AC/DC fault recognition of [6],
+// both referenced by the paper's state-of-the-art chapter): given a
+// measured response from a failing device, rank the dictionary faults by
+// signature distance to name the likely physical cause -- and through
+// LIFT's provenance, the likely layout location.
+
+#pragma once
+
+#include "anafault/fault_models.h"
+#include "lift/fault.h"
+#include "netlist/netlist.h"
+#include "spice/engine.h"
+
+#include <string>
+#include <vector>
+
+namespace catlift::anafault {
+
+struct DictionaryOptions {
+    InjectionOptions injection;
+    spice::SimOptions sim;
+    std::optional<netlist::TranSpec> tran;
+    std::vector<std::string> observed = {"11"};
+    /// Signature resolution: waveform samples per observed node.
+    std::size_t samples = 24;
+
+    DictionaryOptions() { sim.uic = true; }
+};
+
+/// One dictionary row: the fault and its response signature.
+struct DictionaryEntry {
+    lift::Fault fault;
+    std::vector<double> signature;
+};
+
+struct DiagnosisMatch {
+    const DictionaryEntry* entry = nullptr;
+    double distance = 0.0;  ///< RMS signature distance [V]
+};
+
+/// The fault dictionary: signatures of every fault plus the fault-free
+/// response, with a nearest-neighbour diagnosis query.
+class FaultDictionary {
+public:
+    /// Simulate every fault and record its signature.  Faults whose kernel
+    /// run fails are skipped (diagnosis cannot name what cannot be
+    /// simulated).
+    static FaultDictionary build(const netlist::Circuit& ckt,
+                                 const lift::FaultList& faults,
+                                 const DictionaryOptions& opt = {});
+
+    std::size_t size() const { return entries_.size(); }
+    const std::vector<DictionaryEntry>& entries() const { return entries_; }
+
+    /// Signature of an arbitrary response using this dictionary's sampling
+    /// grid (the observed nodes and sample times used at build()).
+    std::vector<double> signature_of(const spice::Waveforms& wf) const;
+
+    /// Rank dictionary faults by distance to an observed response.
+    std::vector<DiagnosisMatch> diagnose(const spice::Waveforms& observed,
+                                         std::size_t top_k = 5) const;
+
+    /// Distance of the observed response to the fault-free signature; a
+    /// small value means the device under diagnosis looks healthy.
+    double distance_to_nominal(const spice::Waveforms& observed) const;
+
+private:
+    std::vector<DictionaryEntry> entries_;
+    std::vector<double> nominal_signature_;
+    std::vector<std::string> observed_;
+    std::vector<double> sample_times_;
+};
+
+} // namespace catlift::anafault

@@ -1,0 +1,36 @@
+// catlift/anafault/report.h
+//
+// Result presentation: "Results are presented in tabular form or in form
+// of fault coverage plots displaying the progress of the fault coverage
+// versus time" (paper, ch. V).  The CAT system "supports the development
+// of tests providing detailed reports, clearly arranged overview tables
+// and comprehensive fault coverage plots" (ch. III).
+
+#pragma once
+
+#include "anafault/campaign.h"
+
+#include <string>
+
+namespace catlift::anafault {
+
+/// Per-fault table: id, description, probability, detection.
+std::string campaign_table(const CampaignResult& res);
+
+/// One-paragraph totals: counts, coverage, runtimes.
+std::string campaign_summary(const CampaignResult& res);
+
+/// Fig. 5 style ASCII plot: fault coverage (%) versus % of total test time.
+std::string coverage_plot_ascii(const CampaignResult& res, int width = 72,
+                                int height = 20);
+
+/// CSV rows "time_s,time_pct,coverage_pct" for external plotting.
+std::string coverage_csv(const CampaignResult& res, std::size_t points = 100);
+
+/// Per-fault-class breakdown: the campaign result joined back against the
+/// fault list it ran (counts, detection rate and mean detection time per
+/// FaultKind).  The "overview tables" of the paper's ch. III.
+std::string class_breakdown(const CampaignResult& res,
+                            const lift::FaultList& faults);
+
+} // namespace catlift::anafault

@@ -1,0 +1,77 @@
+#include "anafault/stimulus.h"
+
+#include <algorithm>
+
+namespace catlift::anafault {
+
+using netlist::Circuit;
+using netlist::SourceSpec;
+using netlist::TranSpec;
+
+RefinementResult refine_stimulus(const Circuit& ckt,
+                                 const lift::FaultList& faults,
+                                 const std::vector<StimulusCandidate>& cands,
+                                 const CampaignOptions& opt) {
+    require(!cands.empty(), "refine_stimulus: no candidates");
+    RefinementResult res;
+
+    for (const StimulusCandidate& cand : cands) {
+        Circuit variant = ckt;
+        variant.device(cand.source).source = cand.spec;
+        variant.tran = cand.tran;
+
+        CampaignOptions copt = opt;
+        copt.tran = cand.tran;
+        const CampaignResult cr = run_campaign(variant, faults, copt);
+
+        RefinementEntry e;
+        e.candidate = cand;
+        e.coverage = cr.final_coverage();
+        e.weighted_coverage = cr.weighted_coverage();
+        e.last_detection = cr.time_of_last_detection().value_or(
+            cand.tran.tstop);
+        e.test_time = std::min(cand.tran.tstop,
+                               e.last_detection + copt.detection.t_tol);
+        res.entries.push_back(std::move(e));
+    }
+
+    res.best = 0;
+    for (std::size_t i = 1; i < res.entries.size(); ++i) {
+        const RefinementEntry& a = res.entries[res.best];
+        const RefinementEntry& b = res.entries[i];
+        const bool better =
+            b.coverage > a.coverage + 1e-9 ||
+            (std::abs(b.coverage - a.coverage) <= 1e-9 &&
+             (b.test_time < a.test_time - 1e-12 ||
+              (std::abs(b.test_time - a.test_time) <= 1e-12 &&
+               b.candidate.tran.tstop < a.candidate.tran.tstop)));
+        if (better) res.best = i;
+    }
+    return res;
+}
+
+std::vector<StimulusCandidate> vco_stimulus_candidates(
+    const std::string& source) {
+    std::vector<StimulusCandidate> out;
+    for (double level : {2.2, 2.5, 3.0}) {
+        StimulusCandidate c;
+        c.name = "vctrl=" + std::to_string(level).substr(0, 3) + "V";
+        c.source = source;
+        c.spec = SourceSpec::make_dc(level);
+        c.tran = TranSpec{1e-8, 4e-6, 0.0};
+        out.push_back(std::move(c));
+    }
+    // Two-level step: both oscillation frequencies in one (shorter) test.
+    {
+        StimulusCandidate c;
+        c.name = "step 2.5V->3.0V";
+        c.source = source;
+        c.spec.kind = SourceSpec::Kind::Pwl;
+        c.spec.pwl = {{0.0, 2.5}, {1.5e-6, 2.5}, {1.6e-6, 3.0}, {3e-6, 3.0}};
+        c.tran = TranSpec{1e-8, 3e-6, 0.0};
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+} // namespace catlift::anafault

@@ -1,0 +1,58 @@
+// catlift/anafault/stimulus.h
+//
+// Stimulus refinement.  The paper closes ch. III with: "Depending on the
+// result the stimulus can be refined.  Currently the system does not
+// generate the stimulus by itself, this will be a topic of future work."
+// This module implements that future work in its simplest useful form: a
+// candidate-based refinement loop.  Each candidate rewrites one stimulus
+// source and the analysis window; the full campaign scores it by fault
+// coverage first and by test time (instant of the last detection) second.
+
+#pragma once
+
+#include "anafault/campaign.h"
+
+#include <string>
+#include <vector>
+
+namespace catlift::anafault {
+
+/// One proposed stimulus: a replacement waveform for `source` plus the
+/// transient window to test with.
+struct StimulusCandidate {
+    std::string name;            ///< label for reports
+    std::string source;          ///< stimulus source device to rewrite
+    netlist::SourceSpec spec;    ///< its new waveform
+    netlist::TranSpec tran;      ///< analysis window
+};
+
+struct RefinementEntry {
+    StimulusCandidate candidate;
+    double coverage = 0.0;           ///< final fault coverage [%]
+    double weighted_coverage = 0.0;  ///< probability-weighted [%]
+    double last_detection = 0.0;     ///< latest detection instant [s]
+    double test_time = 0.0;          ///< proposed (truncated) test length
+};
+
+struct RefinementResult {
+    std::vector<RefinementEntry> entries;
+    std::size_t best = 0;  ///< index of the winning candidate
+
+    const RefinementEntry& winner() const { return entries.at(best); }
+};
+
+/// Evaluate every candidate with a full campaign and rank them: highest
+/// coverage wins; ties break on the shorter test time.  The proposed
+/// test_time is the last detection instant plus one time tolerance.
+RefinementResult refine_stimulus(const netlist::Circuit& ckt,
+                                 const lift::FaultList& faults,
+                                 const std::vector<StimulusCandidate>& cands,
+                                 const CampaignOptions& opt = {});
+
+/// Default candidate set for a VCO-style circuit: hold the control source
+/// at several levels and one two-level step profile (exercising two
+/// oscillation frequencies in one test).
+std::vector<StimulusCandidate> vco_stimulus_candidates(
+    const std::string& source = "VCTRL");
+
+} // namespace catlift::anafault

@@ -1,0 +1,55 @@
+#include "circuits/ota.h"
+
+#include "circuits/vco.h"
+
+namespace catlift::circuits {
+
+using netlist::Circuit;
+using netlist::SourceSpec;
+
+Circuit build_ota(const OtaOptions& opt) {
+    Circuit c;
+    c.title = "ota 7T unity-gain buffer";
+    c.add_model(standard_nmos());
+    c.add_model(standard_pmos());
+
+    constexpr double L = 2e-6;
+    // Differential pair.
+    c.add_mosfet("M1", "m", "inp", "t", "0", "nm", 20e-6, L);
+    c.add_mosfet("M2", "out", "out", "t", "0", "nm", 20e-6, L);
+    // PMOS mirror load.
+    c.add_mosfet("M3", "m", "m", "1", "1", "pm", 20e-6, L);
+    c.add_mosfet("M4", "out", "m", "1", "1", "pm", 20e-6, L);
+    // Tail current source with a diode-divider bias.
+    c.add_mosfet("M5", "t", "b", "0", "0", "nm", 10e-6, L);
+    c.add_mosfet("M6", "b", "b", "1", "1", "pm", 4e-6, L);
+    c.add_mosfet("M7", "b", "b", "0", "0", "nm", 4e-6, L);
+    c.add_capacitor("CL", "out", "0", opt.cl);
+
+    if (opt.with_sources) {
+        c.add_vsource("VDD", "1", "0",
+                      SourceSpec::make_pulse(0.0, opt.vdd, 0.0, 50e-9,
+                                             50e-9, 1.0, 2.0));
+        SourceSpec sine;
+        sine.kind = SourceSpec::Kind::Sin;
+        sine.vo = opt.vdd / 2.0;
+        sine.va = opt.sine_amp;
+        sine.freq = opt.sine_freq;
+        sine.sin_td = 0.2e-6;  // let the bias settle first
+        c.add_vsource("VIN", "inp", "0", sine);
+        c.tran = netlist::TranSpec{1e-8, 4e-6, 0.0};
+        c.save_nodes = {kOtaOutput};
+    }
+    return c;
+}
+
+std::map<std::string, std::string> ota_net_blocks() {
+    return {
+        {"0", "supply"}, {"1", "supply"},
+        {"inp", "input"},
+        {"m", "mirror"}, {"out", "output"},
+        {"t", "tail"},   {"b", "bias"},
+    };
+}
+
+} // namespace catlift::circuits

@@ -1,0 +1,43 @@
+// catlift/circuits/ota.h
+//
+// Second demonstrator: a 7-transistor OTA in unity-gain (buffer)
+// configuration.  The paper notes "the tool has been used for the fault
+// simulation of various circuits"; this fixture exercises the complete
+// CAT flow -- layout synthesis, LIFT, AnaFAULT -- on a *linear* analogue
+// block where faults manifest as gain/offset errors rather than
+// oscillation changes, complementing the VCO.
+//
+// Topology: NMOS differential pair (M1 input, M2 diode-feedback from the
+// output), PMOS mirror load (M3 diode master, M4 output), NMOS tail
+// source M5 biased by the diode divider M6 (PMOS) / M7 (NMOS), load
+// capacitor on "out".  The inverting input is tied to the output
+// (unity-gain follower); the stimulus drives "inp" with a sine around
+// mid-supply.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+#include <map>
+#include <string>
+
+namespace catlift::circuits {
+
+struct OtaOptions {
+    double vdd = 5.0;
+    double cl = 1e-12;           ///< load capacitor [F]
+    double sine_amp = 0.5;       ///< stimulus amplitude [V]
+    double sine_freq = 1e6;      ///< stimulus frequency [Hz]
+    bool with_sources = true;
+};
+
+/// Build the OTA follower.  Output node: "out"; input: "inp".
+netlist::Circuit build_ota(const OtaOptions& opt = {});
+
+inline constexpr const char* kOtaOutput = "out";
+inline constexpr const char* kOtaInput = "inp";
+
+/// Net -> functional block map for LIFT's global-short classification.
+std::map<std::string, std::string> ota_net_blocks();
+
+} // namespace catlift::circuits

@@ -1,0 +1,82 @@
+// catlift/circuits/vco.h
+//
+// The paper's demonstrator: a voltage-controlled relaxation oscillator in
+// single-poly double-metal CMOS, built from exactly 26 transistors and one
+// timing capacitor (paper, Fig. 3 and section VI).
+//
+// Block structure (paper nomenclature):
+//   * V-to-I conversion   -- input device M1 with a degeneration diode pair
+//     (M2||M26), PMOS mirror master pair (M3||M24), charge source M4,
+//     second branch M5 into the NMOS mirror master pair (M6||M25) and the
+//     discharge sink M7.
+//   * Analogue switch     -- transmission gates M8/M9 (charge) and M10/M23
+//     (discharge) steering the capacitor node.
+//   * Schmitt trigger     -- the classic 6-T CMOS Schmitt M11..M16; M11 is
+//     the grounded-source NMOS whose drain is the Fig. 6 short target.
+//   * Control/output      -- inverters M17/M18 (phi), M19/M20 (phi_b) and
+//     the output buffer M21/M22 driving node 11 (the observed output).
+//
+// The fault-count arithmetic of section VI holds exactly:
+//   26 x 3 + 1 = 79 single opens (78 transistor opens + capacitor open),
+//   26 x 3 - 6 + 1 = 73 shorts (6 designed gate-drain shorts on the
+//   diode-connected devices M2, M26, M3, M24, M6, M25).
+//
+// Node numbering follows the paper where it is known: "11" is the output
+// the waveforms of Fig. 4/6 observe, "6" is the capacitor node, "5" the
+// charge rail (the #6 bridge 5-6 analogue), "1" is VDD, "2" the control
+// voltage input.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+#include <map>
+#include <string>
+
+namespace catlift::circuits {
+
+struct VcoOptions {
+    double vdd = 5.0;          ///< supply [V]
+    double vctrl = 2.5;        ///< control voltage, held constant (paper)
+    double cap = 2e-12;        ///< timing capacitor [F]
+    double supply_ramp = 50e-9;///< VDD activation ramp [s]
+    bool with_sources = true;  ///< include VDD/VCTRL sources
+};
+
+/// Build the 26-transistor VCO schematic.  With `with_sources` the deck is
+/// directly simulatable; without, it is the pure device netlist used for
+/// LVS against the extracted layout.
+netlist::Circuit build_vco(const VcoOptions& opt = {});
+
+/// Observed output node of the VCO (paper: V(11)).
+inline constexpr const char* kVcoOutput = "11";
+/// Timing capacitor node.
+inline constexpr const char* kVcoCapNode = "6";
+/// Charge rail (the paper's example bridge #6 is 5->6).
+inline constexpr const char* kVcoChargeRail = "5";
+/// Drain of Schmitt transistor M11 (the Fig. 6 shorting-resistor target).
+/// M11 is the Schmitt output NMOS, so this is the Schmitt output node.
+inline constexpr const char* kVcoSchmittDrain = "9";
+
+/// Functional block of each net, used by LIFT to classify global shorts
+/// (bridges between different blocks / supplies) vs local ones.
+std::map<std::string, std::string> vco_net_blocks();
+
+/// The standard NMOS/PMOS level-1 models used by every circuit in this
+/// repository (5V single-poly double-metal CMOS flavour).
+netlist::MosModel standard_nmos();
+netlist::MosModel standard_pmos();
+
+/// A plain CMOS inverter fixture (for tests and examples).
+netlist::Circuit build_inverter(double vdd = 5.0);
+
+/// An N-stage CMOS inverter chain ("c0" -> "c1" -> ... -> "cN"), used to
+/// scale the layout generator / extraction / LIFT pipeline in benches.
+/// Without sources the netlist is cellgen-ready (L = 2 um everywhere).
+netlist::Circuit build_inverter_chain(int stages, bool with_sources = true);
+
+/// A stand-alone 6-T CMOS Schmitt trigger driven by a triangular source,
+/// used to characterise the hysteresis thresholds.
+netlist::Circuit build_schmitt_fixture(double vdd = 5.0);
+
+} // namespace catlift::circuits

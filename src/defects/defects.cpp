@@ -1,0 +1,143 @@
+#include "defects/defects.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catlift::defects {
+
+using layout::Layer;
+
+const char* to_string(FailureMode m) {
+    return m == FailureMode::Short ? "short" : "open";
+}
+
+DefectStatistics DefectStatistics::date95_table1() {
+    DefectStatistics s;
+    s.metal1_short_per_cm2 = 1.0;  // Feltham/Maly, 1 defect/cm^2
+    // Diffusion applies to both implant flavours; LIFT looks the mechanism
+    // up by layer, so the table carries one entry per drawn layer.
+    s.mechanisms = {
+        {"diff_open", Layer::NDiff, FailureMode::Open, std::nullopt, 0.01},
+        {"diff_short", Layer::NDiff, FailureMode::Short, std::nullopt, 1.00},
+        {"diff_open", Layer::PDiff, FailureMode::Open, std::nullopt, 0.01},
+        {"diff_short", Layer::PDiff, FailureMode::Short, std::nullopt, 1.00},
+        {"poly_open", Layer::Poly, FailureMode::Open, std::nullopt, 0.25},
+        {"poly_short", Layer::Poly, FailureMode::Short, std::nullopt, 1.25},
+        {"metal1_open", Layer::Metal1, FailureMode::Open, std::nullopt, 0.01},
+        {"metal1_short", Layer::Metal1, FailureMode::Short, std::nullopt, 1.0},
+        {"metal2_open", Layer::Metal2, FailureMode::Open, std::nullopt, 0.02},
+        {"metal2_short", Layer::Metal2, FailureMode::Short, std::nullopt, 1.50},
+        {"contact_diff_open", Layer::Contact, FailureMode::Open, Layer::NDiff,
+         0.66},
+        {"contact_diff_open", Layer::Contact, FailureMode::Open, Layer::PDiff,
+         0.66},
+        {"contact_poly_open", Layer::Contact, FailureMode::Open, Layer::Poly,
+         0.67},
+        {"via_open", Layer::Via, FailureMode::Open, std::nullopt, 0.8},
+    };
+    return s;
+}
+
+const Mechanism* DefectStatistics::find(
+    Layer layer, FailureMode mode, std::optional<Layer> lower) const {
+    for (const Mechanism& m : mechanisms) {
+        if (m.layer != layer || m.mode != mode) continue;
+        if (m.lower.has_value() != lower.has_value()) continue;
+        if (m.lower && lower && *m.lower != *lower) continue;
+        return &m;
+    }
+    return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// SizeDistribution
+
+SizeDistribution::SizeDistribution(double x0_nm) : x0_(x0_nm) {
+    require(x0_nm > 0, "SizeDistribution: x0 must be positive");
+}
+
+double SizeDistribution::pdf(double x) const {
+    if (x <= 0) return 0.0;
+    if (x <= x0_) return x / (x0_ * x0_);
+    return (x0_ * x0_) / (x * x * x);
+}
+
+double SizeDistribution::cdf(double x) const {
+    if (x <= 0) return 0.0;
+    if (x <= x0_) return 0.5 * (x / x0_) * (x / x0_);
+    return 1.0 - 0.5 * (x0_ / x) * (x0_ / x);
+}
+
+// ---------------------------------------------------------------------------
+// DefectModel
+
+template <typename F>
+double DefectModel::integrate(F kernel, double lo) const {
+    if (lo >= xmax_) return 0.0;
+    // Composite Simpson with a panel count scaled to the span; the
+    // integrand is smooth (piecewise C1 with one knee at x0), so splitting
+    // at x0 keeps the rule accurate.
+    auto simpson = [&](double a, double b) {
+        if (b <= a) return 0.0;
+        const int n = 256;  // even
+        const double h = (b - a) / n;
+        double acc = kernel(a) * dist_.pdf(a) + kernel(b) * dist_.pdf(b);
+        for (int i = 1; i < n; ++i) {
+            const double x = a + h * i;
+            acc += kernel(x) * dist_.pdf(x) * ((i % 2) ? 4.0 : 2.0);
+        }
+        return acc * h / 3.0;
+    };
+    const double knee = dist_.x0();
+    if (lo < knee && knee < xmax_)
+        return simpson(lo, knee) + simpson(knee, xmax_);
+    return simpson(lo, xmax_);
+}
+
+double DefectModel::bridge_wca(double facing_nm, double spacing_nm) const {
+    require(facing_nm >= 0 && spacing_nm > 0, "bridge_wca: bad geometry");
+    return integrate(
+        [&](double x) { return facing_nm * std::max(0.0, x - spacing_nm); },
+        spacing_nm);
+}
+
+double DefectModel::open_wca(double len_nm, double width_nm) const {
+    require(len_nm >= 0 && width_nm > 0, "open_wca: bad geometry");
+    return integrate(
+        [&](double x) { return len_nm * std::max(0.0, x - width_nm); },
+        width_nm);
+}
+
+double DefectModel::cut_wca(double w_nm, double h_nm) const {
+    require(w_nm > 0 && h_nm > 0, "cut_wca: bad geometry");
+    const double lo = std::max(w_nm, h_nm);
+    return integrate(
+        [&](double x) {
+            return std::max(0.0, x - w_nm) * std::max(0.0, x - h_nm);
+        },
+        lo);
+}
+
+double DefectModel::bridge_probability(const Mechanism& m, double facing_nm,
+                                       double spacing_nm) const {
+    return stats_.density_per_cm2(m) *
+           nm2_to_cm2(bridge_wca(facing_nm, spacing_nm));
+}
+
+double DefectModel::open_probability(const Mechanism& m, double len_nm,
+                                     double width_nm) const {
+    return stats_.density_per_cm2(m) *
+           nm2_to_cm2(open_wca(len_nm, width_nm));
+}
+
+double DefectModel::cut_probability(const Mechanism& m, double w_nm,
+                                    double h_nm) const {
+    return stats_.density_per_cm2(m) * nm2_to_cm2(cut_wca(w_nm, h_nm));
+}
+
+DefectModel DefectModel::date95() {
+    return DefectModel(DefectStatistics::date95_table1(),
+                       SizeDistribution(1000.0), 25000.0);
+}
+
+} // namespace catlift::defects

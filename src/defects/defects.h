@@ -1,0 +1,133 @@
+// catlift/defects/defects.h
+//
+// Process defect statistics and spot-defect geometry kernels -- the physics
+// behind LIFT's fault probabilities (paper, ch. IV):
+//
+//  * Tab. 1: likely failure mechanisms per layer with relative defect
+//    densities, normalised to the metal1 short density (whose typical
+//    absolute value is 1 defect/cm^2, after Feltham/Maly [9]).
+//  * The defect-size probability density function after Ferris-Prabhu [10]:
+//    rising linearly up to the peak size x0, falling as 1/x^3 beyond it:
+//        pdf(x) = x / x0^2          for 0 <= x <= x0
+//        pdf(x) = x0^2 / x^3        for x >= x0
+//    (continuous at x0, integrates to 1 over [0, inf)).
+//  * Critical-area kernels for the three site classes LIFT evaluates:
+//    bridges between facing conductors, line opens, and cut-cluster
+//    (contact/via) opens.  Weighted critical areas integrate the kernel
+//    against the size pdf up to a maximum defect size.
+
+#pragma once
+
+#include "geom/base.h"
+#include "layout/tech.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::defects {
+
+enum class FailureMode { Short, Open };
+
+const char* to_string(FailureMode m);
+
+/// One failure mechanism of Tab. 1.
+struct Mechanism {
+    std::string name;            ///< e.g. "metal1_short"
+    layout::Layer layer;         ///< the layer the defect lands on
+    FailureMode mode;
+    /// For Contact mechanisms: the bottom layer that distinguishes
+    /// Al/diffusion contacts (acd) from metal1/poly contacts (acp).
+    std::optional<layout::Layer> lower;
+    double rel_density = 0.0;    ///< relative to metal1 short
+};
+
+/// The full statistics table.
+struct DefectStatistics {
+    std::vector<Mechanism> mechanisms;
+    /// Absolute anchor: metal1 short defect density [defects/cm^2].
+    double metal1_short_per_cm2 = 1.0;
+
+    /// Tab. 1 of the paper, verbatim.
+    static DefectStatistics date95_table1();
+
+    /// Lookup by mode and layer (+ lower layer for contacts); nullptr if
+    /// the table has no such mechanism.
+    const Mechanism* find(layout::Layer layer, FailureMode mode,
+                          std::optional<layout::Layer> lower =
+                              std::nullopt) const;
+
+    /// Absolute density of one mechanism [defects/cm^2].
+    double density_per_cm2(const Mechanism& m) const {
+        return m.rel_density * metal1_short_per_cm2;
+    }
+};
+
+/// Ferris-Prabhu defect size distribution.
+class SizeDistribution {
+public:
+    /// `x0_nm`: peak defect size in nm (typically around the minimum
+    /// feature size of the process).
+    explicit SizeDistribution(double x0_nm);
+
+    double x0() const { return x0_; }
+    double pdf(double x_nm) const;
+    double cdf(double x_nm) const;
+    /// P(size > x).
+    double survival(double x_nm) const { return 1.0 - cdf(x_nm); }
+
+private:
+    double x0_;
+};
+
+/// Critical-area kernels + weighted integration.
+class DefectModel {
+public:
+    DefectModel(DefectStatistics stats, SizeDistribution dist,
+                double max_defect_nm = 25000.0)
+        : stats_(std::move(stats)), dist_(dist), xmax_(max_defect_nm) {}
+
+    const DefectStatistics& stats() const { return stats_; }
+    const SizeDistribution& dist() const { return dist_; }
+    double max_defect() const { return xmax_; }
+
+    /// Weighted critical area [nm^2] of a bridge site: two conductors with
+    /// facing length `facing_nm` separated by `spacing_nm`; a defect of
+    /// diameter x shorts them over A(x) = facing * (x - s), x > s.
+    double bridge_wca(double facing_nm, double spacing_nm) const;
+
+    /// Weighted critical area of a line-open site: a wire segment of
+    /// length `len_nm` and width `width_nm`; A(x) = len * (x - w), x > w.
+    double open_wca(double len_nm, double width_nm) const;
+
+    /// Weighted critical area of a cut-cluster open: the defect must cover
+    /// the whole cluster bounding box (w x h);
+    /// A(x) = (x - w) * (x - h), x > max(w, h).
+    double cut_wca(double w_nm, double h_nm) const;
+
+    /// Probabilities: WCA x absolute mechanism density (nm^2 -> cm^2).
+    double bridge_probability(const Mechanism& m, double facing_nm,
+                              double spacing_nm) const;
+    double open_probability(const Mechanism& m, double len_nm,
+                            double width_nm) const;
+    double cut_probability(const Mechanism& m, double w_nm,
+                           double h_nm) const;
+
+    /// The default model used by the paper reproduction: Tab. 1 statistics,
+    /// x0 = 1 um, xmax = 25 um.
+    static DefectModel date95();
+
+private:
+    /// Integrate kernel(x) * pdf(x) dx over [lo, xmax] (Simpson).
+    template <typename F>
+    double integrate(F kernel, double lo) const;
+
+    DefectStatistics stats_;
+    SizeDistribution dist_;
+    double xmax_;
+};
+
+/// nm^2 -> cm^2.
+inline double nm2_to_cm2(double nm2) { return nm2 * 1e-14; }
+
+} // namespace catlift::defects

@@ -1,0 +1,119 @@
+#include "defects/montecarlo.h"
+
+#include "geom/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace catlift::defects {
+
+using geom::Coord;
+using geom::Rect;
+
+DefectSampler::DefectSampler(const DefectStatistics& stats,
+                             const SizeDistribution& dist,
+                             double max_defect_nm, std::uint64_t seed)
+    : stats_(&stats), dist_(dist), xmax_(max_defect_nm),
+      state_(seed ? seed : 0x9E3779B97F4A7C15ull) {
+    require(!stats.mechanisms.empty(), "DefectSampler: empty statistics");
+    double acc = 0.0;
+    for (const Mechanism& m : stats.mechanisms) {
+        acc += m.rel_density;
+        cum_density_.push_back(acc);
+    }
+    require(acc > 0, "DefectSampler: zero total density");
+}
+
+double DefectSampler::uniform() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    const std::uint64_t r = state_ * 0x2545F4914F6CDD1Dull;
+    return (static_cast<double>(r >> 11) + 0.5) / 9007199254740992.0;
+}
+
+double DefectSampler::sample_size() {
+    // Inverse CDF of the Ferris-Prabhu distribution, truncated at xmax:
+    //   u <= 1/2           : x = x0 sqrt(2u)          (linear part)
+    //   u >  1/2           : x = x0 / sqrt(2 (1-u))   (1/x^3 tail)
+    const double cap = dist_.cdf(xmax_);
+    const double u = uniform() * cap;
+    const double x0 = dist_.x0();
+    if (u <= 0.5) return x0 * std::sqrt(2.0 * u);
+    return x0 / std::sqrt(2.0 * (1.0 - u));
+}
+
+DefectSample DefectSampler::sample(const Rect& chip) {
+    DefectSample d;
+    // Mechanism ~ relative density.
+    const double pick = uniform() * cum_density_.back();
+    std::size_t mi = 0;
+    while (mi + 1 < cum_density_.size() && cum_density_[mi] < pick) ++mi;
+    const Mechanism& mech = stats_->mechanisms[mi];
+    d.layer = mech.layer;
+    d.mode = mech.mode;
+
+    // Size and position (centres may fall half a defect outside the chip).
+    const double size = sample_size();
+    const auto h = static_cast<Coord>(size / 2.0 + 0.5);
+    const Rect window = chip.expanded(static_cast<Coord>(xmax_ / 2.0));
+    const auto cx = static_cast<Coord>(
+        window.lo.x + uniform() * static_cast<double>(window.width()));
+    const auto cy = static_cast<Coord>(
+        window.lo.y + uniform() * static_cast<double>(window.height()));
+    d.square = Rect(cx - h, cy - h, cx + h, cy + h);
+    return d;
+}
+
+BridgeCensus monte_carlo_bridges(const extract::Extraction& ex,
+                                 const DefectStatistics& stats,
+                                 const SizeDistribution& dist,
+                                 double max_defect_nm, long n,
+                                 std::uint64_t seed, long* shorts_sampled) {
+    // Spatial indices per conducting layer.
+    std::map<layout::Layer, geom::SpatialIndex> index;
+    Rect chip;
+    bool first = true;
+    for (std::size_t i = 0; i < ex.fragments.size(); ++i) {
+        const auto& f = ex.fragments[i];
+        chip = first ? f.rect : chip.united(f.rect);
+        first = false;
+        auto it = index.find(f.layer);
+        if (it == index.end())
+            it = index.emplace(f.layer, geom::SpatialIndex(20000)).first;
+        it->second.insert(i, f.rect);
+    }
+    require(!first, "monte_carlo_bridges: empty extraction");
+
+    DefectSampler sampler(stats, dist, max_defect_nm, seed);
+    BridgeCensus census;
+    long shorts = 0;
+    for (long k = 0; k < n; ++k) {
+        const DefectSample d = sampler.sample(chip);
+        if (d.mode != FailureMode::Short) continue;
+        ++shorts;
+        auto it = index.find(d.layer);
+        if (it == index.end()) continue;
+        // Nets whose conductors the defect square touches.
+        std::set<int> nets;
+        for (std::size_t fi : it->second.query(d.square)) {
+            if (ex.fragments[fi].rect.touches(d.square))
+                nets.insert(ex.fragments[fi].net);
+        }
+        if (nets.size() < 2) continue;  // harmless speck
+        // Count each bridged pair (a multi-net defect hits several pairs).
+        for (auto a = nets.begin(); a != nets.end(); ++a) {
+            for (auto b = std::next(a); b != nets.end(); ++b) {
+                std::string na = ex.net_name(*a);
+                std::string nb = ex.net_name(*b);
+                if (na > nb) std::swap(na, nb);
+                ++census[{na, nb}];
+            }
+        }
+    }
+    if (shorts_sampled) *shorts_sampled = shorts;
+    return census;
+}
+
+} // namespace catlift::defects

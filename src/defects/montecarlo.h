@@ -1,0 +1,72 @@
+// catlift/defects/montecarlo.h
+//
+// Monte-Carlo spot-defect injection -- the original Inductive Fault
+// Analysis methodology (Shen/Maly/Ferguson [25], referenced in ch. II):
+// "Based on random spot defects introduced on the layout according to
+// statistics, defects large enough to modify the circuit topology ... are
+// identified and translated into realistic faults."
+//
+// LIFT replaces the sampling with analytic critical-area integrals; this
+// module keeps the sampling path alive as a *validation oracle*: sample
+// defects (layer ~ relative density, diameter ~ Ferris-Prabhu, position
+// uniform), translate each into its electrical effect, and compare the
+// empirical bridge frequencies against LIFT's analytic probabilities.
+
+#pragma once
+
+#include "defects/defects.h"
+#include "extract/extractor.h"
+#include "geom/rect.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace catlift::defects {
+
+/// One sampled spot defect (modelled as a square of side `size`).
+struct DefectSample {
+    layout::Layer layer = layout::Layer::Metal1;
+    FailureMode mode = FailureMode::Short;
+    geom::Rect square;
+};
+
+/// Deterministic sampler over the defect statistics.
+class DefectSampler {
+public:
+    DefectSampler(const DefectStatistics& stats, const SizeDistribution& dist,
+                  double max_defect_nm, std::uint64_t seed);
+
+    /// Draw one defect over (a margin-expanded) chip window.
+    DefectSample sample(const geom::Rect& chip);
+
+    /// Inverse-CDF draw from the (xmax-truncated) size distribution [nm].
+    double sample_size();
+
+private:
+    double uniform();  // (0,1)
+
+    const DefectStatistics* stats_;
+    SizeDistribution dist_;
+    double xmax_;
+    std::uint64_t state_;
+    std::vector<double> cum_density_;  // mechanism selection CDF
+};
+
+/// Empirical bridge census: net-pair -> hit count.
+using BridgeCensus = std::map<std::pair<std::string, std::string>, long>;
+
+/// Sample `n` defects on the extracted layout and count which net pairs
+/// each *short* defect bridges (a defect bridges a pair when its square
+/// touches conductors of both nets on its layer).  Open-mode samples are
+/// drawn but produce no census entries; `shorts_sampled` reports how many
+/// short defects were drawn.
+BridgeCensus monte_carlo_bridges(const extract::Extraction& ex,
+                                 const DefectStatistics& stats,
+                                 const SizeDistribution& dist,
+                                 double max_defect_nm, long n,
+                                 std::uint64_t seed,
+                                 long* shorts_sampled = nullptr);
+
+} // namespace catlift::defects

@@ -1,0 +1,77 @@
+#include "geom/rect.h"
+
+#include <ostream>
+
+namespace catlift::geom {
+
+std::optional<Rect> intersection(const Rect& a, const Rect& b) {
+    const Coord x0 = std::max(a.lo.x, b.lo.x);
+    const Coord y0 = std::max(a.lo.y, b.lo.y);
+    const Coord x1 = std::min(a.hi.x, b.hi.x);
+    const Coord y1 = std::min(a.hi.y, b.hi.y);
+    if (x0 > x1 || y0 > y1) return std::nullopt;
+    return Rect(x0, y0, x1, y1);
+}
+
+Point axis_gaps(const Rect& a, const Rect& b) {
+    Point g{0, 0};
+    if (a.hi.x < b.lo.x)
+        g.x = b.lo.x - a.hi.x;
+    else if (b.hi.x < a.lo.x)
+        g.x = a.lo.x - b.hi.x;
+    if (a.hi.y < b.lo.y)
+        g.y = b.lo.y - a.hi.y;
+    else if (b.hi.y < a.lo.y)
+        g.y = a.lo.y - b.hi.y;
+    return g;
+}
+
+Coord separation(const Rect& a, const Rect& b) {
+    const Point g = axis_gaps(a, b);
+    return std::max(g.x, g.y);
+}
+
+Coord x_overlap(const Rect& a, const Rect& b) {
+    const Coord lo = std::max(a.lo.x, b.lo.x);
+    const Coord hi = std::min(a.hi.x, b.hi.x);
+    return hi > lo ? hi - lo : 0;
+}
+
+Coord y_overlap(const Rect& a, const Rect& b) {
+    const Coord lo = std::max(a.lo.y, b.lo.y);
+    const Coord hi = std::min(a.hi.y, b.hi.y);
+    return hi > lo ? hi - lo : 0;
+}
+
+std::vector<Rect> subtract(const Rect& a, const Rect& b) {
+    std::vector<Rect> out;
+    const auto ov = intersection(a, b);
+    if (!ov || ov->empty()) {
+        if (!a.empty()) out.push_back(a);
+        return out;
+    }
+    const Rect& c = *ov;
+    // Left slab.
+    if (a.lo.x < c.lo.x) out.emplace_back(a.lo.x, a.lo.y, c.lo.x, a.hi.y);
+    // Right slab.
+    if (c.hi.x < a.hi.x) out.emplace_back(c.hi.x, a.lo.y, a.hi.x, a.hi.y);
+    // Bottom slab (within the overlap's x-range).
+    if (a.lo.y < c.lo.y) out.emplace_back(c.lo.x, a.lo.y, c.hi.x, c.lo.y);
+    // Top slab.
+    if (c.hi.y < a.hi.y) out.emplace_back(c.lo.x, c.hi.y, c.hi.x, a.hi.y);
+    // Drop degenerate slivers.
+    out.erase(std::remove_if(out.begin(), out.end(),
+                             [](const Rect& r) { return r.empty(); }),
+              out.end());
+    return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Point& p) {
+    return os << '(' << p.x << ',' << p.y << ')';
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+    return os << '[' << r.lo << '-' << r.hi << ']';
+}
+
+} // namespace catlift::geom

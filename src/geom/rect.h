@@ -1,0 +1,133 @@
+// catlift/geom/rect.h
+//
+// Exact axis-aligned rectangle geometry over nanometre integer coordinates.
+// Rect is the workhorse of the layout database: shapes, design-rule checks,
+// critical-area site enumeration and connectivity extraction all operate on
+// rectangles (rectilinear polygons are represented as rectangle sets).
+
+#pragma once
+
+#include "geom/base.h"
+
+#include <algorithm>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+namespace catlift::geom {
+
+/// A point in the layout plane (nanometres).
+struct Point {
+    Coord x = 0;
+    Coord y = 0;
+
+    friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Closed axis-aligned rectangle [lo.x, hi.x] x [lo.y, hi.y].
+///
+/// Invariant: lo.x <= hi.x and lo.y <= hi.y (enforced by make()/normalised()).
+/// A rectangle with zero width or height is degenerate but legal (it carries
+/// no area yet still participates in touching tests).
+struct Rect {
+    Point lo;
+    Point hi;
+
+    Rect() = default;
+    Rect(Coord x0, Coord y0, Coord x1, Coord y1)
+        : lo{std::min(x0, x1), std::min(y0, y1)},
+          hi{std::max(x0, x1), std::max(y0, y1)} {}
+
+    /// Construct from micron coordinates (convenience for tests/builders).
+    static Rect um(double x0, double y0, double x1, double y1) {
+        return Rect(from_um(x0), from_um(y0), from_um(x1), from_um(y1));
+    }
+
+    Coord width() const { return hi.x - lo.x; }
+    Coord height() const { return hi.y - lo.y; }
+
+    /// Exact area in nm^2 as double (a 64-bit product may overflow int64 for
+    /// chip-sized rects; double carries 53 bits which is ample for mm-scale
+    /// layouts at nm resolution used here).
+    double area() const {
+        return static_cast<double>(width()) * static_cast<double>(height());
+    }
+
+    bool empty() const { return width() == 0 || height() == 0; }
+
+    Point center() const { return Point{(lo.x + hi.x) / 2, (lo.y + hi.y) / 2}; }
+
+    /// True if `p` lies inside or on the boundary.
+    bool contains(const Point& p) const {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+    }
+
+    /// True if `r` lies fully inside (or on the boundary of) this rect.
+    bool contains(const Rect& r) const {
+        return r.lo.x >= lo.x && r.hi.x <= hi.x && r.lo.y >= lo.y &&
+               r.hi.y <= hi.y;
+    }
+
+    /// True if the two rects share any point (boundary touch counts).
+    bool touches(const Rect& r) const {
+        return r.lo.x <= hi.x && r.hi.x >= lo.x && r.lo.y <= hi.y &&
+               r.hi.y >= lo.y;
+    }
+
+    /// True if the two rects share interior area (boundary touch does not).
+    bool overlaps(const Rect& r) const {
+        return r.lo.x < hi.x && r.hi.x > lo.x && r.lo.y < hi.y && r.hi.y > lo.y;
+    }
+
+    /// Rectangle grown by `d` on every side (d may be negative; collapses to
+    /// a degenerate rect rather than inverting).
+    Rect expanded(Coord d) const {
+        Rect r;
+        r.lo.x = lo.x - d;
+        r.lo.y = lo.y - d;
+        r.hi.x = hi.x + d;
+        r.hi.y = hi.y + d;
+        if (r.lo.x > r.hi.x) r.lo.x = r.hi.x = (r.lo.x + r.hi.x) / 2;
+        if (r.lo.y > r.hi.y) r.lo.y = r.hi.y = (r.lo.y + r.hi.y) / 2;
+        return r;
+    }
+
+    /// Smallest rectangle containing both.
+    Rect united(const Rect& r) const {
+        return Rect(std::min(lo.x, r.lo.x), std::min(lo.y, r.lo.y),
+                    std::max(hi.x, r.hi.x), std::max(hi.y, r.hi.y));
+    }
+
+    friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Intersection of two rects, or nullopt if they do not touch.
+std::optional<Rect> intersection(const Rect& a, const Rect& b);
+
+/// Minimum L-infinity style *edge separation* between two disjoint rects:
+/// the larger of the x-gap and y-gap (0 if they touch or overlap).  This is
+/// the quantity a square spot defect of side `s` must bridge: a defect can
+/// short two shapes iff its side exceeds their separation along each axis.
+Coord separation(const Rect& a, const Rect& b);
+
+/// Axis gaps between two rects: gap.x is the horizontal free distance
+/// (0 if the x-extents overlap), likewise gap.y.  Used by the critical-area
+/// kernels which need the per-axis distances, not just the max.
+Point axis_gaps(const Rect& a, const Rect& b);
+
+/// Length over which the x-extents of the two rects overlap (their "facing
+/// length" for a vertical bridging defect), 0 if disjoint in x.
+Coord x_overlap(const Rect& a, const Rect& b);
+
+/// Length over which the y-extents overlap.
+Coord y_overlap(const Rect& a, const Rect& b);
+
+/// Geometric difference a \ b as up to four disjoint rectangles.  Used by
+/// the extractor to clip transistor channels out of diffusion shapes before
+/// connectivity analysis.
+std::vector<Rect> subtract(const Rect& a, const Rect& b);
+
+std::ostream& operator<<(std::ostream& os, const Point& p);
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+} // namespace catlift::geom

@@ -1,0 +1,111 @@
+#include "geom/region.h"
+
+#include <algorithm>
+#include <set>
+
+namespace catlift::geom {
+namespace {
+
+// Merge a set of [lo,hi) intervals and return total covered length.
+double merged_length(std::vector<std::pair<Coord, Coord>>& iv) {
+    if (iv.empty()) return 0.0;
+    std::sort(iv.begin(), iv.end());
+    double total = 0.0;
+    Coord cur_lo = iv.front().first;
+    Coord cur_hi = iv.front().second;
+    for (std::size_t i = 1; i < iv.size(); ++i) {
+        if (iv[i].first > cur_hi) {
+            total += static_cast<double>(cur_hi - cur_lo);
+            cur_lo = iv[i].first;
+            cur_hi = iv[i].second;
+        } else {
+            cur_hi = std::max(cur_hi, iv[i].second);
+        }
+    }
+    total += static_cast<double>(cur_hi - cur_lo);
+    return total;
+}
+
+} // namespace
+
+double Region::union_area() const {
+    if (rects_.empty()) return 0.0;
+    // Collect x event coordinates.
+    std::set<Coord> xs;
+    for (const Rect& r : rects_) {
+        if (r.empty()) continue;
+        xs.insert(r.lo.x);
+        xs.insert(r.hi.x);
+    }
+    if (xs.size() < 2) return 0.0;
+    double area = 0.0;
+    auto it = xs.begin();
+    Coord prev = *it++;
+    std::vector<std::pair<Coord, Coord>> iv;
+    for (; it != xs.end(); ++it) {
+        const Coord x = *it;
+        // Slab [prev, x): gather y-intervals of rects spanning this slab.
+        iv.clear();
+        for (const Rect& r : rects_) {
+            if (r.empty()) continue;
+            if (r.lo.x <= prev && r.hi.x >= x)
+                iv.emplace_back(r.lo.y, r.hi.y);
+        }
+        area += merged_length(iv) * static_cast<double>(x - prev);
+        prev = x;
+    }
+    return area;
+}
+
+Rect Region::bbox() const {
+    if (rects_.empty()) return Rect();
+    Rect b = rects_.front();
+    for (const Rect& r : rects_) b = b.united(r);
+    return b;
+}
+
+bool Region::contains(const Point& p) const {
+    return std::any_of(rects_.begin(), rects_.end(),
+                       [&](const Rect& r) { return r.contains(p); });
+}
+
+std::vector<Rect> Region::disjoint() const {
+    // Horizontal-slab decomposition: cut the plane at every rect's y edges,
+    // then within each slab merge x-intervals into maximal runs.
+    std::vector<Rect> out;
+    std::set<Coord> ys;
+    for (const Rect& r : rects_) {
+        if (r.empty()) continue;
+        ys.insert(r.lo.y);
+        ys.insert(r.hi.y);
+    }
+    if (ys.size() < 2) return out;
+    auto it = ys.begin();
+    Coord prev = *it++;
+    for (; it != ys.end(); ++it) {
+        const Coord y = *it;
+        std::vector<std::pair<Coord, Coord>> iv;
+        for (const Rect& r : rects_) {
+            if (r.empty()) continue;
+            if (r.lo.y <= prev && r.hi.y >= y) iv.emplace_back(r.lo.x, r.hi.x);
+        }
+        if (!iv.empty()) {
+            std::sort(iv.begin(), iv.end());
+            Coord lo = iv.front().first, hi = iv.front().second;
+            for (std::size_t i = 1; i < iv.size(); ++i) {
+                if (iv[i].first > hi) {
+                    out.emplace_back(lo, prev, hi, y);
+                    lo = iv[i].first;
+                    hi = iv[i].second;
+                } else {
+                    hi = std::max(hi, iv[i].second);
+                }
+            }
+            out.emplace_back(lo, prev, hi, y);
+        }
+        prev = y;
+    }
+    return out;
+}
+
+} // namespace catlift::geom

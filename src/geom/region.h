@@ -1,0 +1,49 @@
+// catlift/geom/region.h
+//
+// A Region is a set of axis-aligned rectangles interpreted as their union
+// (a rectilinear polygon, possibly disconnected, possibly with overlapping
+// member rects).  It provides the exact union-area computation used by the
+// critical-area engine and a decomposition into disjoint rectangles.
+
+#pragma once
+
+#include "geom/rect.h"
+
+#include <vector>
+
+namespace catlift::geom {
+
+class Region {
+public:
+    Region() = default;
+    explicit Region(std::vector<Rect> rects) : rects_(std::move(rects)) {}
+
+    void add(const Rect& r) {
+        if (!r.empty()) rects_.push_back(r);
+    }
+
+    const std::vector<Rect>& rects() const { return rects_; }
+    bool empty() const { return rects_.empty(); }
+    std::size_t size() const { return rects_.size(); }
+
+    /// Exact area of the union of all member rectangles (nm^2, as double).
+    /// Sweep-line over x with an interval-merge over y; O(n^2 log n) worst
+    /// case which is ample for per-site critical-area evaluation (tens of
+    /// rects per site).
+    double union_area() const;
+
+    /// Bounding box of the union; degenerate rect if empty.
+    Rect bbox() const;
+
+    /// True if point lies in (or on the boundary of) any member rect.
+    bool contains(const Point& p) const;
+
+    /// Decompose the union into non-overlapping rectangles (maximal
+    /// horizontal slabs).  Used where double counting must be avoided.
+    std::vector<Rect> disjoint() const;
+
+private:
+    std::vector<Rect> rects_;
+};
+
+} // namespace catlift::geom

@@ -1,0 +1,431 @@
+#include "layout/cellgen.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace catlift::layout {
+
+using geom::Coord;
+using geom::Rect;
+using netlist::Circuit;
+using netlist::Device;
+using netlist::DeviceKind;
+
+namespace {
+
+constexpr Coord U = 1000;  // 1 um in nm
+
+/// Geometry constants of the cell template (all in nm).
+struct Template {
+    Coord col_pitch = 33 * U;     // device column pitch
+    Coord lane_s = 2 * U;         // source stub centre (from column origin)
+    Coord lane_g = 13 * U;        // gate stub centre
+    Coord lane_d = 24 * U;        // drain stub centre
+    // The PMOS row is shifted half a lane pitch so its channel-crossing
+    // stubs interleave with the NMOS ones at 5.5 um centre distance
+    // (landing 2 + stub 1.5 + spacing 2).
+    Coord pmos_xoff = 16500;
+    Coord stub_half = 1500;       // metal1 stub half-width (3 um wide)
+    Coord hammer_half = 2 * U;    // via landing half-width (4 um wide)
+    Coord track_pitch = 10 * U;   // metal2 track pitch
+    Coord track_width = 3 * U;
+    Coord rail_width = 4 * U;
+    Coord margin = 12 * U;        // left margin before first column
+};
+
+struct GenState {
+    const Circuit* ckt;
+    const CellgenOptions* opt;
+    Template t;
+    Layout out;
+
+    std::map<std::string, int> track_of;  // net -> track index
+    Coord ch_base = 0;                    // channel bottom y
+    Coord nmos_base = 0;                  // NMOS island base y
+    Coord pmos_base = 0;                  // PMOS island base y
+    Coord gnd_rail_y = 0;                 // rail bottom
+    Coord vdd_rail_y = 0;
+    Coord x_left = 0, x_right = 0;        // rail extent
+
+    Coord track_y(int i) const {
+        return ch_base + static_cast<Coord>(i) * t.track_pitch;
+    }
+    /// Junction x-positions already emitted per track (same net): close
+    /// junctions are bridged so their landings merge into one region.
+    std::map<int, std::vector<Coord>> junctions;
+    bool single_contact(const std::string& dev, char term) const {
+        const std::string tag = dev + ":" + term;
+        return std::find(opt->single_contact_terminals.begin(),
+                         opt->single_contact_terminals.end(),
+                         tag) != opt->single_contact_terminals.end();
+    }
+};
+
+/// Emit 1 or 2 contact cuts (2x2 um) centred on x `cx`, starting at y `y0`,
+/// stacked vertically with 2 um spacing.
+void emit_contacts(GenState& g, Coord cx, Coord y0, bool redundant,
+                   const std::string& owner) {
+    g.out.add(Layer::Contact, Rect(cx - U, y0, cx + U, y0 + 2 * U), owner);
+    if (redundant)
+        g.out.add(Layer::Contact, Rect(cx - U, y0 + 8 * U, cx + U, y0 + 10 * U),
+                  owner);
+}
+
+/// Emit the via pair (or single via) plus landing pads connecting a metal1
+/// stub at centre `cx` to the metal2 track `ti`.  Redundant junctions use
+/// two vias stacked vertically inside a widened track junction -- so a
+/// single spot defect must span the whole 2-via cluster to open the net.
+void emit_track_via(GenState& g, Coord cx, int ti, bool redundant,
+                    const std::string& owner) {
+    const Coord ty = g.track_y(ti);
+    const Coord hh = g.t.hammer_half;
+    // Junctions on one track belong to one net; when two land closer than
+    // the landing + spacing rules allow, bridge them so the regions merge.
+    for (Coord x_prev : g.junctions[ti]) {
+        const Coord dx = std::abs(x_prev - cx);
+        if (dx == 0 || dx >= 8 * U) continue;
+        const Coord b0 = std::min(x_prev, cx);
+        const Coord b1 = std::max(x_prev, cx);
+        g.out.add(Layer::Metal1, Rect(b0, ty - 2500, b1, ty + 5500), owner);
+        g.out.add(Layer::Metal2, Rect(b0, ty - 2 * U, b1, ty + 5 * U), owner);
+    }
+    g.junctions[ti].push_back(cx);
+    if (redundant) {
+        // Metal1 landing spanning both vias.
+        g.out.add(Layer::Metal1,
+                  Rect(cx - hh, ty - 2500, cx + hh, ty + 5500), owner);
+        // Widened metal2 junction on the track.
+        g.out.add(Layer::Metal2, Rect(cx - hh, ty - 2 * U, cx + hh, ty + 5 * U),
+                  owner);
+        g.out.add(Layer::Via, Rect(cx - U, ty - 1500, cx + U, ty + 500),
+                  owner);
+        g.out.add(Layer::Via, Rect(cx - U, ty + 2500, cx + U, ty + 4500),
+                  owner);
+    } else {
+        g.out.add(Layer::Metal1,
+                  Rect(cx - hh, ty - 500, cx + hh, ty + g.t.track_width + 500),
+                  owner);
+        g.out.add(Layer::Via,
+                  Rect(cx - U, ty + 500, cx + U, ty + 2500), owner);
+    }
+}
+
+/// Route one terminal (metal1 stub from pad y-range to its net).
+/// `pad_lo..pad_hi` is the y extent of the terminal's metal1 pad.
+/// Returns nothing; emits the stub (+ via) shapes.
+void route_terminal(GenState& g, const std::string& net, Coord cx,
+                    Coord pad_lo, Coord pad_hi, bool from_nmos_row,
+                    const std::string& owner) {
+    const Coord sh = g.t.stub_half;
+    if (from_nmos_row && net == g.opt->gnd_net) {
+        // Straight drop onto the GND rail below.
+        g.out.add(Layer::Metal1,
+                  Rect(cx - sh, g.gnd_rail_y + U, cx + sh, pad_hi), owner);
+        return;
+    }
+    if (!from_nmos_row && net == g.opt->vdd_net) {
+        // Straight rise onto the VDD rail above.
+        g.out.add(Layer::Metal1,
+                  Rect(cx - sh, pad_lo, cx + sh, g.vdd_rail_y + 3 * U), owner);
+        return;
+    }
+    auto it = g.track_of.find(net);
+    require(it != g.track_of.end(), "cellgen: no track for net " + net);
+    const int ti = it->second;
+    const Coord ty = g.track_y(ti);
+    if (from_nmos_row) {
+        // Stub upward into the channel, across its track.
+        g.out.add(Layer::Metal1,
+                  Rect(cx - sh, pad_lo, cx + sh, ty + g.t.track_width + 500),
+                  owner);
+    } else {
+        // Stub downward from the PMOS row.
+        g.out.add(Layer::Metal1,
+                  Rect(cx - sh, ty - 500, cx + sh, pad_hi), owner);
+    }
+    emit_track_via(g, cx, ti, /*redundant=*/true, owner);
+}
+
+/// Emit one transistor column.  `x0` is the column origin; `base` the
+/// island base y; NMOS islands grow upward with the gate pad above, PMOS
+/// likewise upward with the gate pad below.
+void emit_mosfet(GenState& g, const Device& d, Coord x0, bool is_nmos) {
+    const Layer diff = is_nmos ? Layer::NDiff : Layer::PDiff;
+    const Coord base = is_nmos ? g.nmos_base : g.pmos_base;
+    const Coord W = static_cast<Coord>(d.w * 1e9 + 0.5);  // m -> nm
+    const Coord Lg = static_cast<Coord>(d.l * 1e9 + 0.5);
+    require(Lg == 2 * U, "cellgen: template supports L=2um only, got " +
+                             d.name);
+    const Coord pad_h = std::max<Coord>(W, 12 * U);
+
+    // Diffusion: source | channel | drain (source on the left).  The gate
+    // strip is centred on the gate lane; contacts sit on the s/d lanes.
+    const Coord xs0 = x0, xs1 = x0 + g.t.lane_g - U;
+    const Coord xc0 = xs1, xc1 = xc0 + Lg;
+    const Coord xd0 = xc1, xd1 = x0 + g.t.lane_d + 2 * U;
+    g.out.add(diff, Rect(xs0, base, xs1, base + pad_h), d.name + ":s");
+    g.out.add(diff, Rect(xc0, base, xc1, base + W), d.name + ":chan");
+    g.out.add(diff, Rect(xd0, base, xd1, base + pad_h), d.name + ":d");
+
+    // Poly gate strip with 2 um overhang beyond the channel, reaching the
+    // gate pad (above the island for NMOS, below for PMOS).
+    const Coord gp_y = is_nmos ? base + pad_h + 2 * U : base - 14 * U;
+    const Coord poly_lo = is_nmos ? base - 2 * U : gp_y;
+    // The strip spans the full pad height on both rows so the source/drain
+    // spacing across the gate is poly-covered everywhere (narrow devices
+    // have pads taller than their channel).
+    const Coord poly_hi = is_nmos ? gp_y + 12 * U : base + pad_h + 2 * U;
+    g.out.add(Layer::Poly, Rect(xc0, poly_lo, xc1, poly_hi), d.name + ":g");
+    // Gate pad (poly, 4 um wide, 8 um tall for the stacked contact pair).
+    const Coord gcx = x0 + g.t.lane_g;
+    g.out.add(Layer::Poly, Rect(gcx - 2 * U, gp_y, gcx + 2 * U, gp_y + 12 * U),
+              d.name + ":g");
+
+    // Terminal contacts (source/drain into diffusion, gate into poly pad).
+    const Coord scx = x0 + g.t.lane_s;
+    const Coord dcx = x0 + g.t.lane_d;
+    emit_contacts(g, scx, base + U, !g.single_contact(d.name, 's'),
+                  d.name + ":s");
+    emit_contacts(g, dcx, base + U, !g.single_contact(d.name, 'd'),
+                  d.name + ":d");
+    emit_contacts(g, gcx, gp_y + U, !g.single_contact(d.name, 'g'),
+                  d.name + ":g");
+
+    // Metal1 terminal pads over the contacts.
+    const Coord sh = g.t.stub_half;
+    g.out.add(Layer::Metal1,
+              Rect(scx - sh, base + 500, scx + sh, base + 11500), d.name + ":s");
+    g.out.add(Layer::Metal1,
+              Rect(dcx - sh, base + 500, dcx + sh, base + 11500), d.name + ":d");
+    g.out.add(Layer::Metal1,
+              Rect(gcx - sh, gp_y + 500, gcx + sh, gp_y + 11500), d.name + ":g");
+
+    // Route the three terminals to their nets.  Diode-connected devices
+    // (the designed gate-drain shorts of the paper's VCO) are wired with a
+    // local metal1 strap from the drain pad to the gate pad, and only the
+    // gate is taken to the routing track -- the idiom real layouts use, and
+    // it keeps the track junctions of one column on distinct tracks.
+    const bool diode =
+        d.nodes[Device::kDrain] == d.nodes[Device::kGate];
+    route_terminal(g, d.nodes[Device::kSource], scx, base + 500, base + 11500,
+                   is_nmos, d.name + ":s");
+    if (diode) {
+        const Coord y0 = std::min(base + 500, gp_y + 500);
+        const Coord y1 = std::max(base + 11500, gp_y + 11500);
+        // Vertical limb on the drain lane, horizontal limb at gate-pad level.
+        g.out.add(Layer::Metal1, Rect(dcx - sh, y0, dcx + sh, y1),
+                  d.name + ":d");
+        g.out.add(Layer::Metal1, Rect(gcx - sh, gp_y + 4500, dcx + sh,
+                                      gp_y + 7500),
+                  d.name + ":d");
+    } else {
+        route_terminal(g, d.nodes[Device::kDrain], dcx, base + 500,
+                       base + 11500, is_nmos, d.name + ":d");
+    }
+    route_terminal(g, d.nodes[Device::kGate], gcx, gp_y + 500, gp_y + 11500,
+                   is_nmos, d.name + ":g");
+}
+
+/// Emit the capacitor module: poly bottom plate (net n1), metal1 top plate
+/// (net n2, dropped to the GND rail or routed), CapMark recognition box.
+void emit_capacitor(GenState& g, const Device& d, Coord x0) {
+    // Plate overlap sized for the value: C = A * cap_per_area.
+    const double area_m2 = d.value / g.opt->tech.cap_per_area;  // m^2
+    const double area_um2 = area_m2 * 1e12;
+    const Coord w = 50 * U;
+    const Coord h = static_cast<Coord>(area_um2 / 50.0 * U + 0.5);
+    require(h > 0 && h < 200 * U, "cellgen: capacitor too large: " + d.name);
+    const Coord base = g.nmos_base;
+
+    // Bottom plate (poly) with a tab sticking out on the left for contacts.
+    g.out.add(Layer::Poly, Rect(x0 - 6 * U, base, x0 + w, base + h),
+              d.name + ":bot");
+    // Top plate (metal1) exactly over the marker region.
+    g.out.add(Layer::Metal1, Rect(x0, base, x0 + w, base + h), d.name + ":top");
+    // Recognition box == plate overlap.
+    g.out.add(Layer::CapMark, Rect(x0, base, x0 + w, base + h), d.name);
+
+    // Bottom-plate contacts on the tab + stub to the net track.
+    const Coord bcx = x0 - 4 * U;
+    emit_contacts(g, bcx, base + U, /*redundant=*/true, d.name + ":bot");
+    g.out.add(Layer::Metal1,
+              Rect(bcx - g.t.stub_half, base + 500, bcx + g.t.stub_half,
+                   base + 11500),
+              d.name + ":bot");
+    route_terminal(g, d.nodes[0], bcx, base + 500, base + 11500,
+                   /*from_nmos_row=*/true, d.name + ":bot");
+
+    // Top plate: drop to the GND rail (net n2 must be gnd in this template)
+    // or route through a stub on the right edge of the plate.
+    const Coord tcx = x0 + w - 2 * U;
+    route_terminal(g, d.nodes[1], tcx, base, base + h,
+                   /*from_nmos_row=*/true, d.name + ":top");
+}
+
+} // namespace
+
+Layout generate_cell_layout(const Circuit& ckt, const CellgenOptions& opt) {
+    GenState g;
+    g.ckt = &ckt;
+    g.opt = &opt;
+    g.out.name = ckt.title.empty() ? "cell" : ckt.title;
+
+    // Partition devices.
+    std::vector<const Device*> nmos, pmos, caps;
+    for (const Device& d : ckt.devices) {
+        switch (d.kind) {
+            case DeviceKind::Mosfet:
+                (ckt.model_of(d).is_nmos ? nmos : pmos).push_back(&d);
+                break;
+            case DeviceKind::Capacitor: caps.push_back(&d); break;
+            case DeviceKind::VSource:
+            case DeviceKind::ISource:
+                break;  // off-chip
+            case DeviceKind::Resistor:
+                throw Error("cellgen: resistors unsupported in this template");
+        }
+    }
+    require(!nmos.empty() || !pmos.empty(), "cellgen: no transistors");
+
+    // Routed nets: every net except pure rail connections, but the supplies
+    // always get a track (opposite-row terminals need them).
+    std::set<std::string> nets;
+    for (const Device* d : nmos)
+        for (int t : {Device::kDrain, Device::kGate, Device::kSource})
+            nets.insert(d->nodes[static_cast<std::size_t>(t)]);
+    for (const Device* d : pmos)
+        for (int t : {Device::kDrain, Device::kGate, Device::kSource})
+            nets.insert(d->nodes[static_cast<std::size_t>(t)]);
+    for (const Device* d : caps) {
+        nets.insert(d->nodes[0]);
+        nets.insert(d->nodes[1]);
+    }
+    nets.insert(opt.vdd_net);
+    nets.insert(opt.gnd_net);
+
+    // Track assignment: user-specified order first, remainder sorted.
+    int next = 0;
+    for (const std::string& n : opt.track_order) {
+        if (nets.count(n) && !g.track_of.count(n)) g.track_of[n] = next++;
+    }
+    for (const std::string& n : nets)
+        if (!g.track_of.count(n)) g.track_of[n] = next++;
+    const int n_tracks = next;
+
+    // Vertical floorplan.
+    auto tallest = [](const std::vector<const Device*>& v) {
+        Coord m = 12 * U;
+        for (const Device* d : v)
+            m = std::max(m, static_cast<Coord>(d->w * 1e9 + 0.5));
+        return m;
+    };
+    const Coord nmos_h = tallest(nmos);
+    g.gnd_rail_y = -14 * U;
+    g.nmos_base = 0;
+    // NMOS tops: island pad_h + gate pad (2+8) above.
+    g.ch_base = std::max<Coord>(nmos_h, 12 * U) + 16 * U + 8 * U;
+    const Coord ch_top =
+        g.ch_base + static_cast<Coord>(n_tracks) * g.t.track_pitch;
+    g.pmos_base = ch_top + 18 * U;  // room for the PMOS gate pads below
+    const Coord pmos_h = tallest(pmos);
+    g.vdd_rail_y = g.pmos_base + std::max<Coord>(pmos_h, 12 * U) + 16 * U;
+
+    // Horizontal extents.
+    const std::size_t ncols = std::max(nmos.size(), pmos.size());
+    g.x_left = -g.t.margin;
+    Coord x_cap = static_cast<Coord>(ncols) * g.t.col_pitch + 22 * U;
+    Coord x_end = x_cap;
+    for (std::size_t i = 0; i < caps.size(); ++i) x_end += 70 * U;
+    g.x_right = x_end + 6 * U;
+
+    // Rails.
+    g.out.add(Layer::Metal1,
+              Rect(g.x_left, g.gnd_rail_y, g.x_right,
+                   g.gnd_rail_y + g.t.rail_width),
+              "rail:" + opt.gnd_net);
+    g.out.add(Layer::Metal1,
+              Rect(g.x_left, g.vdd_rail_y, g.x_right,
+                   g.vdd_rail_y + g.t.rail_width),
+              "rail:" + opt.vdd_net);
+    // N-well blanket under the PMOS row.
+    g.out.add(Layer::NWell,
+              Rect(g.x_left, g.pmos_base - 12 * U, g.x_right,
+                   g.vdd_rail_y + 6 * U),
+              "well");
+
+    // Tracks.
+    for (const auto& [net, ti] : g.track_of) {
+        const Coord ty = g.track_y(ti);
+        g.out.add(Layer::Metal2, Rect(g.x_left + 2 * U, ty, x_end - 2 * U,
+                                      ty + g.t.track_width),
+                  "route:" + net);
+        g.out.add_label(Layer::Metal2,
+                        geom::Point{g.x_left + 3 * U, ty + g.t.track_width / 2},
+                        net);
+    }
+    // Rail labels + rail-to-track links at the left edge.
+    g.out.add_label(Layer::Metal1,
+                    geom::Point{g.x_left + U, g.gnd_rail_y + 2 * U},
+                    opt.gnd_net);
+    g.out.add_label(Layer::Metal1,
+                    geom::Point{g.x_left + U, g.vdd_rail_y + 2 * U},
+                    opt.vdd_net);
+    {
+        // GND rail up to the gnd track.
+        const Coord cx = g.x_left + 6 * U;
+        const int ti = g.track_of.at(opt.gnd_net);
+        g.out.add(Layer::Metal1,
+                  Rect(cx - g.t.stub_half, g.gnd_rail_y + U,
+                       cx + g.t.stub_half, g.track_y(ti) + 3 * U + 500),
+                  "link:" + opt.gnd_net);
+        emit_track_via(g, cx, ti, true, "link:" + opt.gnd_net);
+    }
+    {
+        // VDD rail down to the vdd track, on the right edge past the
+        // capacitor module (clear of every device column).
+        const Coord cxv = x_end - 8 * U;
+        const int ti = g.track_of.at(opt.vdd_net);
+        g.out.add(Layer::Metal1,
+                  Rect(cxv - g.t.stub_half, g.track_y(ti) - 500,
+                       cxv + g.t.stub_half, g.vdd_rail_y + 3 * U),
+                  "link:" + opt.vdd_net);
+        emit_track_via(g, cxv, ti, true, "link:" + opt.vdd_net);
+    }
+
+    // Device columns (PMOS row half-pitch shifted; see Template::pmos_xoff).
+    for (std::size_t i = 0; i < nmos.size(); ++i)
+        emit_mosfet(g, *nmos[i], static_cast<Coord>(i) * g.t.col_pitch, true);
+    for (std::size_t i = 0; i < pmos.size(); ++i)
+        emit_mosfet(g, *pmos[i],
+                    static_cast<Coord>(i) * g.t.col_pitch + g.t.pmos_xoff,
+                    false);
+
+    // Capacitors on the right.
+    Coord xc = x_cap;
+    for (const Device* d : caps) {
+        emit_capacitor(g, *d, xc);
+        xc += 70 * U;
+    }
+
+    return g.out;
+}
+
+CellgenOptions vco_cellgen_options() {
+    CellgenOptions opt;
+    // Track order tuned twice over: (a) the paper's exemplar bridge pairs
+    // face each other -- 0|9 (output-stage kill), 6|5 (the #6-class bridge
+    // between cap node and charge rail), 1|3 (the #339-class mirror-bias
+    // kill); (b) nets used only by the NMOS row sit on low tracks and
+    // PMOS-only nets on high tracks, which keeps the channel-crossing
+    // stubs short (as a human router would).
+    opt.track_order = {"0", "9", "15", "4", "2",  "8",  "1", "3",
+                       "6", "5", "7",  "12", "10", "11", "14"};
+    // Seven single-contact terminals -> the seven transistor stuck-open
+    // faults of section VI.
+    opt.single_contact_terminals = {"M7:d",  "M8:s",  "M10:d", "M11:g",
+                                    "M14:g", "M17:g", "M22:d"};
+    return opt;
+}
+
+} // namespace catlift::layout

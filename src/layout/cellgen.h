@@ -1,0 +1,64 @@
+// catlift/layout/cellgen.h
+//
+// Standard-cell-style layout synthesis.  Produces a fabricated-looking,
+// DRC-clean layout for a flat MOS netlist:
+//
+//     VDD rail (metal1) ─────────────────────────────────
+//       [ PMOS row: one column per device, vertical poly gates ]
+//       [ routing channel: one horizontal metal2 track per net,
+//         vertical metal1 stubs from the terminals, double vias ]
+//       [ NMOS row ]                       [ capacitor module ]
+//     GND rail (metal1) ─────────────────────────────────
+//
+// The generator stands in for the paper's fabricated VCO layout (which is
+// not available); what LIFT extracts from it -- bridge adjacencies, line
+// runs, contact redundancy -- is controlled by the same geometric knobs a
+// real layout has:
+//
+//  * the metal2 track order decides which nets become bridge candidates
+//    (adjacent tracks face each other over the full channel length);
+//  * `single_contact_terminals` decides which transistor terminals can be
+//    killed by a single contact-open defect (the paper's "transistor stuck
+//    open" fault class); every other junction gets redundant double
+//    contacts/vias;
+//  * drain/source diffusions face each other across every gate, producing
+//    the paper's "n_ds_short" bridge class.
+
+#pragma once
+
+#include "layout/layout.h"
+#include "netlist/netlist.h"
+
+#include <string>
+#include <vector>
+
+namespace catlift::layout {
+
+struct CellgenOptions {
+    Technology tech = Technology::single_poly_double_metal();
+
+    /// Supply net names (get metal1 rails + their own channel tracks).
+    std::string vdd_net = "1";
+    std::string gnd_net = "0";
+
+    /// Routed-net order, bottom track first.  Nets not listed are appended
+    /// in name order.  Adjacent entries become the strongest bridge pairs.
+    std::vector<std::string> track_order;
+
+    /// Terminals drawn with a single (non-redundant) contact, tagged
+    /// "Mname:d" / "Mname:g" / "Mname:s".  Everything else gets two.
+    std::vector<std::string> single_contact_terminals;
+};
+
+/// Generate the layout for a circuit of MOSFETs and capacitors (sources are
+/// ignored; they live off-chip).  Throws catlift::Error on unsupported
+/// content.
+Layout generate_cell_layout(const netlist::Circuit& ckt,
+                            const CellgenOptions& opt = {});
+
+/// The canonical options used for the paper's VCO reproduction: track order
+/// placing the paper's exemplar bridge pairs adjacent (5-6, 1-3, 9-0) and
+/// seven single-contact terminals (the seven stuck-open faults of ch. VI).
+CellgenOptions vco_cellgen_options();
+
+} // namespace catlift::layout

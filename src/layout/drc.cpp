@@ -1,0 +1,114 @@
+#include "layout/drc.h"
+
+#include "geom/region.h"
+#include "geom/spatial_index.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+namespace catlift::layout {
+
+std::string DrcViolation::describe() const {
+    std::ostringstream os;
+    os << layer_name(layer) << ' '
+       << (kind == Kind::Width ? "width" : "spacing") << ' '
+       << geom::to_um(actual) << "um < " << geom::to_um(required) << "um"
+       << " (shape " << shape_a;
+    if (shape_b != shape_a) os << " vs " << shape_b;
+    os << ')';
+    return os.str();
+}
+
+std::vector<DrcViolation> run_drc(const Layout& lo, const Technology& tech,
+                                  const DrcOptions& opt) {
+    std::vector<DrcViolation> out;
+
+    for (std::size_t li = 0; li < kLayerCount; ++li) {
+        const Layer layer = static_cast<Layer>(li);
+        const LayerRule& rule = tech.rule(layer);
+        if (rule.min_width == 0 && rule.min_spacing == 0) continue;
+        const auto ids = lo.on_layer(layer);
+        if (ids.empty()) continue;
+
+        // Width: the short side of each drawn rect.
+        if (rule.min_width > 0) {
+            for (std::size_t id : ids) {
+                const geom::Rect& r = lo.shapes[id].rect;
+                const geom::Coord w = std::min(r.width(), r.height());
+                if (w < rule.min_width)
+                    out.push_back({DrcViolation::Kind::Width, layer, id, id, w,
+                                   rule.min_width});
+            }
+        }
+
+        // Spacing: non-touching pairs closer than the rule.
+        if (rule.min_spacing > 0) {
+            // The axis-aligned shadow gap between two facing rects, or
+            // nullopt for purely diagonal pairs.
+            auto gap_between = [](const geom::Rect& a, const geom::Rect& b)
+                -> std::optional<geom::Rect> {
+                if (a.hi.x <= b.lo.x || b.hi.x <= a.lo.x) {
+                    const geom::Coord x0 = std::min(a.hi.x, b.hi.x);
+                    const geom::Coord x1 = std::max(a.lo.x, b.lo.x);
+                    const geom::Coord y0 = std::max(a.lo.y, b.lo.y);
+                    const geom::Coord y1 = std::min(a.hi.y, b.hi.y);
+                    if (y1 <= y0) return std::nullopt;  // diagonal
+                    return geom::Rect(x0, y0, x1, y1);
+                }
+                const geom::Coord y0 = std::min(a.hi.y, b.hi.y);
+                const geom::Coord y1 = std::max(a.lo.y, b.lo.y);
+                const geom::Coord x0 = std::max(a.lo.x, b.lo.x);
+                const geom::Coord x1 = std::min(a.hi.x, b.hi.x);
+                if (x1 <= x0) return std::nullopt;
+                return geom::Rect(x0, y0, x1, y1);
+            };
+            // A close pair is legal when the space between the shapes is
+            // not actually empty: covered by other shapes of the same layer
+            // (merged region, e.g. a bridging strap), or -- for diffusion --
+            // covered by poly (the transistor gate sets that spacing).
+            const bool is_diff =
+                layer == Layer::NDiff || layer == Layer::PDiff;
+            auto gap_is_filled = [&](const geom::Rect& a, const geom::Rect& b,
+                                     std::size_t ia, std::size_t ib) {
+                const auto gap = gap_between(a, b);
+                if (!gap) return false;
+                geom::Region cover;
+                for (std::size_t k = 0; k < lo.shapes.size(); ++k) {
+                    const Shape& s = lo.shapes[k];
+                    const bool same_layer = s.layer == layer && k != ia &&
+                                            k != ib;
+                    const bool gate_cover = is_diff && s.layer == Layer::Poly;
+                    if (!same_layer && !gate_cover) continue;
+                    if (auto ov = geom::intersection(s.rect, *gap))
+                        cover.add(*ov);
+                }
+                return cover.union_area() >= gap->area() - 0.5;
+            };
+
+            geom::SpatialIndex idx(
+                std::max<geom::Coord>(rule.min_spacing * 4, 1000));
+            for (std::size_t id : ids) idx.insert(id, lo.shapes[id].rect);
+            for (std::size_t id : ids) {
+                const Shape& a = lo.shapes[id];
+                for (std::size_t jd :
+                     idx.neighbours(a.rect, rule.min_spacing)) {
+                    if (jd <= id) continue;  // each pair once
+                    const Shape& b = lo.shapes[jd];
+                    if (a.rect.touches(b.rect)) continue;  // merged region
+                    if (opt.exempt_same_owner && !a.owner.empty() &&
+                        a.owner == b.owner)
+                        continue;
+                    const geom::Coord sep = geom::separation(a.rect, b.rect);
+                    if (sep >= rule.min_spacing) continue;
+                    if (gap_is_filled(a.rect, b.rect, id, jd)) continue;
+                    out.push_back({DrcViolation::Kind::Spacing, layer, id, jd,
+                                   sep, rule.min_spacing});
+                }
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace catlift::layout

@@ -1,0 +1,39 @@
+// catlift/layout/drc.h
+//
+// Minimal design-rule checker: per-layer minimum width and minimum spacing.
+// Geometrical design rules "are determined in such a way that in the target
+// process line acceptable yields are obtained" (paper, ch. IV) -- the defect
+// statistics of Tab. 1 presuppose a rule-clean layout, so the generator's
+// output is DRC-checked in the test suite before LIFT consumes it.
+
+#pragma once
+
+#include "layout/layout.h"
+
+#include <string>
+#include <vector>
+
+namespace catlift::layout {
+
+struct DrcViolation {
+    enum class Kind { Width, Spacing } kind;
+    Layer layer;
+    std::size_t shape_a;  ///< index into Layout::shapes
+    std::size_t shape_b;  ///< second shape for spacing (== shape_a for width)
+    geom::Coord actual;
+    geom::Coord required;
+    std::string describe() const;
+};
+
+struct DrcOptions {
+    /// Spacing checks ignore pairs that touch (they merge into one region);
+    /// same-owner shapes may sit arbitrarily close (e.g. contact pairs), so
+    /// owners listed here are exempted from mutual spacing.
+    bool exempt_same_owner = true;
+};
+
+/// Run width + spacing checks on all layers.
+std::vector<DrcViolation> run_drc(const Layout& lo, const Technology& tech,
+                                  const DrcOptions& opt = {});
+
+} // namespace catlift::layout

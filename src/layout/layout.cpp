@@ -1,0 +1,130 @@
+#include "layout/layout.h"
+
+#include "geom/region.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace catlift::layout {
+
+Shape& Layout::add(Layer layer, const geom::Rect& r, std::string owner) {
+    require(!r.empty(), "Layout::add: degenerate rectangle on " +
+                            std::string(layer_name(layer)));
+    shapes.push_back(Shape{layer, r, std::move(owner)});
+    return shapes.back();
+}
+
+void Layout::add_label(Layer layer, geom::Point at, std::string text) {
+    require(!text.empty(), "Layout::add_label: empty label text");
+    labels.push_back(Label{layer, at, std::move(text)});
+}
+
+std::vector<std::size_t> Layout::on_layer(Layer l) const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < shapes.size(); ++i)
+        if (shapes[i].layer == l) out.push_back(i);
+    return out;
+}
+
+geom::Rect Layout::bbox() const {
+    if (shapes.empty()) return {};
+    geom::Rect b = shapes.front().rect;
+    for (const Shape& s : shapes) b = b.united(s.rect);
+    return b;
+}
+
+double Layout::layer_area(Layer l) const {
+    geom::Region reg;
+    for (const Shape& s : shapes)
+        if (s.layer == l) reg.add(s.rect);
+    return reg.union_area();
+}
+
+void write_layout(std::ostream& os, const Layout& lo) {
+    os << "layout " << (lo.name.empty() ? "unnamed" : lo.name) << "\n";
+    os << "units nm\n";
+    for (const Shape& s : lo.shapes) {
+        os << "rect " << layer_name(s.layer) << ' ' << s.rect.lo.x << ' '
+           << s.rect.lo.y << ' ' << s.rect.hi.x << ' ' << s.rect.hi.y;
+        if (!s.owner.empty()) os << ' ' << s.owner;
+        os << "\n";
+    }
+    for (const Label& l : lo.labels) {
+        os << "label " << layer_name(l.layer) << ' ' << l.at.x << ' '
+           << l.at.y << ' ' << l.text << "\n";
+    }
+    os << "end\n";
+}
+
+std::string write_layout(const Layout& lo) {
+    std::ostringstream os;
+    write_layout(os, lo);
+    return os.str();
+}
+
+Layout read_layout(std::istream& is) {
+    Layout lo;
+    std::string line;
+    int line_no = 0;
+    bool saw_header = false, saw_end = false;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream ls(line);
+        std::string kw;
+        ls >> kw;
+        auto fail = [&](const std::string& msg) {
+            throw Error("layout parse error (line " + std::to_string(line_no) +
+                        "): " + msg);
+        };
+        if (kw == "layout") {
+            ls >> lo.name;
+            saw_header = true;
+        } else if (kw == "units") {
+            std::string u;
+            ls >> u;
+            if (u != "nm") fail("only nm units supported, got " + u);
+        } else if (kw == "rect") {
+            std::string lname, owner;
+            geom::Coord x0, y0, x1, y1;
+            if (!(ls >> lname >> x0 >> y0 >> x1 >> y1))
+                fail("rect needs layer + 4 coordinates");
+            ls >> owner;  // optional
+            lo.add(layer_from_name(lname), geom::Rect(x0, y0, x1, y1), owner);
+        } else if (kw == "label") {
+            std::string lname, text;
+            geom::Coord x, y;
+            if (!(ls >> lname >> x >> y >> text))
+                fail("label needs layer, point and text");
+            lo.add_label(layer_from_name(lname), geom::Point{x, y}, text);
+        } else if (kw == "end") {
+            saw_end = true;
+            break;
+        } else {
+            fail("unknown keyword " + kw);
+        }
+    }
+    require(saw_header, "layout stream missing 'layout' header");
+    require(saw_end, "layout stream missing 'end'");
+    return lo;
+}
+
+Layout read_layout_text(const std::string& text) {
+    std::istringstream is(text);
+    return read_layout(is);
+}
+
+void write_layout_file(const std::string& path, const Layout& lo) {
+    std::ofstream f(path);
+    require(f.good(), "cannot open for write: " + path);
+    write_layout(f, lo);
+    require(f.good(), "write failed: " + path);
+}
+
+Layout read_layout_file(const std::string& path) {
+    std::ifstream f(path);
+    require(f.good(), "cannot open layout file: " + path);
+    return read_layout(f);
+}
+
+} // namespace catlift::layout

@@ -1,0 +1,76 @@
+// catlift/layout/layout.h
+//
+// Flat mask-level layout database: rectangles on layers, plus net labels
+// and shape provenance.  Provenance (`owner`) records which schematic
+// device/terminal a shape implements -- the hook that lets LIFT map a
+// geometric failure site back to an electrical fault on the schematic,
+// mirroring the paper's simultaneous circuit + fault extraction.
+
+#pragma once
+
+#include "geom/rect.h"
+#include "layout/tech.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace catlift::layout {
+
+/// One mask rectangle.
+struct Shape {
+    Layer layer = Layer::Metal1;
+    geom::Rect rect;
+    /// Provenance tag, e.g. "M11:d" (device:terminal), "route:6" (net
+    /// routing), "rail:0".  Free-form; empty when unknown.
+    std::string owner;
+};
+
+/// Net-name annotation: a point on a conducting layer.
+struct Label {
+    Layer layer = Layer::Metal1;
+    geom::Point at;
+    std::string text;
+};
+
+/// A flat layout cell.
+class Layout {
+public:
+    std::string name;
+    std::vector<Shape> shapes;
+    std::vector<Label> labels;
+
+    /// Add a rectangle; degenerate rects are rejected.
+    Shape& add(Layer layer, const geom::Rect& r, std::string owner = {});
+
+    /// Add a net label.
+    void add_label(Layer layer, geom::Point at, std::string text);
+
+    /// All shapes on one layer (indices into `shapes`).
+    std::vector<std::size_t> on_layer(Layer l) const;
+
+    geom::Rect bbox() const;
+
+    /// Total drawn area of a layer (union area, no double counting) in nm^2.
+    double layer_area(Layer l) const;
+
+    std::size_t size() const { return shapes.size(); }
+};
+
+/// Plain-text layout interchange format:
+///
+///   layout <name>
+///   units nm
+///   rect <layer> <x0> <y0> <x1> <y1> [owner]
+///   label <layer> <x> <y> <text>
+///   end
+///
+/// The format round-trips exactly (integer nm coordinates).
+void write_layout(std::ostream& os, const Layout& lo);
+std::string write_layout(const Layout& lo);
+Layout read_layout(std::istream& is);
+Layout read_layout_text(const std::string& text);
+void write_layout_file(const std::string& path, const Layout& lo);
+Layout read_layout_file(const std::string& path);
+
+} // namespace catlift::layout

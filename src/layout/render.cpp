@@ -1,0 +1,94 @@
+#include "layout/render.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace catlift::layout {
+
+namespace {
+
+/// Character and draw priority per layer (higher priority wins a cell).
+struct Glyph {
+    char ch;
+    int priority;
+};
+
+Glyph glyph(Layer l) {
+    switch (l) {
+        case Layer::NWell: return {'~', 0};
+        case Layer::NDiff: return {'n', 2};
+        case Layer::PDiff: return {'p', 2};
+        case Layer::Poly: return {'I', 3};
+        case Layer::Metal1: return {'-', 1};
+        case Layer::Metal2: return {'=', 4};
+        case Layer::Contact: return {'+', 5};
+        case Layer::Via: return {'x', 5};
+        case Layer::CapMark: return {'C', 6};
+    }
+    return {'?', 0};
+}
+
+} // namespace
+
+std::string ascii_render(const Layout& lo, const RenderOptions& opt) {
+    require(opt.width > 4, "ascii_render: width too small");
+    if (lo.shapes.empty()) return "(empty layout)\n";
+
+    const geom::Rect bb = lo.bbox();
+    const double w = static_cast<double>(bb.width());
+    const double h = static_cast<double>(bb.height());
+    const int cols = opt.width;
+    // Terminal cells are ~2x taller than wide; halve the row count.
+    const int rows = std::max(
+        4, static_cast<int>(h / w * cols / 2.2 + 0.5));
+
+    std::vector<std::string> grid(static_cast<std::size_t>(rows),
+                                  std::string(static_cast<std::size_t>(cols),
+                                              ' '));
+    std::vector<std::vector<int>> prio(
+        static_cast<std::size_t>(rows),
+        std::vector<int>(static_cast<std::size_t>(cols), -1));
+
+    auto to_col = [&](geom::Coord x) {
+        return std::clamp(static_cast<int>((static_cast<double>(x - bb.lo.x) /
+                                            w) * (cols - 1) + 0.5),
+                          0, cols - 1);
+    };
+    auto to_row = [&](geom::Coord y) {
+        // y grows upward; rows grow downward.
+        return std::clamp(
+            rows - 1 - static_cast<int>((static_cast<double>(y - bb.lo.y) /
+                                         h) * (rows - 1) + 0.5),
+            0, rows - 1);
+    };
+
+    for (const Shape& s : lo.shapes) {
+        const Glyph g = glyph(s.layer);
+        const int c0 = to_col(s.rect.lo.x), c1 = to_col(s.rect.hi.x);
+        const int r0 = to_row(s.rect.hi.y), r1 = to_row(s.rect.lo.y);
+        for (int r = r0; r <= r1; ++r) {
+            for (int c = c0; c <= c1; ++c) {
+                auto& p = prio[static_cast<std::size_t>(r)]
+                              [static_cast<std::size_t>(c)];
+                if (g.priority > p) {
+                    p = g.priority;
+                    grid[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(c)] = g.ch;
+                }
+            }
+        }
+    }
+
+    std::ostringstream os;
+    os << "layout '" << lo.name << "'  " << geom::to_um(bb.width()) << " x "
+       << geom::to_um(bb.height()) << " um, " << lo.shapes.size()
+       << " shapes\n";
+    for (const std::string& row : grid) os << "  " << row << "\n";
+    if (opt.legend) {
+        os << "  legend: n/p diffusion  I poly  - metal1  = metal2  "
+              "+ contact  x via  C capacitor  ~ well\n";
+    }
+    return os.str();
+}
+
+} // namespace catlift::layout

@@ -1,0 +1,24 @@
+// catlift/layout/render.h
+//
+// Terminal rendering of a layout: a scaled plan view with one character
+// per layer (cuts and devices drawn over routing).  Good enough to eyeball
+// the synthesised cell rows, the routing channel and the capacitor module
+// in a README or an example run.
+
+#pragma once
+
+#include "layout/layout.h"
+
+#include <string>
+
+namespace catlift::layout {
+
+struct RenderOptions {
+    int width = 100;    ///< output columns
+    bool legend = true; ///< append the layer/character legend
+};
+
+/// Render the layout into ASCII (rows scaled to keep the aspect ratio).
+std::string ascii_render(const Layout& lo, const RenderOptions& opt = {});
+
+} // namespace catlift::layout

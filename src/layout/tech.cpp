@@ -1,0 +1,59 @@
+#include "layout/tech.h"
+
+namespace catlift::layout {
+
+const char* layer_name(Layer l) {
+    switch (l) {
+        case Layer::NWell: return "nwell";
+        case Layer::NDiff: return "ndiff";
+        case Layer::PDiff: return "pdiff";
+        case Layer::Poly: return "poly";
+        case Layer::Contact: return "contact";
+        case Layer::Metal1: return "metal1";
+        case Layer::Via: return "via";
+        case Layer::Metal2: return "metal2";
+        case Layer::CapMark: return "capmark";
+    }
+    return "?";
+}
+
+Layer layer_from_name(const std::string& name) {
+    for (std::size_t i = 0; i < kLayerCount; ++i) {
+        const Layer l = static_cast<Layer>(i);
+        if (name == layer_name(l)) return l;
+    }
+    throw Error("unknown layer name: " + name);
+}
+
+bool is_conducting(Layer l) {
+    switch (l) {
+        case Layer::NDiff:
+        case Layer::PDiff:
+        case Layer::Poly:
+        case Layer::Metal1:
+        case Layer::Metal2: return true;
+        default: return false;
+    }
+}
+
+bool is_cut(Layer l) { return l == Layer::Contact || l == Layer::Via; }
+
+Technology Technology::single_poly_double_metal() {
+    Technology t;
+    t.name = "spdm-5v";
+    t.lambda = 1000;  // 1 um
+    const geom::Coord um = 1000;
+    t.rule(Layer::NWell) = {6 * um, 6 * um};
+    t.rule(Layer::NDiff) = {2 * um, 3 * um};
+    t.rule(Layer::PDiff) = {2 * um, 3 * um};
+    t.rule(Layer::Poly) = {2 * um, 2 * um};
+    t.rule(Layer::Contact) = {2 * um, 2 * um};
+    t.rule(Layer::Metal1) = {2 * um, 2 * um};
+    t.rule(Layer::Via) = {2 * um, 2 * um};
+    t.rule(Layer::Metal2) = {3 * um, 3 * um};
+    t.rule(Layer::CapMark) = {4 * um, 4 * um};
+    t.cap_per_area = 1e-3;  // 1 fF/um^2
+    return t;
+}
+
+} // namespace catlift::layout

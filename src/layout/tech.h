@@ -1,0 +1,72 @@
+// catlift/layout/tech.h
+//
+// Process description for the single-poly double-metal CMOS technology the
+// paper's VCO was fabricated in: the layer stack, lambda design rules, and
+// the inter-layer connectivity (which cut layer stitches which conductors).
+
+#pragma once
+
+#include "geom/base.h"
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace catlift::layout {
+
+/// Mask layers.  NDiff/PDiff are the post-implant active areas; CapMark is
+/// a recognition layer for the (poly-insulator-metal1) capacitor module.
+enum class Layer : std::uint8_t {
+    NWell = 0,
+    NDiff,
+    PDiff,
+    Poly,
+    Contact,  ///< metal1 <-> poly or diffusion
+    Metal1,
+    Via,      ///< metal1 <-> metal2
+    Metal2,
+    CapMark,
+};
+
+inline constexpr std::size_t kLayerCount = 9;
+
+const char* layer_name(Layer l);
+
+/// Parse a layer name; throws on unknown names.
+Layer layer_from_name(const std::string& name);
+
+/// True for layers that carry signal current (participate in connectivity
+/// and in the short/open defect mechanisms).
+bool is_conducting(Layer l);
+
+/// True for cut layers (Contact, Via).
+bool is_cut(Layer l);
+
+/// Width/spacing design rule for one layer (database units, nm).
+struct LayerRule {
+    geom::Coord min_width = 0;
+    geom::Coord min_spacing = 0;
+};
+
+/// Technology = layer rules + derived electrical constants.
+class Technology {
+public:
+    std::string name;
+    geom::Coord lambda = 1000;  ///< 1 um in nm
+
+    /// Capacitance of the CapMark capacitor module [F/m^2].
+    double cap_per_area = 1e-3;  // 1 fF/um^2
+
+    const LayerRule& rule(Layer l) const {
+        return rules_[static_cast<std::size_t>(l)];
+    }
+    LayerRule& rule(Layer l) { return rules_[static_cast<std::size_t>(l)]; }
+
+    /// The paper's process: single poly, double metal, lambda = 1 um.
+    static Technology single_poly_double_metal();
+
+private:
+    std::array<LayerRule, kLayerCount> rules_{};
+};
+
+} // namespace catlift::layout

@@ -1,0 +1,518 @@
+#include "lift/extract_faults.h"
+
+#include "geom/spatial_index.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace catlift::lift {
+
+using defects::FailureMode;
+using defects::Mechanism;
+using extract::CutCluster;
+using extract::Extraction;
+using extract::Fragment;
+using geom::Coord;
+using geom::Rect;
+using layout::Layer;
+
+namespace {
+
+/// One edge of a net's connectivity graph.
+struct NetEdge {
+    std::size_t a, b;   ///< fragment indices
+    int cluster = -1;   ///< cut cluster index, -1 for same-layer touch
+};
+
+/// Everything the open/split analysis needs about the extracted circuit.
+struct NetGraph {
+    const Extraction* ex;
+    std::vector<std::vector<NetEdge>> edges;           // per net
+    std::vector<std::vector<std::size_t>> frags;       // per net
+    std::map<std::size_t, std::vector<TerminalRef>> anchors;  // frag -> terms
+    std::set<std::size_t> port_frags;                  // labelled fragments
+
+    explicit NetGraph(const Extraction& e, const layout::Layout& lo)
+        : ex(&e) {
+        const std::size_t n_nets = e.net_names.size();
+        edges.resize(n_nets);
+        frags.resize(n_nets);
+        for (std::size_t i = 0; i < e.fragments.size(); ++i)
+            frags[static_cast<std::size_t>(e.fragments[i].net)].push_back(i);
+
+        // Same-layer touching pairs (within each net).
+        for (std::size_t net = 0; net < n_nets; ++net) {
+            const auto& fs = frags[net];
+            for (std::size_t i = 0; i < fs.size(); ++i) {
+                for (std::size_t j = i + 1; j < fs.size(); ++j) {
+                    const Fragment& fa = e.fragments[fs[i]];
+                    const Fragment& fb = e.fragments[fs[j]];
+                    if (fa.layer == fb.layer && fa.rect.touches(fb.rect))
+                        edges[net].push_back(NetEdge{fs[i], fs[j], -1});
+                }
+            }
+        }
+        // Cut cluster edges.
+        for (std::size_t c = 0; c < e.cuts.size(); ++c) {
+            const CutCluster& cc = e.cuts[c];
+            const int net = e.fragments[cc.frag_a].net;
+            edges[static_cast<std::size_t>(net)].push_back(
+                NetEdge{cc.frag_a, cc.frag_b, static_cast<int>(c)});
+        }
+        // Terminal anchors.
+        for (const auto& m : e.mosfets) {
+            anchors[m.frag_drain].push_back({m.name, 0});
+            anchors[m.frag_gate].push_back({m.name, 1});
+            anchors[m.frag_source].push_back({m.name, 2});
+        }
+        for (const auto& c : e.caps) {
+            anchors[c.frag_bottom].push_back({c.name, 0});
+            anchors[c.frag_top].push_back({c.name, 1});
+        }
+        // Port anchors (labels).
+        for (const layout::Label& lb : lo.labels) {
+            for (std::size_t i = 0; i < e.fragments.size(); ++i) {
+                const Fragment& f = e.fragments[i];
+                if (f.layer == lb.layer && f.rect.contains(lb.at)) {
+                    port_frags.insert(i);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Connected components of one net's fragments with some edges removed.
+    /// `skip` returns true for edges to exclude.  Returns frag -> component.
+    template <typename Skip>
+    std::map<std::size_t, int> components(int net, Skip skip) const {
+        const auto& fs = frags[static_cast<std::size_t>(net)];
+        std::map<std::size_t, std::size_t> parent;
+        for (std::size_t f : fs) parent[f] = f;
+        std::function<std::size_t(std::size_t)> find =
+            [&](std::size_t x) -> std::size_t {
+            while (parent[x] != x) x = parent[x] = parent[parent[x]];
+            return x;
+        };
+        for (const NetEdge& ed : edges[static_cast<std::size_t>(net)]) {
+            if (skip(ed)) continue;
+            parent[find(ed.a)] = find(ed.b);
+        }
+        std::map<std::size_t, int> comp;
+        std::map<std::size_t, int> root_id;
+        for (std::size_t f : fs) {
+            const std::size_t r = find(f);
+            auto [it, ins] = root_id.emplace(r, static_cast<int>(root_id.size()));
+            (void)ins;
+            comp[f] = it->second;
+        }
+        return comp;
+    }
+
+    /// Terminals anchored on any fragment of a component set.
+    std::vector<TerminalRef> terminals_in(
+        const std::map<std::size_t, int>& comp,
+        const std::set<int>& comps) const {
+        std::vector<TerminalRef> out;
+        for (const auto& [frag, c] : comp) {
+            if (!comps.count(c)) continue;
+            auto it = anchors.find(frag);
+            if (it == anchors.end()) continue;
+            out.insert(out.end(), it->second.begin(), it->second.end());
+        }
+        std::sort(out.begin(), out.end());
+        out.erase(std::unique(out.begin(), out.end()), out.end());
+        return out;
+    }
+
+    bool ports_in(const std::map<std::size_t, int>& comp,
+                  const std::set<int>& comps) const {
+        for (const auto& [frag, c] : comp)
+            if (comps.count(c) && port_frags.count(frag)) return true;
+        return false;
+    }
+};
+
+/// Attachment of something to a fragment, projected on its long axis.
+struct Attachment {
+    Coord lo, hi;  ///< interval along the long axis
+    enum class Kind { Frag, Terminal, Port } kind;
+    std::size_t frag = 0;   // Kind::Frag: the attached fragment
+    TerminalRef term;       // Kind::Terminal
+};
+
+/// Merge-key for faults with identical electrical signature.  The
+/// mechanism is deliberately NOT part of the key: a metal1 bridge and a
+/// metal2 bridge between the same two nets are one electrical fault for
+/// AnaFAULT; the merged fault carries the mechanism contributing the most
+/// probability as its label.
+std::string fault_key(const Fault& f) {
+    std::string k = std::string(to_string(f.kind)) + "|";
+    switch (f.kind) {
+        case FaultKind::LocalShort:
+        case FaultKind::GlobalShort: {
+            const auto& lo = std::min(f.net_a, f.net_b);
+            const auto& hi = std::max(f.net_a, f.net_b);
+            k += lo + ">" + hi;
+            break;
+        }
+        case FaultKind::LineOpen:
+        case FaultKind::SplitNode: {
+            k += f.net + "[";
+            for (const TerminalRef& t : f.group_b)
+                k += t.device + ":" + std::to_string(t.terminal) + ",";
+            k += "]";
+            break;
+        }
+        case FaultKind::StuckOpen:
+            k += f.victim.device + ":" + std::to_string(f.victim.terminal);
+            break;
+    }
+    return k;
+}
+
+} // namespace
+
+LiftResult extract_faults(const layout::Layout& lo,
+                          const layout::Technology& tech,
+                          const LiftOptions& opt) {
+    LiftResult res;
+    res.extraction = extract::extract(lo, tech, opt.extract_opt);
+    const Extraction& ex = res.extraction;
+    const defects::DefectModel& model = opt.model;
+    const defects::DefectStatistics& stats = model.stats();
+    const auto xmax = static_cast<Coord>(model.max_defect());
+
+    NetGraph graph(ex, lo);
+    std::map<std::string, Fault> merged;  // key -> accumulated fault
+    // Per-mechanism contributions of each merged fault; the dominant one
+    // becomes the fault's mechanism label.
+    std::map<std::string, std::map<std::string, double>> contrib;
+
+    auto accumulate = [&](Fault f) {
+        const std::string key = fault_key(f);
+        contrib[key][f.mechanism] += f.probability;
+        auto it = merged.find(key);
+        if (it == merged.end())
+            merged.emplace(key, std::move(f));
+        else
+            it->second.probability += f.probability;
+    };
+
+    // Classify an open by the terminals it isolates: one MOS terminal is a
+    // transistor stuck-open regardless of whether the failing site was a
+    // contact cluster or a line span.
+    auto classify_open = [&](Fault& f) {
+        if (f.group_b.size() == 1) {
+            const TerminalRef& t = f.group_b[0];
+            for (const auto& m : ex.mosfets) {
+                if (m.name == t.device) {
+                    f.kind = FaultKind::StuckOpen;
+                    f.victim = t;
+                    return;
+                }
+            }
+            f.kind = FaultKind::LineOpen;
+        } else {
+            f.kind = FaultKind::SplitNode;
+        }
+    };
+
+    // Classification helper for shorts.
+    auto short_kind = [&](const std::string& a, const std::string& b) {
+        if (!opt.net_blocks.empty()) {
+            auto ba = opt.net_blocks.find(a);
+            auto bb = opt.net_blocks.find(b);
+            const std::string block_a =
+                ba == opt.net_blocks.end() ? "?" : ba->second;
+            const std::string block_b =
+                bb == opt.net_blocks.end() ? "?" : bb->second;
+            if (block_a == "supply" || block_b == "supply")
+                return FaultKind::GlobalShort;
+            return block_a == block_b ? FaultKind::LocalShort
+                                      : FaultKind::GlobalShort;
+        }
+        // Fallback: a bridge is local iff the nets share a device.
+        for (const auto& d : ex.circuit.devices) {
+            bool hit_a = false, hit_b = false;
+            for (const std::string& n : d.nodes) {
+                hit_a |= n == a;
+                hit_b |= n == b;
+            }
+            if (hit_a && hit_b) return FaultKind::LocalShort;
+        }
+        return FaultKind::GlobalShort;
+    };
+
+    // ---- Bridges -------------------------------------------------------
+    for (int li = 0; li < static_cast<int>(layout::kLayerCount); ++li) {
+        const Layer layer = static_cast<Layer>(li);
+        const Mechanism* mech = stats.find(layer, FailureMode::Short);
+        if (!mech) continue;
+        std::vector<std::size_t> ids;
+        for (std::size_t i = 0; i < ex.fragments.size(); ++i)
+            if (ex.fragments[i].layer == layer) ids.push_back(i);
+        geom::SpatialIndex idx(std::max<Coord>(xmax, 1000));
+        for (std::size_t i : ids) idx.insert(i, ex.fragments[i].rect);
+        for (std::size_t i : ids) {
+            const Fragment& fa = ex.fragments[i];
+            for (std::size_t j : idx.neighbours(fa.rect, xmax)) {
+                if (j <= i) continue;
+                const Fragment& fb = ex.fragments[j];
+                if (fb.layer != layer || fb.net == fa.net) continue;
+                const geom::Point gaps = geom::axis_gaps(fa.rect, fb.rect);
+                if (gaps.x > 0 && gaps.y > 0) continue;  // diagonal
+                const Coord spacing = std::max(gaps.x, gaps.y);
+                if (spacing <= 0 || spacing >= xmax) continue;
+                const Coord facing = gaps.x > 0
+                                         ? geom::y_overlap(fa.rect, fb.rect)
+                                         : geom::x_overlap(fa.rect, fb.rect);
+                if (facing <= 0) continue;
+                ++res.stats.bridge_sites;
+                Fault f;
+                f.mechanism = mech->name;
+                f.net_a = ex.net_name(fa.net);
+                f.net_b = ex.net_name(fb.net);
+                if (f.net_a > f.net_b) std::swap(f.net_a, f.net_b);
+                f.kind = short_kind(f.net_a, f.net_b);
+                f.probability = model.bridge_probability(
+                    *mech, static_cast<double>(facing),
+                    static_cast<double>(spacing));
+                accumulate(std::move(f));
+            }
+        }
+    }
+
+    // ---- Line opens / split nodes ---------------------------------------
+    for (std::size_t fi = 0; fi < ex.fragments.size(); ++fi) {
+        const Fragment& f = ex.fragments[fi];
+        const Mechanism* mech = stats.find(f.layer, FailureMode::Open);
+        if (!mech) continue;
+
+        // Long axis of the fragment.
+        const bool along_x = f.rect.width() >= f.rect.height();
+        const Coord width = along_x ? f.rect.height() : f.rect.width();
+        auto project = [&](const Rect& r) -> std::pair<Coord, Coord> {
+            if (along_x)
+                return {std::max(r.lo.x, f.rect.lo.x),
+                        std::min(r.hi.x, f.rect.hi.x)};
+            return {std::max(r.lo.y, f.rect.lo.y),
+                    std::min(r.hi.y, f.rect.hi.y)};
+        };
+
+        // Collect attachments.
+        std::vector<Attachment> att;
+        for (const NetEdge& ed :
+             graph.edges[static_cast<std::size_t>(f.net)]) {
+            std::size_t other;
+            Rect where;
+            if (ed.a == fi) {
+                other = ed.b;
+            } else if (ed.b == fi) {
+                other = ed.a;
+            } else {
+                continue;
+            }
+            where = ed.cluster >= 0
+                        ? ex.cuts[static_cast<std::size_t>(ed.cluster)].bbox
+                        : ex.fragments[other].rect;
+            auto [lo_p, hi_p] = project(where);
+            if (lo_p > hi_p) std::swap(lo_p, hi_p);
+            att.push_back(
+                {lo_p, hi_p, Attachment::Kind::Frag, other, TerminalRef{}});
+        }
+        // Device terminals anchored on this fragment (at the gate position).
+        for (const auto& m : ex.mosfets) {
+            if (m.frag_drain == fi || m.frag_gate == fi ||
+                m.frag_source == fi) {
+                auto [lo_p, hi_p] = project(m.gate);
+                int term = m.frag_gate == fi ? 1 : (m.frag_drain == fi ? 0 : 2);
+                att.push_back({lo_p, hi_p, Attachment::Kind::Terminal, 0,
+                               TerminalRef{m.name, term}});
+            }
+        }
+        for (const auto& c : ex.caps) {
+            if (c.frag_bottom == fi || c.frag_top == fi) {
+                // The plate is the anchor: use the whole fragment extent so
+                // the plate body never ends up "cut off" from itself.
+                att.push_back({project(f.rect).first, project(f.rect).second,
+                               Attachment::Kind::Terminal, 0,
+                               TerminalRef{c.name,
+                                           c.frag_bottom == fi ? 0 : 1}});
+            }
+        }
+        // Ports.
+        if (graph.port_frags.count(fi)) {
+            for (const layout::Label& lb : lo.labels) {
+                if (lb.layer == f.layer && f.rect.contains(lb.at)) {
+                    const Coord p = along_x ? lb.at.x : lb.at.y;
+                    att.push_back({p, p, Attachment::Kind::Port, 0,
+                                   TerminalRef{}});
+                }
+            }
+        }
+        if (att.size() < 2) continue;
+        std::sort(att.begin(), att.end(),
+                  [](const Attachment& a, const Attachment& b) {
+                      return a.lo < b.lo || (a.lo == b.lo && a.hi < b.hi);
+                  });
+
+        // Components of the net without this fragment.
+        auto comp = graph.components(f.net, [&](const NetEdge& ed) {
+            return ed.a == fi || ed.b == fi;
+        });
+        comp.erase(fi);
+
+        // Examine each free span between consecutive attachments.
+        Coord covered_hi = att.front().hi;
+        for (std::size_t i = 0; i + 1 < att.size(); ++i) {
+            covered_hi = std::max(covered_hi, att[i].hi);
+            const Coord gap = att[i + 1].lo - covered_hi;
+            if (gap <= 0) continue;
+            ++res.stats.open_sites;
+
+            // Side assignment by sort order.
+            std::set<int> comps_a, comps_b;
+            std::vector<TerminalRef> term_a, term_b;
+            bool port_a = false, port_b = false;
+            bool redundant = false;
+            for (std::size_t k = 0; k < att.size(); ++k) {
+                const bool side_a = k <= i;
+                const Attachment& a = att[k];
+                switch (a.kind) {
+                    case Attachment::Kind::Frag: {
+                        const int c = comp.at(a.frag);
+                        (side_a ? comps_a : comps_b).insert(c);
+                        break;
+                    }
+                    case Attachment::Kind::Terminal:
+                        (side_a ? term_a : term_b).push_back(a.term);
+                        break;
+                    case Attachment::Kind::Port:
+                        (side_a ? port_a : port_b) = true;
+                        break;
+                }
+            }
+            // A component attached on both sides bypasses the cut.
+            for (int c : comps_a)
+                if (comps_b.count(c)) redundant = true;
+            if (redundant) {
+                ++res.stats.redundant_opens;
+                continue;
+            }
+            auto ta = graph.terminals_in(comp, comps_a);
+            auto tb = graph.terminals_in(comp, comps_b);
+            term_a.insert(term_a.end(), ta.begin(), ta.end());
+            term_b.insert(term_b.end(), tb.begin(), tb.end());
+            port_a = port_a || graph.ports_in(comp, comps_a);
+            port_b = port_b || graph.ports_in(comp, comps_b);
+            if (term_a.empty() && !port_a) {
+                ++res.stats.dangling_opens;
+                continue;
+            }
+            if (term_b.empty() && !port_b) {
+                ++res.stats.dangling_opens;
+                continue;
+            }
+            // Side B: the side away from the ports (sources/observation
+            // points keep the original node name).
+            if (port_b && !port_a) {
+                std::swap(term_a, term_b);
+                std::swap(port_a, port_b);
+            } else if (port_a == port_b && term_b.size() > term_a.size()) {
+                std::swap(term_a, term_b);
+            }
+            if (term_b.empty()) {
+                ++res.stats.dangling_opens;
+                continue;
+            }
+            std::sort(term_b.begin(), term_b.end());
+            term_b.erase(std::unique(term_b.begin(), term_b.end()),
+                         term_b.end());
+
+            Fault flt;
+            flt.mechanism = mech->name;
+            flt.net = ex.net_name(f.net);
+            flt.group_b = term_b;
+            classify_open(flt);
+            flt.probability = model.open_probability(
+                *mech, static_cast<double>(gap), static_cast<double>(width));
+            accumulate(std::move(flt));
+        }
+    }
+
+    // ---- Cut-cluster opens -----------------------------------------------
+    for (std::size_t ci = 0; ci < ex.cuts.size(); ++ci) {
+        const CutCluster& cc = ex.cuts[ci];
+        std::optional<Layer> lower;
+        if (cc.layer == Layer::Contact)
+            lower = ex.fragments[cc.frag_b].layer;
+        const Mechanism* mech =
+            stats.find(cc.layer, FailureMode::Open, lower);
+        if (!mech) continue;
+        ++res.stats.cut_sites;
+
+        const int net = ex.fragments[cc.frag_a].net;
+        auto comp = graph.components(net, [&](const NetEdge& ed) {
+            return ed.cluster == static_cast<int>(ci);
+        });
+        if (comp.at(cc.frag_a) == comp.at(cc.frag_b)) {
+            ++res.stats.redundant_opens;
+            continue;  // another path keeps the net together
+        }
+        const std::set<int> comps_a{comp.at(cc.frag_a)};
+        const std::set<int> comps_b{comp.at(cc.frag_b)};
+        auto term_a = graph.terminals_in(comp, comps_a);
+        auto term_b = graph.terminals_in(comp, comps_b);
+        bool port_a = graph.ports_in(comp, comps_a);
+        bool port_b = graph.ports_in(comp, comps_b);
+        if ((term_a.empty() && !port_a) || (term_b.empty() && !port_b)) {
+            ++res.stats.dangling_opens;
+            continue;
+        }
+        if (port_b && !port_a) {
+            std::swap(term_a, term_b);
+            std::swap(port_a, port_b);
+        } else if (port_a == port_b && term_b.size() > term_a.size()) {
+            std::swap(term_a, term_b);
+        }
+        if (term_b.empty()) {
+            ++res.stats.dangling_opens;
+            continue;
+        }
+
+        Fault flt;
+        flt.mechanism = mech->name;
+        flt.net = ex.net_name(net);
+        flt.group_b = term_b;
+        classify_open(flt);
+        flt.probability = model.cut_probability(
+            *mech, static_cast<double>(cc.bbox.width()),
+            static_cast<double>(cc.bbox.height()));
+        accumulate(std::move(flt));
+    }
+
+    // ---- Threshold, label, rank -------------------------------------------
+    res.faults.circuit = lo.name;
+    for (auto& [key, f] : merged) {
+        if (f.probability < opt.p_min) {
+            ++res.stats.dropped;
+            res.stats.dropped_probability += f.probability;
+            continue;
+        }
+        // Label with the mechanism contributing the most probability.
+        const auto& by_mech = contrib.at(key);
+        f.mechanism =
+            std::max_element(by_mech.begin(), by_mech.end(),
+                             [](const auto& a, const auto& b) {
+                                 return a.second < b.second;
+                             })
+                ->first;
+        res.faults.faults.push_back(std::move(f));
+    }
+    res.faults.rank();
+    return res;
+}
+
+} // namespace catlift::lift

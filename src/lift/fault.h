@@ -1,0 +1,114 @@
+// catlift/lift/fault.h
+//
+// Electrical fault descriptors: the interface between LIFT and AnaFAULT.
+// "LIFT extracts faults from a given layout and generates a list of
+// realistic and relevant faults.  This list represents the interface to
+// AnaFAULT" (paper, ch. I).
+//
+// The supported classes mirror Fig. 2 plus the transistor stuck-open class
+// of ch. VI:
+//   * LocalShort / GlobalShort -- a bridge between two nets (global when it
+//     crosses functional blocks or involves a supply);
+//   * LineOpen   -- an open disconnecting exactly one device terminal;
+//   * SplitNode  -- an open splitting a node of order n into k and n-k;
+//   * StuckOpen  -- a contact/via cluster open killing one transistor
+//     terminal (the "transistor stuck open" faults of ch. VI).
+
+#pragma once
+
+#include "geom/base.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace catlift::lift {
+
+enum class FaultKind { LocalShort, GlobalShort, LineOpen, SplitNode,
+                       StuckOpen };
+
+const char* to_string(FaultKind k);
+FaultKind fault_kind_from_string(const std::string& s);
+
+/// Reference to one device terminal (netlist device name + terminal index
+/// in SPICE order; MOS: 0=drain 1=gate 2=source, C/R: 0/1).
+struct TerminalRef {
+    std::string device;
+    int terminal = 0;
+
+    friend bool operator==(const TerminalRef&, const TerminalRef&) = default;
+    friend auto operator<=>(const TerminalRef&, const TerminalRef&) = default;
+};
+
+/// One realistic fault, with its occurrence probability.
+struct Fault {
+    int id = 0;
+    FaultKind kind = FaultKind::LocalShort;
+    std::string mechanism;  ///< Tab. 1 mechanism ("metal1_short", ...)
+    double probability = 0.0;
+
+    // Shorts: the bridged nets.
+    std::string net_a, net_b;
+
+    // Opens/splits: the affected net and the terminals moved to the new
+    // node (side B; side A keeps the original net and its ports/sources).
+    std::string net;
+    std::vector<TerminalRef> group_b;
+
+    // StuckOpen: the affected device terminal.
+    TerminalRef victim;
+
+    /// Human-readable one-liner in the style of the paper's fault tags
+    /// ("#6 BRI n_ds_short 5->6").
+    std::string describe() const;
+};
+
+/// A ranked fault list.
+struct FaultList {
+    std::string circuit;
+    std::vector<Fault> faults;
+
+    std::size_t size() const { return faults.size(); }
+
+    /// Sort by descending probability and re-number ids from 1.
+    void rank();
+
+    /// Sum of all fault probabilities (expected defects causing a fault).
+    double total_probability() const;
+
+    std::size_t count(FaultKind k) const;
+
+    /// Count of all short-class faults (local + global).
+    std::size_t shorts() const;
+    /// Count of all open-class faults (line opens + splits + stuck-opens).
+    std::size_t opens() const;
+};
+
+/// Difference between two fault lists (keyed by electrical signature:
+/// kind + nets/terminals, ignoring id and mechanism label).  Used to
+/// compare fault-list generations (L2RFM vs GLRFM, threshold sweeps,
+/// layout revisions).
+struct FaultListDiff {
+    std::vector<Fault> only_a;
+    std::vector<Fault> only_b;
+    /// Faults present in both whose probability moved by more than
+    /// `rel_tol` (pairs: a-version, b-version).
+    std::vector<std::pair<Fault, Fault>> probability_changed;
+};
+
+FaultListDiff diff_faultlists(const FaultList& a, const FaultList& b,
+                              double rel_tol = 0.05);
+
+/// Text interchange format (round-trips):
+///
+///   faultlist <circuit>
+///   fault <id> <kind> <mechanism> <probability> short <netA> <netB>
+///   fault <id> <kind> <mechanism> <probability> open <net> <dev:term>...
+///   fault <id> <kind> <mechanism> <probability> stuck <dev:term>
+///   end
+void write_faultlist(std::ostream& os, const FaultList& fl);
+std::string write_faultlist(const FaultList& fl);
+FaultList read_faultlist(std::istream& is);
+FaultList read_faultlist_text(const std::string& text);
+
+} // namespace catlift::lift

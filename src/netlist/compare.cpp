@@ -1,0 +1,216 @@
+#include "netlist/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <sstream>
+
+namespace catlift::netlist {
+
+namespace {
+
+// Quantise a value to a tolerance bucket so nearly-equal values hash alike.
+std::int64_t bucket(double v, double rel_tol) {
+    if (v == 0.0) return 0;
+    // log-scale buckets of width rel_tol
+    const double lg = std::log(std::fabs(v));
+    return static_cast<std::int64_t>(std::llround(lg / std::max(rel_tol, 1e-12)));
+}
+
+/// Static part of a device signature (everything except net colours).
+std::string device_seed(const Circuit& c, const Device& d, double tol) {
+    std::ostringstream os;
+    os << to_string(d.kind);
+    switch (d.kind) {
+        case DeviceKind::Resistor:
+        case DeviceKind::Capacitor:
+            os << ':' << bucket(d.value, tol);
+            break;
+        case DeviceKind::Mosfet: {
+            const MosModel& m = c.model_of(d);
+            os << ':' << (m.is_nmos ? 'n' : 'p') << ':' << bucket(d.w, tol)
+               << 'x' << bucket(d.l, tol);
+            break;
+        }
+        case DeviceKind::VSource:
+        case DeviceKind::ISource:
+            os << ':' << bucket(d.source.dc_value(), tol);
+            break;
+    }
+    return os.str();
+}
+
+struct Graph {
+    const Circuit* ckt;
+    std::vector<std::string> nets;                 // index -> name
+    std::map<std::string, std::size_t> net_index;  // name -> index
+    std::vector<std::size_t> net_colour;
+    std::vector<std::size_t> dev_colour;
+    std::vector<std::string> dev_seed;
+
+    explicit Graph(const Circuit& c, double tol) : ckt(&c) {
+        for (const std::string& n : c.node_names()) {
+            net_index[n] = nets.size();
+            nets.push_back(n);
+        }
+        net_colour.assign(nets.size(), 0);
+        // Ground is globally distinguishable; give it a reserved colour.
+        auto g = net_index.find(kGround);
+        if (g != net_index.end()) net_colour[g->second] = 1;
+        dev_colour.assign(c.devices.size(), 0);
+        dev_seed.reserve(c.devices.size());
+        for (const Device& d : c.devices) dev_seed.push_back(device_seed(c, d, tol));
+    }
+
+    /// Terminal role tag honouring device symmetries: R/C terminals are
+    /// interchangeable, MOS drain/source are interchangeable.
+    static int role(const Device& d, int term) {
+        switch (d.kind) {
+            case DeviceKind::Resistor:
+            case DeviceKind::Capacitor: return 0;
+            case DeviceKind::VSource:
+            case DeviceKind::ISource: return term;  // polarity matters
+            case DeviceKind::Mosfet:
+                if (term == Device::kGate) return 1;
+                if (term == Device::kBulk) return 2;
+                return 0;  // drain/source symmetric
+        }
+        return term;
+    }
+};
+
+/// One refinement round; returns true if any colour changed.
+bool refine(Graph& g, std::map<std::string, std::size_t>& palette) {
+    // Devices: seed + multiset of (role, net colour).
+    std::vector<std::string> dev_sig(g.ckt->devices.size());
+    for (std::size_t i = 0; i < g.ckt->devices.size(); ++i) {
+        const Device& d = g.ckt->devices[i];
+        std::vector<std::pair<int, std::size_t>> terms;
+        for (std::size_t t = 0; t < d.nodes.size(); ++t)
+            terms.emplace_back(Graph::role(d, static_cast<int>(t)),
+                               g.net_colour[g.net_index.at(d.nodes[t])]);
+        std::sort(terms.begin(), terms.end());
+        std::ostringstream os;
+        os << 'D' << g.dev_seed[i] << '|' << g.dev_colour[i];
+        for (auto& [r, c] : terms) os << '/' << r << ':' << c;
+        dev_sig[i] = os.str();
+    }
+    // Nets: old colour + multiset of (device colour, role).
+    std::vector<std::vector<std::pair<std::size_t, int>>> net_adj(g.nets.size());
+    for (std::size_t i = 0; i < g.ckt->devices.size(); ++i) {
+        const Device& d = g.ckt->devices[i];
+        for (std::size_t t = 0; t < d.nodes.size(); ++t)
+            net_adj[g.net_index.at(d.nodes[t])].emplace_back(
+                g.dev_colour[i], Graph::role(d, static_cast<int>(t)));
+    }
+    std::vector<std::string> net_sig(g.nets.size());
+    for (std::size_t n = 0; n < g.nets.size(); ++n) {
+        auto& adj = net_adj[n];
+        std::sort(adj.begin(), adj.end());
+        std::ostringstream os;
+        os << 'N' << g.net_colour[n];
+        for (auto& [c, r] : adj) os << '/' << c << ':' << r;
+        net_sig[n] = os.str();
+    }
+    bool changed = false;
+    auto intern = [&](const std::string& s) {
+        auto [it, inserted] = palette.emplace(s, palette.size() + 2);
+        (void)inserted;
+        return it->second;
+    };
+    for (std::size_t i = 0; i < dev_sig.size(); ++i) {
+        const std::size_t c = intern(dev_sig[i]);
+        if (c != g.dev_colour[i]) {
+            g.dev_colour[i] = c;
+            changed = true;
+        }
+    }
+    for (std::size_t n = 0; n < net_sig.size(); ++n) {
+        const std::size_t c = intern(net_sig[n]);
+        if (c != g.net_colour[n]) {
+            g.net_colour[n] = c;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+std::multiset<std::size_t> colour_multiset(const std::vector<std::size_t>& v) {
+    return {v.begin(), v.end()};
+}
+
+} // namespace
+
+CompareResult compare_netlists(const Circuit& golden, const Circuit& candidate,
+                               double value_rel_tol) {
+    CompareResult res;
+
+    if (golden.devices.size() != candidate.devices.size()) {
+        std::ostringstream os;
+        os << "device count mismatch: golden=" << golden.devices.size()
+           << " candidate=" << candidate.devices.size();
+        res.diffs.push_back(os.str());
+    }
+
+    Graph ga(golden, value_rel_tol), gb(candidate, value_rel_tol);
+
+    // Shared palette so identical signatures get identical colours across
+    // the two graphs.
+    std::map<std::string, std::size_t> palette;
+    bool more = true;
+    int rounds = 0;
+    while (more && rounds < 64) {
+        const bool ca = refine(ga, palette);
+        const bool cb = refine(gb, palette);
+        more = ca || cb;
+        ++rounds;
+    }
+
+    const auto da = colour_multiset(ga.dev_colour);
+    const auto db = colour_multiset(gb.dev_colour);
+    if (da != db) {
+        // Report devices whose colour has no partner on the other side.
+        std::multiset<std::size_t> only_a, only_b;
+        std::set_difference(da.begin(), da.end(), db.begin(), db.end(),
+                            std::inserter(only_a, only_a.begin()));
+        std::set_difference(db.begin(), db.end(), da.begin(), da.end(),
+                            std::inserter(only_b, only_b.begin()));
+        for (std::size_t i = 0; i < golden.devices.size(); ++i) {
+            if (only_a.count(ga.dev_colour[i])) {
+                res.diffs.push_back("golden-only device class: " +
+                                    golden.devices[i].name);
+                only_a.erase(only_a.find(ga.dev_colour[i]));
+            }
+        }
+        for (std::size_t i = 0; i < candidate.devices.size(); ++i) {
+            if (only_b.count(gb.dev_colour[i])) {
+                res.diffs.push_back("candidate-only device class: " +
+                                    candidate.devices[i].name);
+                only_b.erase(only_b.find(gb.dev_colour[i]));
+            }
+        }
+    }
+
+    const auto na = colour_multiset(ga.net_colour);
+    const auto nb = colour_multiset(gb.net_colour);
+    if (na != nb) res.diffs.push_back("net colour classes differ");
+
+    // Build a best-effort net map from unique colours.
+    std::map<std::size_t, std::vector<std::size_t>> by_colour_a, by_colour_b;
+    for (std::size_t n = 0; n < ga.nets.size(); ++n)
+        by_colour_a[ga.net_colour[n]].push_back(n);
+    for (std::size_t n = 0; n < gb.nets.size(); ++n)
+        by_colour_b[gb.net_colour[n]].push_back(n);
+    for (const auto& [colour, list_a] : by_colour_a) {
+        auto itb = by_colour_b.find(colour);
+        if (itb == by_colour_b.end()) continue;
+        if (list_a.size() == 1 && itb->second.size() == 1)
+            res.net_map[ga.nets[list_a[0]]] = gb.nets[itb->second[0]];
+    }
+
+    res.equivalent = res.diffs.empty();
+    return res;
+}
+
+} // namespace catlift::netlist

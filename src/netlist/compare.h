@@ -1,0 +1,38 @@
+// catlift/netlist/compare.h
+//
+// Netlist equivalence checking (the LVS core).  The extractor re-derives a
+// transistor-level netlist from the layout; compare_netlists() verifies it
+// against the schematic before any fault list is trusted -- LIFT performs
+// fault extraction *simultaneously with circuit extraction* (paper, ch. IV),
+// so a mismatching extraction would invalidate the fault mapping.
+//
+// The comparison is name-agnostic: nets are matched by iterative
+// Weisfeiler-Leman style refinement over the bipartite device/net graph,
+// with device signatures (kind, model, W/L, value class) as seeds.  MOS
+// drain/source symmetry and R/C terminal symmetry are honoured.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace catlift::netlist {
+
+struct CompareResult {
+    bool equivalent = false;
+    /// Human-readable differences (empty when equivalent).
+    std::vector<std::string> diffs;
+    /// Net correspondence found (schematic net -> layout net), best effort.
+    std::map<std::string, std::string> net_map;
+};
+
+/// Structurally compare two circuits.  `value_rel_tol` controls how close
+/// component values / W/L must be to be considered identical (extracted
+/// geometry snaps to the grid, so exact equality is too strict).
+CompareResult compare_netlists(const Circuit& golden, const Circuit& candidate,
+                               double value_rel_tol = 1e-3);
+
+} // namespace catlift::netlist

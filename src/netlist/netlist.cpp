@@ -1,0 +1,292 @@
+#include "netlist/netlist.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+namespace catlift::netlist {
+
+const char* to_string(DeviceKind k) {
+    switch (k) {
+        case DeviceKind::Resistor: return "resistor";
+        case DeviceKind::Capacitor: return "capacitor";
+        case DeviceKind::VSource: return "vsource";
+        case DeviceKind::ISource: return "isource";
+        case DeviceKind::Mosfet: return "mosfet";
+    }
+    return "?";
+}
+
+std::string canon_node(std::string n) {
+    std::transform(n.begin(), n.end(), n.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (n == "gnd" || n == "vss!" || n == "0") return "0";
+    return n;
+}
+
+// ---------------------------------------------------------------------------
+// SourceSpec
+
+double SourceSpec::dc_value() const {
+    switch (kind) {
+        case Kind::Dc: return dc;
+        case Kind::Pulse: return v1;
+        case Kind::Pwl: return pwl.empty() ? 0.0 : pwl.front().second;
+        case Kind::Sin: return vo;
+    }
+    return 0.0;
+}
+
+double SourceSpec::value_at(double t) const {
+    switch (kind) {
+        case Kind::Dc: return dc;
+        case Kind::Pulse: {
+            if (t < td) return v1;
+            // Position within the period.
+            double tp = t - td;
+            if (per > 0) tp = std::fmod(tp, per);
+            if (tp < tr) return v1 + (v2 - v1) * (tp / tr);
+            tp -= tr;
+            if (tp < pw) return v2;
+            tp -= pw;
+            if (tp < tf) return v2 + (v1 - v2) * (tp / tf);
+            return v1;
+        }
+        case Kind::Pwl: {
+            if (pwl.empty()) return 0.0;
+            if (t <= pwl.front().first) return pwl.front().second;
+            for (std::size_t i = 1; i < pwl.size(); ++i) {
+                if (t <= pwl[i].first) {
+                    const auto& [t0, y0] = pwl[i - 1];
+                    const auto& [t1, y1] = pwl[i];
+                    if (t1 == t0) return y1;
+                    return y0 + (y1 - y0) * (t - t0) / (t1 - t0);
+                }
+            }
+            return pwl.back().second;
+        }
+        case Kind::Sin: {
+            if (t < sin_td) return vo;
+            const double arg = 2.0 * M_PI * freq * (t - sin_td);
+            const double damp = std::exp(-(t - sin_td) * theta);
+            return vo + va * damp * std::sin(arg);
+        }
+    }
+    return 0.0;
+}
+
+SourceSpec SourceSpec::make_pulse(double v1, double v2, double td, double tr,
+                                  double tf, double pw, double per) {
+    SourceSpec s;
+    s.kind = Kind::Pulse;
+    s.v1 = v1;
+    s.v2 = v2;
+    s.td = td;
+    s.tr = tr;
+    s.tf = tf;
+    s.pw = pw;
+    s.per = per;
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// MosModel
+
+double MosModel::cox_per_area() const {
+    constexpr double kEpsOx = 3.9 * 8.854e-12;  // F/m
+    require(tox > 0, "MosModel: tox must be positive");
+    return kEpsOx / tox;
+}
+
+// ---------------------------------------------------------------------------
+// Circuit
+
+std::size_t Circuit::terminal_count(DeviceKind k) {
+    switch (k) {
+        case DeviceKind::Resistor:
+        case DeviceKind::Capacitor:
+        case DeviceKind::VSource:
+        case DeviceKind::ISource: return 2;
+        case DeviceKind::Mosfet: return 4;
+    }
+    return 0;
+}
+
+Device& Circuit::add(Device d) {
+    require(!d.name.empty(), "Circuit::add: device must have a name");
+    require(!has_device(d.name), "Circuit::add: duplicate device " + d.name);
+    require(d.nodes.size() == terminal_count(d.kind),
+            "Circuit::add: wrong terminal count on " + d.name);
+    for (auto& n : d.nodes) n = canon_node(n);
+    devices.push_back(std::move(d));
+    return devices.back();
+}
+
+Device& Circuit::add_resistor(const std::string& name, const std::string& n1,
+                              const std::string& n2, double ohms) {
+    require(ohms > 0, "resistor " + name + " must have positive resistance");
+    Device d;
+    d.name = name;
+    d.kind = DeviceKind::Resistor;
+    d.nodes = {n1, n2};
+    d.value = ohms;
+    return add(std::move(d));
+}
+
+Device& Circuit::add_capacitor(const std::string& name, const std::string& n1,
+                               const std::string& n2, double farads,
+                               std::optional<double> ic) {
+    require(farads > 0, "capacitor " + name + " must have positive value");
+    Device d;
+    d.name = name;
+    d.kind = DeviceKind::Capacitor;
+    d.nodes = {n1, n2};
+    d.value = farads;
+    d.ic = ic;
+    return add(std::move(d));
+}
+
+Device& Circuit::add_vsource(const std::string& name, const std::string& np,
+                             const std::string& nm, SourceSpec spec) {
+    Device d;
+    d.name = name;
+    d.kind = DeviceKind::VSource;
+    d.nodes = {np, nm};
+    d.source = spec;
+    return add(std::move(d));
+}
+
+Device& Circuit::add_isource(const std::string& name, const std::string& np,
+                             const std::string& nm, SourceSpec spec) {
+    Device d;
+    d.name = name;
+    d.kind = DeviceKind::ISource;
+    d.nodes = {np, nm};
+    d.source = spec;
+    return add(std::move(d));
+}
+
+Device& Circuit::add_mosfet(const std::string& name, const std::string& dn,
+                            const std::string& g, const std::string& s,
+                            const std::string& b, const std::string& model,
+                            double w, double l) {
+    require(w > 0 && l > 0, "mosfet " + name + " needs positive W and L");
+    Device d;
+    d.name = name;
+    d.kind = DeviceKind::Mosfet;
+    d.nodes = {dn, g, s, b};
+    d.model = model;
+    d.w = w;
+    d.l = l;
+    return add(std::move(d));
+}
+
+void Circuit::add_model(MosModel m) {
+    require(!m.name.empty(), "model card must have a name");
+    models[m.name] = std::move(m);
+}
+
+std::vector<std::string> Circuit::node_names() const {
+    std::set<std::string> s;
+    for (const Device& d : devices)
+        for (const std::string& n : d.nodes) s.insert(n);
+    return {s.begin(), s.end()};
+}
+
+bool Circuit::has_device(const std::string& name) const {
+    return std::any_of(devices.begin(), devices.end(),
+                       [&](const Device& d) { return d.name == name; });
+}
+
+const Device& Circuit::device(const std::string& name) const {
+    for (const Device& d : devices)
+        if (d.name == name) return d;
+    throw Error("Circuit: no device named " + name);
+}
+
+Device& Circuit::device(const std::string& name) {
+    for (Device& d : devices)
+        if (d.name == name) return d;
+    throw Error("Circuit: no device named " + name);
+}
+
+const MosModel& Circuit::model_of(const Device& d) const {
+    auto it = models.find(d.model);
+    require(it != models.end(),
+            "Circuit: missing .model card '" + d.model + "' for " + d.name);
+    return it->second;
+}
+
+std::size_t Circuit::count(DeviceKind k) const {
+    return static_cast<std::size_t>(
+        std::count_if(devices.begin(), devices.end(),
+                      [&](const Device& d) { return d.kind == k; }));
+}
+
+void Circuit::rename_node(const std::string& from, const std::string& to) {
+    const std::string f = canon_node(from), t = canon_node(to);
+    for (Device& d : devices)
+        for (std::string& n : d.nodes)
+            if (n == f) n = t;
+}
+
+void Circuit::rename_node_on(
+    const std::vector<std::pair<std::string, int>>& terminals,
+    const std::string& to) {
+    const std::string t = canon_node(to);
+    for (const auto& [dev, term] : terminals) {
+        Device& d = device(dev);
+        require(term >= 0 && static_cast<std::size_t>(term) < d.nodes.size(),
+                "rename_node_on: bad terminal index on " + dev);
+        d.nodes[static_cast<std::size_t>(term)] = t;
+    }
+}
+
+void Circuit::remove_device(const std::string& name) {
+    auto it = std::find_if(devices.begin(), devices.end(),
+                           [&](const Device& d) { return d.name == name; });
+    require(it != devices.end(), "remove_device: no device named " + name);
+    devices.erase(it);
+}
+
+std::string Circuit::fresh_node(const std::string& prefix) const {
+    const auto nodes = node_names();
+    std::set<std::string> used(nodes.begin(), nodes.end());
+    for (int i = 1;; ++i) {
+        std::string cand = canon_node(prefix + std::to_string(i));
+        if (!used.count(cand)) return cand;
+    }
+}
+
+std::string Circuit::fresh_device(const std::string& prefix) const {
+    for (int i = 1;; ++i) {
+        std::string cand = prefix + std::to_string(i);
+        if (!has_device(cand)) return cand;
+    }
+}
+
+void Circuit::validate() const {
+    std::set<std::string> names;
+    for (const Device& d : devices) {
+        require(names.insert(d.name).second, "duplicate device " + d.name);
+        require(d.nodes.size() == terminal_count(d.kind),
+                "wrong terminal count on " + d.name);
+        switch (d.kind) {
+            case DeviceKind::Resistor:
+                require(d.value > 0, "non-positive resistor " + d.name);
+                break;
+            case DeviceKind::Capacitor:
+                require(d.value > 0, "non-positive capacitor " + d.name);
+                break;
+            case DeviceKind::Mosfet:
+                require(models.count(d.model) > 0,
+                        "missing model for " + d.name);
+                require(d.w > 0 && d.l > 0, "bad W/L on " + d.name);
+                break;
+            default: break;
+        }
+    }
+}
+
+} // namespace catlift::netlist

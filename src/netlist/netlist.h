@@ -1,0 +1,200 @@
+// catlift/netlist/netlist.h
+//
+// Circuit representation shared by the whole tool chain: the schematic
+// entry, the layout extractor's output, AnaFAULT's fault-injection
+// transforms and the SPICE engine all operate on this structure.
+//
+// The model deliberately mirrors a flat SPICE deck: a list of devices over
+// string-named nodes, a set of .model cards, and the analysis requests.
+// Node "0" (alias "gnd") is ground.
+
+#pragma once
+
+#include "geom/base.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::netlist {
+
+/// Ground node name.  "gnd" is accepted on input and canonicalised to "0".
+inline constexpr const char* kGround = "0";
+
+/// Device classes supported by the kernel simulator.
+enum class DeviceKind {
+    Resistor,   ///< R<name> n1 n2 value
+    Capacitor,  ///< C<name> n1 n2 value [ic=v]
+    VSource,    ///< V<name> n+ n- spec
+    ISource,    ///< I<name> n+ n- spec
+    Mosfet,     ///< M<name> nd ng ns nb model W= L=
+};
+
+const char* to_string(DeviceKind k);
+
+/// Independent source waveform description (DC / PULSE / PWL / SIN).
+struct SourceSpec {
+    enum class Kind { Dc, Pulse, Pwl, Sin };
+    Kind kind = Kind::Dc;
+
+    double dc = 0.0;      ///< DC level (also the t<0 value for transient).
+    double ac_mag = 0.0;  ///< small-signal amplitude for AC analysis
+
+    // PULSE(v1 v2 td tr tf pw per)
+    double v1 = 0.0, v2 = 0.0, td = 0.0, tr = 1e-9, tf = 1e-9, pw = 1e-6,
+           per = 2e-6;
+
+    // PWL(t1 v1 t2 v2 ...), times strictly increasing.
+    std::vector<std::pair<double, double>> pwl;
+
+    // SIN(vo va freq [td] [theta])
+    double vo = 0.0, va = 0.0, freq = 1e6, sin_td = 0.0, theta = 0.0;
+
+    /// Instantaneous value at time t (t in seconds).
+    double value_at(double t) const;
+
+    /// Value used for DC operating-point analysis.
+    double dc_value() const;
+
+    static SourceSpec make_dc(double v) {
+        SourceSpec s;
+        s.kind = Kind::Dc;
+        s.dc = v;
+        return s;
+    }
+    static SourceSpec make_pulse(double v1, double v2, double td, double tr,
+                                 double tf, double pw, double per);
+};
+
+/// MOS level-1 (Shichman-Hodges) model card.
+///
+/// Only the parameters the level-1 equations consume are stored; gate
+/// capacitances are derived from tox (area term) plus the overlap terms so
+/// that every digital node in a netlist has a capacitive path to ground --
+/// a requirement for well-posed transient analysis of regenerative circuits
+/// such as the paper's Schmitt trigger.
+struct MosModel {
+    std::string name;
+    bool is_nmos = true;
+    double vto = 0.8;       ///< threshold voltage [V] (negative for PMOS card value |vto| applied with sign internally)
+    double kp = 50e-6;      ///< transconductance parameter [A/V^2]
+    double lambda = 0.02;   ///< channel-length modulation [1/V]
+    double tox = 20e-9;     ///< gate oxide thickness [m] -> Cox' = eps_ox/tox
+    double cgso = 0.3e-9;   ///< gate-source overlap cap [F/m of width]
+    double cgdo = 0.3e-9;   ///< gate-drain overlap cap [F/m of width]
+    double cj_bottom = 0.0; ///< junction cap per area [F/m^2] (optional)
+
+    /// Gate oxide capacitance per area [F/m^2].
+    double cox_per_area() const;
+};
+
+/// One circuit element.
+struct Device {
+    std::string name;                ///< full SPICE name, e.g. "M11", "C1"
+    DeviceKind kind = DeviceKind::Resistor;
+    std::vector<std::string> nodes;  ///< terminals, SPICE order
+    double value = 0.0;              ///< R [ohm] / C [farad]
+    std::optional<double> ic;        ///< capacitor initial condition [V]
+    SourceSpec source;               ///< V/I sources
+    std::string model;               ///< MOS model name
+    double w = 10e-6;                ///< MOS width [m]
+    double l = 2e-6;                 ///< MOS length [m]
+
+    // Terminal index aliases for MOS devices.
+    static constexpr int kDrain = 0, kGate = 1, kSource = 2, kBulk = 3;
+
+    const std::string& drain() const { return nodes[kDrain]; }
+    const std::string& gate() const { return nodes[kGate]; }
+    const std::string& source_node() const { return nodes[kSource]; }
+};
+
+/// Transient analysis request (.tran tstep tstop [tstart]).
+struct TranSpec {
+    double tstep = 1e-8;
+    double tstop = 4e-6;
+    double tstart = 0.0;
+};
+
+/// AC analysis request (.ac dec N fstart fstop).
+struct AcCard {
+    int points_per_decade = 10;
+    double fstart = 1e3;
+    double fstop = 1e9;
+};
+
+/// A flat circuit: devices + models + analysis cards.
+class Circuit {
+public:
+    std::string title;
+    std::vector<Device> devices;
+    std::map<std::string, MosModel> models;
+    std::optional<TranSpec> tran;
+    std::optional<AcCard> ac;
+    std::vector<std::string> save_nodes;  ///< .save/.print V(node) requests
+
+    /// Add a device; throws on duplicate name or bad terminal count.
+    Device& add(Device d);
+
+    // -- convenience builders ------------------------------------------------
+    Device& add_resistor(const std::string& name, const std::string& n1,
+                         const std::string& n2, double ohms);
+    Device& add_capacitor(const std::string& name, const std::string& n1,
+                          const std::string& n2, double farads,
+                          std::optional<double> ic = std::nullopt);
+    Device& add_vsource(const std::string& name, const std::string& np,
+                        const std::string& nm, SourceSpec spec);
+    Device& add_isource(const std::string& name, const std::string& np,
+                        const std::string& nm, SourceSpec spec);
+    Device& add_mosfet(const std::string& name, const std::string& d,
+                       const std::string& g, const std::string& s,
+                       const std::string& b, const std::string& model,
+                       double w, double l);
+    void add_model(MosModel m);
+
+    // -- queries -------------------------------------------------------------
+    /// All node names (ground included if referenced), sorted.
+    std::vector<std::string> node_names() const;
+
+    /// Device by name; throws if absent.
+    const Device& device(const std::string& name) const;
+    Device& device(const std::string& name);
+    bool has_device(const std::string& name) const;
+
+    /// Model for a MOS device; throws if the card is missing.
+    const MosModel& model_of(const Device& d) const;
+
+    /// Number of devices of a given kind.
+    std::size_t count(DeviceKind k) const;
+
+    // -- transformations (used by AnaFAULT fault injection) ------------------
+    /// Rename every occurrence of node `from` to `to`.
+    void rename_node(const std::string& from, const std::string& to);
+
+    /// Rename node `from` to `to` only on the listed device terminals
+    /// (device name, terminal index).  This is the split-node primitive.
+    void rename_node_on(
+        const std::vector<std::pair<std::string, int>>& terminals,
+        const std::string& to);
+
+    /// Remove a device by name; throws if absent.
+    void remove_device(const std::string& name);
+
+    /// A node name of the form `prefix` not yet used in the circuit.
+    std::string fresh_node(const std::string& prefix) const;
+
+    /// A device name of the form `prefix...` not yet used.
+    std::string fresh_device(const std::string& prefix) const;
+
+    /// Validate structural invariants (terminal counts, model references,
+    /// value sanity).  Throws catlift::Error on violation.
+    void validate() const;
+
+    /// Required terminal count for a device kind.
+    static std::size_t terminal_count(DeviceKind k);
+};
+
+/// Canonicalise a node name ("gnd"/"GND" -> "0", otherwise lowercase).
+std::string canon_node(std::string n);
+
+} // namespace catlift::netlist

@@ -1,0 +1,40 @@
+// catlift/netlist/parser.h
+//
+// SPICE-deck reader.  Understands the subset the paper's flow needs:
+//
+//   * title line (first line of the deck)
+//   * comment lines (*) and in-line comments (; or $)
+//   * continuation lines (+)
+//   * R/C/V/I/M element cards with engineering-suffix values
+//   * V/I source transients: DC, PULSE(...), PWL(...), SIN(...)
+//   * .model <name> NMOS|PMOS (param=value ...)
+//   * .tran tstep tstop [tstart]
+//   * .save / .print / .plot  V(node) lists
+//   * .ic V(node)=value
+//   * .end
+//
+// The fault-injection algorithm of AnaFAULT "has been proven to work with
+// standard SPICE netlists" (paper, section V); this parser plus the writer
+// in writer.h give the same property to this reproduction: decks round-trip
+// through text.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace catlift::netlist {
+
+/// Parse a SPICE deck from text.  Throws catlift::Error with a line number
+/// on malformed input.
+Circuit parse_spice(const std::string& text);
+
+/// Parse a deck from a stream.
+Circuit parse_spice(std::istream& in);
+
+/// Parse a deck from a file path.
+Circuit parse_spice_file(const std::string& path);
+
+} // namespace catlift::netlist

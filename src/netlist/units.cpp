@@ -1,0 +1,89 @@
+#include "netlist/units.h"
+
+#include "geom/base.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace catlift::netlist {
+
+namespace {
+
+// Returns multiplier for the suffix starting at `s`, or 0 if not a suffix.
+double suffix_multiplier(std::string_view s) {
+    if (s.empty()) return 1.0;
+    // Case-insensitive comparison on the first characters.
+    auto lower = [](char c) {
+        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    };
+    const char c0 = lower(s[0]);
+    // "meg" must be checked before "m".
+    if (s.size() >= 3 && c0 == 'm' && lower(s[1]) == 'e' && lower(s[2]) == 'g')
+        return 1e6;
+    switch (c0) {
+        case 'f': return 1e-15;
+        case 'p': return 1e-12;
+        case 'n': return 1e-9;
+        case 'u': return 1e-6;
+        case 'm': return 1e-3;
+        case 'k': return 1e3;
+        case 'g': return 1e9;
+        case 't': return 1e12;
+        default: break;
+    }
+    // Unknown alpha suffix (e.g. unit letters like "V", "F") -> neutral.
+    if (std::isalpha(static_cast<unsigned char>(s[0]))) return 1.0;
+    return 0.0;  // trailing garbage that is not alphabetic
+}
+
+} // namespace
+
+double parse_value(std::string_view text) {
+    if (text.empty()) throw Error("parse_value: empty numeric field");
+    std::string buf(text);
+    char* end = nullptr;
+    const double base = std::strtod(buf.c_str(), &end);
+    if (end == buf.c_str())
+        throw Error("parse_value: not a number: '" + buf + "'");
+    std::string_view rest(end);
+    const double mult = suffix_multiplier(rest);
+    if (mult == 0.0)
+        throw Error("parse_value: bad suffix on '" + buf + "'");
+    return base * mult;
+}
+
+bool is_value(std::string_view text) {
+    try {
+        parse_value(text);
+        return true;
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+std::string format_value(double v) {
+    if (v == 0.0) return "0";
+    struct Suffix {
+        double scale;
+        const char* tag;
+    };
+    static constexpr Suffix table[] = {
+        {1e12, "t"}, {1e9, "g"},  {1e6, "meg"}, {1e3, "k"},   {1.0, ""},
+        {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},  {1e-12, "p"}, {1e-15, "f"},
+    };
+    const double mag = std::fabs(v);
+    for (const auto& s : table) {
+        if (mag >= s.scale * 0.9999999) {
+            std::ostringstream os;
+            os << v / s.scale << s.tag;
+            return os.str();
+        }
+    }
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace catlift::netlist

@@ -1,0 +1,25 @@
+// catlift/netlist/units.h
+//
+// SPICE numeric literals: value parsing with engineering suffixes
+// (f p n u m k meg g t) and compact engineering-notation printing.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace catlift::netlist {
+
+/// Parse a SPICE number such as "2p", "4.7k", "1MEG", "10u", "1e-8".
+/// Trailing unit letters after the suffix are ignored (SPICE tradition:
+/// "10uF" == "10u").  Throws catlift::Error on garbage.
+double parse_value(std::string_view text);
+
+/// True if `text` parses as a SPICE number.
+bool is_value(std::string_view text);
+
+/// Render a value with an engineering suffix, e.g. 2e-12 -> "2p",
+/// 4700 -> "4.7k".  Round-trips through parse_value.
+std::string format_value(double v);
+
+} // namespace catlift::netlist

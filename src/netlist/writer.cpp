@@ -1,0 +1,112 @@
+#include "netlist/writer.h"
+
+#include "netlist/units.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace catlift::netlist {
+
+namespace {
+
+void write_source(std::ostream& os, const SourceSpec& s) {
+    switch (s.kind) {
+        case SourceSpec::Kind::Dc: os << "DC " << format_value(s.dc); break;
+        case SourceSpec::Kind::Pulse:
+            os << "PULSE(" << format_value(s.v1) << ' ' << format_value(s.v2)
+               << ' ' << format_value(s.td) << ' ' << format_value(s.tr) << ' '
+               << format_value(s.tf) << ' ' << format_value(s.pw) << ' '
+               << format_value(s.per) << ')';
+            break;
+        case SourceSpec::Kind::Pwl: {
+            os << "PWL(";
+            bool first = true;
+            for (const auto& [t, v] : s.pwl) {
+                if (!first) os << ' ';
+                os << format_value(t) << ' ' << format_value(v);
+                first = false;
+            }
+            os << ')';
+            break;
+        }
+        case SourceSpec::Kind::Sin:
+            os << "SIN(" << format_value(s.vo) << ' ' << format_value(s.va)
+               << ' ' << format_value(s.freq) << ' ' << format_value(s.sin_td)
+               << ' ' << format_value(s.theta) << ')';
+            break;
+    }
+    if (s.ac_mag != 0.0) os << " AC " << format_value(s.ac_mag);
+}
+
+} // namespace
+
+void write_spice(std::ostream& os, const Circuit& ckt) {
+    os << (ckt.title.empty() ? "* catlift deck" : ckt.title) << '\n';
+    for (const auto& [name, m] : ckt.models) {
+        os << ".model " << name << ' ' << (m.is_nmos ? "NMOS" : "PMOS")
+           << " (VTO=" << format_value(m.vto) << " KP=" << format_value(m.kp)
+           << " LAMBDA=" << format_value(m.lambda)
+           << " TOX=" << format_value(m.tox)
+           << " CGSO=" << format_value(m.cgso)
+           << " CGDO=" << format_value(m.cgdo) << ")\n";
+    }
+    for (const Device& d : ckt.devices) {
+        switch (d.kind) {
+            case DeviceKind::Resistor:
+                os << d.name << ' ' << d.nodes[0] << ' ' << d.nodes[1] << ' '
+                   << format_value(d.value) << '\n';
+                break;
+            case DeviceKind::Capacitor:
+                os << d.name << ' ' << d.nodes[0] << ' ' << d.nodes[1] << ' '
+                   << format_value(d.value);
+                if (d.ic) os << " IC=" << format_value(*d.ic);
+                os << '\n';
+                break;
+            case DeviceKind::VSource:
+            case DeviceKind::ISource:
+                os << d.name << ' ' << d.nodes[0] << ' ' << d.nodes[1] << ' ';
+                write_source(os, d.source);
+                os << '\n';
+                break;
+            case DeviceKind::Mosfet:
+                os << d.name << ' ' << d.nodes[0] << ' ' << d.nodes[1] << ' '
+                   << d.nodes[2] << ' ' << d.nodes[3] << ' ' << d.model
+                   << " W=" << format_value(d.w) << " L=" << format_value(d.l)
+                   << '\n';
+                break;
+        }
+    }
+    if (ckt.tran) {
+        os << ".tran " << format_value(ckt.tran->tstep) << ' '
+           << format_value(ckt.tran->tstop);
+        if (ckt.tran->tstart != 0.0) os << ' ' << format_value(ckt.tran->tstart);
+        os << '\n';
+    }
+    if (ckt.ac) {
+        os << ".ac dec " << ckt.ac->points_per_decade << ' '
+           << format_value(ckt.ac->fstart) << ' '
+           << format_value(ckt.ac->fstop) << '\n';
+    }
+    if (!ckt.save_nodes.empty()) {
+        os << ".save";
+        for (const std::string& n : ckt.save_nodes) os << " V(" << n << ')';
+        os << '\n';
+    }
+    os << ".end\n";
+}
+
+std::string write_spice(const Circuit& ckt) {
+    std::ostringstream os;
+    write_spice(os, ckt);
+    return os.str();
+}
+
+void write_spice_file(const std::string& path, const Circuit& ckt) {
+    std::ofstream f(path);
+    require(f.good(), "cannot open for write: " + path);
+    write_spice(f, ckt);
+    require(f.good(), "write failed: " + path);
+}
+
+} // namespace catlift::netlist

@@ -1,0 +1,25 @@
+// catlift/netlist/writer.h
+//
+// SPICE-deck writer: renders a Circuit back to standard SPICE text.
+// write_spice(parse_spice(deck)) is semantically idempotent (tested), which
+// is what lets AnaFAULT exchange mutated netlists with any external
+// SPICE-compatible kernel, exactly as the paper's tool does with ELDO.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace catlift::netlist {
+
+/// Render the circuit as a SPICE deck (with title and .end).
+std::string write_spice(const Circuit& ckt);
+
+void write_spice(std::ostream& os, const Circuit& ckt);
+
+/// Write to a file; throws on I/O failure.
+void write_spice_file(const std::string& path, const Circuit& ckt);
+
+} // namespace catlift::netlist

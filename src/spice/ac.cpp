@@ -1,0 +1,79 @@
+#include "spice/ac.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catlift::spice {
+
+void AcResult::add_node(const std::string& name) {
+    require(index_.count(name) == 0, "AcResult: duplicate node " + name);
+    index_[name] = names_.size();
+    names_.push_back(name);
+    data_.emplace_back();
+}
+
+void AcResult::append(double freq,
+                      const std::vector<std::complex<double>>& values) {
+    require(values.size() == names_.size(), "AcResult: value count mismatch");
+    require(freq_.empty() || freq > freq_.back(),
+            "AcResult: frequencies must increase");
+    freq_.push_back(freq);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        data_[i].push_back(values[i]);
+}
+
+const std::vector<std::complex<double>>& AcResult::response(
+    const std::string& node) const {
+    auto it = index_.find(node);
+    require(it != index_.end(), "AcResult: no node " + node);
+    return data_[it->second];
+}
+
+double AcResult::mag_db(const std::string& node, std::size_t i) const {
+    const auto& r = response(node);
+    require(i < r.size(), "AcResult: index out of range");
+    const double mag = std::abs(r[i]);
+    return 20.0 * std::log10(std::max(mag, 1e-30));
+}
+
+double AcResult::phase_deg(const std::string& node, std::size_t i) const {
+    const auto& r = response(node);
+    require(i < r.size(), "AcResult: index out of range");
+    return std::arg(r[i]) * 180.0 / M_PI;
+}
+
+double AcResult::mag_db_at(const std::string& node, double f) const {
+    require(!freq_.empty(), "AcResult: empty sweep");
+    if (f <= freq_.front()) return mag_db(node, 0);
+    if (f >= freq_.back()) return mag_db(node, freq_.size() - 1);
+    auto it = std::upper_bound(freq_.begin(), freq_.end(), f);
+    const std::size_t i = static_cast<std::size_t>(it - freq_.begin());
+    // Log-frequency linear interpolation of the dB magnitude.
+    const double f0 = freq_[i - 1], f1 = freq_[i];
+    const double y0 = mag_db(node, i - 1), y1 = mag_db(node, i);
+    const double a =
+        (std::log10(f) - std::log10(f0)) / (std::log10(f1) - std::log10(f0));
+    return y0 + (y1 - y0) * a;
+}
+
+std::optional<double> AcResult::corner_frequency(
+    const std::string& node) const {
+    require(points() >= 2, "AcResult: sweep too short");
+    const double ref = mag_db(node, 0);
+    for (std::size_t i = 1; i < points(); ++i) {
+        if (mag_db(node, i) <= ref - 3.0) {
+            // Linear interpolation in log-f for the crossing.
+            const double y0 = mag_db(node, i - 1);
+            const double y1 = mag_db(node, i);
+            const double target = ref - 3.0;
+            const double a = (y0 - target) / (y0 - y1);
+            const double lf = std::log10(freq_[i - 1]) +
+                              a * (std::log10(freq_[i]) -
+                                   std::log10(freq_[i - 1]));
+            return std::pow(10.0, lf);
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace catlift::spice

@@ -1,0 +1,574 @@
+#include "spice/engine.h"
+
+#include "spice/mos1.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catlift::spice {
+
+using netlist::Device;
+using netlist::DeviceKind;
+
+Simulator::Simulator(netlist::Circuit ckt, SimOptions opt)
+    : ckt_(std::move(ckt)), opt_(opt) {
+    ckt_.validate();
+
+    // Node table (ground excluded from unknowns).
+    for (const std::string& n : ckt_.node_names()) {
+        if (n == netlist::kGround) continue;
+        node_index_[n] = node_names_.size();
+        node_names_.push_back(n);
+    }
+    n_nodes_ = node_names_.size();
+
+    // Branch currents: one per voltage source.
+    for (std::size_t i = 0; i < ckt_.devices.size(); ++i)
+        if (ckt_.devices[i].kind == DeviceKind::VSource)
+            vsource_devs_.push_back(i);
+    n_branches_ = vsource_devs_.size();
+    stats_.matrix_size = n_nodes_ + n_branches_;
+
+    // MOS instances with resolved nodes.
+    for (std::size_t i = 0; i < ckt_.devices.size(); ++i) {
+        const Device& d = ckt_.devices[i];
+        if (d.kind != DeviceKind::Mosfet) continue;
+        MosInstance m;
+        m.dev = i;
+        m.d = node_id(d.nodes[Device::kDrain]);
+        m.g = node_id(d.nodes[Device::kGate]);
+        m.s = node_id(d.nodes[Device::kSource]);
+        m.w = d.w;
+        m.l = d.l;
+        m.model = &ckt_.model_of(d);
+        mos_.push_back(m);
+    }
+
+    // Capacitive elements: explicit capacitors, MOS gate caps, cmin.
+    for (const Device& d : ckt_.devices) {
+        if (d.kind != DeviceKind::Capacitor) continue;
+        CapInstance c;
+        c.n1 = node_id(d.nodes[0]);
+        c.n2 = node_id(d.nodes[1]);
+        c.c = d.value;
+        c.v_prev = d.ic.value_or(0.0);
+        caps_.push_back(c);
+    }
+    for (const MosInstance& m : mos_) {
+        const MosCaps mc =
+            mos1_caps(*m.model, m.w, m.l);
+        caps_.push_back(CapInstance{m.g, m.s, mc.cgs, 0.0, 0.0});
+        caps_.push_back(CapInstance{m.g, m.d, mc.cgd, 0.0, 0.0});
+    }
+    if (opt_.cmin > 0.0) {
+        for (std::size_t n = 0; n < n_nodes_; ++n)
+            caps_.push_back(
+                CapInstance{static_cast<int>(n), -1, opt_.cmin, 0.0, 0.0});
+    }
+}
+
+int Simulator::node_id(const std::string& name) const {
+    if (name == netlist::kGround) return -1;
+    auto it = node_index_.find(name);
+    require(it != node_index_.end(), "unknown node " + name);
+    return static_cast<int>(it->second);
+}
+
+void Simulator::assemble(const std::vector<double>& x, double h, double t,
+                         bool dc, double src_scale, double extra_gmin,
+                         Matrix& a, std::vector<double>& rhs) const {
+    a.clear();
+    std::fill(rhs.begin(), rhs.end(), 0.0);
+
+    auto stamp_g = [&](int n1, int n2, double g) {
+        if (n1 >= 0) a(static_cast<std::size_t>(n1), static_cast<std::size_t>(n1)) += g;
+        if (n2 >= 0) a(static_cast<std::size_t>(n2), static_cast<std::size_t>(n2)) += g;
+        if (n1 >= 0 && n2 >= 0) {
+            a(static_cast<std::size_t>(n1), static_cast<std::size_t>(n2)) -= g;
+            a(static_cast<std::size_t>(n2), static_cast<std::size_t>(n1)) -= g;
+        }
+    };
+    auto stamp_i = [&](int n_from, int n_to, double i) {
+        // Current i flows out of n_from into n_to (through the element).
+        if (n_from >= 0) rhs[static_cast<std::size_t>(n_from)] -= i;
+        if (n_to >= 0) rhs[static_cast<std::size_t>(n_to)] += i;
+    };
+
+    // gmin on every node.
+    const double g_floor = opt_.gmin + extra_gmin;
+    for (std::size_t n = 0; n < n_nodes_; ++n) a(n, n) += g_floor;
+
+    std::size_t branch = 0;
+    for (const Device& d : ckt_.devices) {
+        switch (d.kind) {
+            case DeviceKind::Resistor: {
+                stamp_g(node_id(d.nodes[0]), node_id(d.nodes[1]),
+                        1.0 / d.value);
+                break;
+            }
+            case DeviceKind::Capacitor:
+                break;  // handled via caps_ below
+            case DeviceKind::ISource: {
+                const double i =
+                    src_scale *
+                    (dc ? d.source.dc_value() : d.source.value_at(t));
+                // SPICE convention: positive current flows from node+ through
+                // the source to node-.
+                stamp_i(node_id(d.nodes[0]), node_id(d.nodes[1]), i);
+                break;
+            }
+            case DeviceKind::VSource: {
+                const std::size_t br = n_nodes_ + branch;
+                const int np = node_id(d.nodes[0]);
+                const int nm = node_id(d.nodes[1]);
+                if (np >= 0) {
+                    a(static_cast<std::size_t>(np), br) += 1.0;
+                    a(br, static_cast<std::size_t>(np)) += 1.0;
+                }
+                if (nm >= 0) {
+                    a(static_cast<std::size_t>(nm), br) -= 1.0;
+                    a(br, static_cast<std::size_t>(nm)) -= 1.0;
+                }
+                rhs[br] = src_scale *
+                          (dc ? d.source.dc_value() : d.source.value_at(t));
+                ++branch;
+                break;
+            }
+            case DeviceKind::Mosfet:
+                break;  // below
+        }
+    }
+
+    // Capacitor companions (transient only).
+    if (!dc) {
+        for (const CapInstance& c : caps_) {
+            double geq, ihist;
+            if (opt_.method == Method::Trapezoidal) {
+                geq = 2.0 * c.c / h;
+                ihist = geq * c.v_prev + c.i_prev;
+            } else {
+                geq = c.c / h;
+                ihist = geq * c.v_prev;
+            }
+            stamp_g(c.n1, c.n2, geq);
+            // Companion current source from n1 to n2 of value -ihist
+            // (i_cap = geq*v - ihist), i.e. ihist *into* n1.
+            stamp_i(c.n1, c.n2, -ihist);
+        }
+    }
+
+    // MOSFETs: linearised companion at candidate x.
+    for (const MosInstance& m : mos_) {
+        const double sign = m.model->is_nmos ? 1.0 : -1.0;
+        const double vd = volt(x, m.d), vg = volt(x, m.g), vs = volt(x, m.s);
+        double vdn = sign * vd, vgn = sign * vg, vsn = sign * vs;
+        int ed = m.d, es = m.s;
+        if (vdn < vsn) {
+            std::swap(vdn, vsn);
+            std::swap(ed, es);
+        }
+        const Mos1Point p =
+            mos1_eval_normalized(*m.model, m.w, m.l, vgn - vsn, vdn - vsn);
+        // Real-space quantities referenced to the *effective* source.
+        const double i0 = sign * p.id;  // current into effective drain
+        const double v_es = volt(x, es);
+        const double vgs_r = volt(x, m.g) - v_es;
+        const double vds_r = volt(x, ed) - v_es;
+        const double ieq = i0 - p.gm * vgs_r - p.gds * vds_r;
+
+        // i(ed) = gds*V(ed) + gm*V(g) - (gds+gm)*V(es) + ieq
+        if (ed >= 0) {
+            a(static_cast<std::size_t>(ed), static_cast<std::size_t>(ed)) += p.gds;
+            if (m.g >= 0)
+                a(static_cast<std::size_t>(ed), static_cast<std::size_t>(m.g)) += p.gm;
+            if (es >= 0)
+                a(static_cast<std::size_t>(ed), static_cast<std::size_t>(es)) -=
+                    p.gds + p.gm;
+            rhs[static_cast<std::size_t>(ed)] -= ieq;
+        }
+        if (es >= 0) {
+            a(static_cast<std::size_t>(es), static_cast<std::size_t>(es)) +=
+                p.gds + p.gm;
+            if (m.g >= 0)
+                a(static_cast<std::size_t>(es), static_cast<std::size_t>(m.g)) -= p.gm;
+            if (ed >= 0)
+                a(static_cast<std::size_t>(es), static_cast<std::size_t>(ed)) -= p.gds;
+            rhs[static_cast<std::size_t>(es)] += ieq;
+        }
+        // Weak drain-source leakage keeps switched-off stacks well-posed.
+        stamp_g(m.d, m.s, opt_.gmin);
+    }
+}
+
+bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
+                       double src_scale, double extra_gmin, int max_iter) {
+    const std::size_t n = n_nodes_ + n_branches_;
+    Matrix a(n);
+    std::vector<double> rhs(n);
+    LuSolver lu;
+
+    for (int it = 0; it < max_iter; ++it) {
+        assemble(x, h, t, dc, src_scale, extra_gmin, a, rhs);
+        if (!lu.factor(a)) return false;
+        ++stats_.lu_factorizations;
+        const std::vector<double> xn = lu.solve(rhs);
+        ++stats_.nr_iterations;
+
+        // Damped update with voltage limiting on node unknowns.
+        double max_rel = 0.0;
+        bool limited = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            double dv = xn[i] - x[i];
+            if (i < n_nodes_ && std::fabs(dv) > opt_.dv_limit) {
+                dv = std::copysign(opt_.dv_limit, dv);
+                limited = true;
+            }
+            x[i] += dv;
+            const double tol = (i < n_nodes_)
+                                   ? opt_.vntol + opt_.reltol * std::fabs(x[i])
+                                   : opt_.abstol + opt_.reltol * std::fabs(x[i]);
+            max_rel = std::max(max_rel, std::fabs(dv) / tol);
+            if (!std::isfinite(x[i]) || std::fabs(x[i]) > 1e9) return false;
+        }
+        if (!limited && max_rel < 1.0 && it >= 1) return true;
+    }
+    return false;
+}
+
+DcResult Simulator::dc_op() {
+    DcResult res;
+    const std::size_t n = n_nodes_ + n_branches_;
+    std::vector<double> x(n, 0.0);
+
+    // Each strategy is retried over a damping ladder: regenerative circuits
+    // (the VCO's Schmitt trigger) limit-cycle under a generous voltage step
+    // but converge cleanly once the per-iteration update is clamped harder.
+    const double dv_ladder[] = {opt_.dv_limit, 0.5, 0.2};
+    const double dv_saved = opt_.dv_limit;
+
+    for (double dv : dv_ladder) {
+        if (res.converged) break;
+        if (dv > dv_saved) continue;
+        opt_.dv_limit = dv;
+
+        // Strategy 1: plain Newton.
+        x.assign(n, 0.0);
+        if (newton(x, 0.0, 0.0, /*dc=*/true, 1.0, 0.0, opt_.max_nr)) {
+            res.converged = true;
+            res.strategy = "nr";
+            break;
+        }
+
+        // Strategy 2: gmin stepping.
+        x.assign(n, 0.0);
+        bool ok = true;
+        for (double g = 1e-2; g >= 1e-13; g *= 0.1) {
+            if (!newton(x, 0.0, 0.0, true, 1.0, g, opt_.max_nr)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok && newton(x, 0.0, 0.0, true, 1.0, 0.0, opt_.max_nr)) {
+            res.converged = true;
+            res.strategy = "gmin";
+            break;
+        }
+
+        // Strategy 3: source stepping.
+        x.assign(n, 0.0);
+        ok = true;
+        for (double s = 0.05; s <= 1.0 + 1e-12; s += 0.05) {
+            if (!newton(x, 0.0, 0.0, true, std::min(s, 1.0), 0.0,
+                        opt_.max_nr)) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            res.converged = true;
+            res.strategy = "source";
+            break;
+        }
+    }
+    opt_.dv_limit = dv_saved;
+
+    if (res.converged) {
+        for (std::size_t i = 0; i < n_nodes_; ++i)
+            res.voltages[node_names_[i]] = x[i];
+        res.voltages[netlist::kGround] = 0.0;
+    }
+    return res;
+}
+
+void Simulator::update_cap_history(const std::vector<double>& x, double h) {
+    for (CapInstance& c : caps_) {
+        const double v = volt(x, c.n1) - volt(x, c.n2);
+        double i;
+        if (opt_.method == Method::Trapezoidal)
+            i = (2.0 * c.c / h) * (v - c.v_prev) - c.i_prev;
+        else
+            i = (c.c / h) * (v - c.v_prev);
+        c.v_prev = v;
+        c.i_prev = i;
+    }
+}
+
+Waveforms Simulator::tran() {
+    require(ckt_.tran.has_value(), "circuit has no .tran card");
+    return tran(*ckt_.tran);
+}
+
+std::vector<DcResult> dc_sweep(const netlist::Circuit& ckt,
+                               const std::string& source,
+                               const std::vector<double>& levels,
+                               const SimOptions& opt) {
+    require(!levels.empty(), "dc_sweep: no levels");
+    const Device& d = ckt.device(source);
+    require(d.kind == DeviceKind::VSource || d.kind == DeviceKind::ISource,
+            "dc_sweep: " + source + " is not a source");
+    std::vector<DcResult> out;
+    out.reserve(levels.size());
+    for (double v : levels) {
+        netlist::Circuit c = ckt;
+        c.device(source).source = netlist::SourceSpec::make_dc(v);
+        Simulator sim(c, opt);
+        out.push_back(sim.dc_op());
+    }
+    return out;
+}
+
+AcResult Simulator::ac() {
+    require(ckt_.ac.has_value(), "circuit has no .ac card");
+    AcSpec spec;
+    spec.points_per_decade = ckt_.ac->points_per_decade;
+    spec.fstart = ckt_.ac->fstart;
+    spec.fstop = ckt_.ac->fstop;
+    return ac(spec);
+}
+
+AcResult Simulator::ac(const AcSpec& spec) {
+    require(spec.fstart > 0 && spec.fstop > spec.fstart &&
+                spec.points_per_decade > 0,
+            "bad .ac parameters");
+
+    // Operating point.
+    const DcResult op = dc_op();
+    require(op.converged, "ac: DC operating point failed");
+    const std::size_t n = n_nodes_ + n_branches_;
+    std::vector<double> x0(n, 0.0);
+    for (std::size_t i = 0; i < n_nodes_; ++i)
+        x0[i] = op.voltages.at(node_names_[i]);
+
+    // Small-signal real part: resistors, MOS gm/gds at the OP, gmin, and
+    // the voltage-source branch pattern.  Complex part: jwC per capacitor.
+    Matrix g(n);
+    std::vector<std::complex<double>> rhs(n, 0.0);
+
+    auto stamp_g = [&](int n1, int n2, double gg) {
+        if (n1 >= 0) g(static_cast<std::size_t>(n1), static_cast<std::size_t>(n1)) += gg;
+        if (n2 >= 0) g(static_cast<std::size_t>(n2), static_cast<std::size_t>(n2)) += gg;
+        if (n1 >= 0 && n2 >= 0) {
+            g(static_cast<std::size_t>(n1), static_cast<std::size_t>(n2)) -= gg;
+            g(static_cast<std::size_t>(n2), static_cast<std::size_t>(n1)) -= gg;
+        }
+    };
+    for (std::size_t i = 0; i < n_nodes_; ++i) g(i, i) += opt_.gmin;
+
+    std::size_t branch = 0;
+    for (const Device& d : ckt_.devices) {
+        switch (d.kind) {
+            case DeviceKind::Resistor:
+                stamp_g(node_id(d.nodes[0]), node_id(d.nodes[1]),
+                        1.0 / d.value);
+                break;
+            case DeviceKind::ISource: {
+                const int np = node_id(d.nodes[0]);
+                const int nm = node_id(d.nodes[1]);
+                if (np >= 0) rhs[static_cast<std::size_t>(np)] -= d.source.ac_mag;
+                if (nm >= 0) rhs[static_cast<std::size_t>(nm)] += d.source.ac_mag;
+                break;
+            }
+            case DeviceKind::VSource: {
+                const std::size_t br = n_nodes_ + branch;
+                const int np = node_id(d.nodes[0]);
+                const int nm = node_id(d.nodes[1]);
+                if (np >= 0) {
+                    g(static_cast<std::size_t>(np), br) += 1.0;
+                    g(br, static_cast<std::size_t>(np)) += 1.0;
+                }
+                if (nm >= 0) {
+                    g(static_cast<std::size_t>(nm), br) -= 1.0;
+                    g(br, static_cast<std::size_t>(nm)) -= 1.0;
+                }
+                rhs[br] = d.source.ac_mag;
+                ++branch;
+                break;
+            }
+            default: break;
+        }
+    }
+    // MOS small-signal transconductances at the operating point.
+    for (const MosInstance& m : mos_) {
+        const double sign = m.model->is_nmos ? 1.0 : -1.0;
+        double vdn = sign * volt(x0, m.d);
+        double vgn = sign * volt(x0, m.g);
+        double vsn = sign * volt(x0, m.s);
+        int ed = m.d, es = m.s;
+        if (vdn < vsn) {
+            std::swap(vdn, vsn);
+            std::swap(ed, es);
+        }
+        const Mos1Point p =
+            mos1_eval_normalized(*m.model, m.w, m.l, vgn - vsn, vdn - vsn);
+        if (ed >= 0) {
+            g(static_cast<std::size_t>(ed), static_cast<std::size_t>(ed)) += p.gds;
+            if (m.g >= 0)
+                g(static_cast<std::size_t>(ed), static_cast<std::size_t>(m.g)) += p.gm;
+            if (es >= 0)
+                g(static_cast<std::size_t>(ed), static_cast<std::size_t>(es)) -=
+                    p.gds + p.gm;
+        }
+        if (es >= 0) {
+            g(static_cast<std::size_t>(es), static_cast<std::size_t>(es)) +=
+                p.gds + p.gm;
+            if (m.g >= 0)
+                g(static_cast<std::size_t>(es), static_cast<std::size_t>(m.g)) -= p.gm;
+            if (ed >= 0)
+                g(static_cast<std::size_t>(es), static_cast<std::size_t>(ed)) -= p.gds;
+        }
+        stamp_g(m.d, m.s, opt_.gmin);
+    }
+
+    AcResult res;
+    for (const std::string& nn : node_names_) res.add_node(nn);
+
+    // Sweep.
+    const double decades = std::log10(spec.fstop / spec.fstart);
+    const int total = std::max(
+        2, static_cast<int>(decades * spec.points_per_decade + 0.5) + 1);
+    CMatrix a(n);
+    CLuSolver lu;
+    for (int k = 0; k < total; ++k) {
+        const double f =
+            spec.fstart * std::pow(10.0, decades * k / (total - 1));
+        const double w = 2.0 * M_PI * f;
+        for (std::size_t r = 0; r < n; ++r)
+            for (std::size_t c = 0; c < n; ++c)
+                a(r, c) = std::complex<double>(g(r, c), 0.0);
+        for (const CapInstance& cp : caps_) {
+            const std::complex<double> jwc(0.0, w * cp.c);
+            if (cp.n1 >= 0)
+                a(static_cast<std::size_t>(cp.n1), static_cast<std::size_t>(cp.n1)) += jwc;
+            if (cp.n2 >= 0)
+                a(static_cast<std::size_t>(cp.n2), static_cast<std::size_t>(cp.n2)) += jwc;
+            if (cp.n1 >= 0 && cp.n2 >= 0) {
+                a(static_cast<std::size_t>(cp.n1), static_cast<std::size_t>(cp.n2)) -= jwc;
+                a(static_cast<std::size_t>(cp.n2), static_cast<std::size_t>(cp.n1)) -= jwc;
+            }
+        }
+        require(lu.factor(a), "ac: singular system at f=" + std::to_string(f));
+        const auto sol = lu.solve(rhs);
+        res.append(f, std::vector<std::complex<double>>(
+                          sol.begin(),
+                          sol.begin() + static_cast<long>(n_nodes_)));
+    }
+    return res;
+}
+
+Waveforms Simulator::tran(const netlist::TranSpec& spec) {
+    require(spec.tstep > 0 && spec.tstop > spec.tstart,
+            "bad .tran parameters");
+    const std::size_t n = n_nodes_ + n_branches_;
+    std::vector<double> x(n, 0.0);
+
+    // Reset capacitor history (the same Simulator can be reused).
+    for (CapInstance& c : caps_) {
+        c.v_prev = 0.0;
+        c.i_prev = 0.0;
+    }
+    for (std::size_t i = 0, ci = 0; i < ckt_.devices.size(); ++i) {
+        const Device& d = ckt_.devices[i];
+        if (d.kind != DeviceKind::Capacitor) continue;
+        caps_[ci].v_prev = d.ic.value_or(0.0);
+        ++ci;
+    }
+
+    // Initial point.
+    if (opt_.uic) {
+        // Start from all-zero node voltages (plus capacitor ICs recorded in
+        // history).  Consistent for supply-ramp decks, which is how the
+        // paper's experiment begins ("after the activation of the supply
+        // voltage the simulation started").
+    } else {
+        // Solve the DC operating point (sources at their dc_value(), which
+        // for PULSE/PWL/SIN equals the t=0 level on standard decks).
+        DcResult dc = dc_op();
+        require(dc.converged, "transient: initial operating point failed");
+        for (std::size_t i = 0; i < n_nodes_; ++i)
+            x[i] = dc.voltages.at(node_names_[i]);
+        // Seed capacitor history with the operating point.
+        for (CapInstance& c : caps_) {
+            c.v_prev = volt(x, c.n1) - volt(x, c.n2);
+            c.i_prev = 0.0;
+        }
+    }
+
+    Waveforms wf;
+    for (const std::string& nn : node_names_) wf.add_trace(nn);
+    // Branch currents of the voltage sources, for supply-current (IDDQ
+    // style) observation: trace "i(<source name>)".
+    for (std::size_t b = 0; b < n_branches_; ++b)
+        wf.add_trace("i(" + ckt_.devices[vsource_devs_[b]].name + ")");
+
+    auto record = [&](double t) {
+        std::vector<double> row(n_nodes_ + n_branches_);
+        for (std::size_t i = 0; i < n_nodes_ + n_branches_; ++i) row[i] = x[i];
+        wf.append(t, row);
+    };
+
+    record(spec.tstart);
+
+    const auto steps = static_cast<std::size_t>(
+        std::llround((spec.tstop - spec.tstart) / spec.tstep));
+    require(steps > 0, "transient: zero steps");
+
+    // Save method so the first sub-step can use BE bootstrap under TRAP.
+    const Method user_method = opt_.method;
+    bool first_substep = true;
+
+    double tc = spec.tstart;
+    for (std::size_t k = 1; k <= steps; ++k) {
+        const double t_target = spec.tstart + static_cast<double>(k) * spec.tstep;
+        while (tc < t_target - 1e-18 * std::max(1.0, t_target)) {
+            double dt = t_target - tc;
+            int cuts = 0;
+            for (;;) {
+                if (first_substep && user_method == Method::Trapezoidal)
+                    opt_.method = Method::BackwardEuler;
+                std::vector<double> x_try = x;
+                const bool ok = newton(x_try, dt, tc + dt, /*dc=*/false, 1.0,
+                                       0.0, opt_.max_nr);
+                if (ok) {
+                    x = x_try;
+                    update_cap_history(x, dt);
+                    opt_.method = user_method;
+                    first_substep = false;
+                    tc += dt;
+                    ++stats_.tran_steps;
+                    break;
+                }
+                opt_.method = user_method;
+                ++cuts;
+                ++stats_.step_cuts;
+                require(cuts <= opt_.max_step_cuts,
+                        "transient failed to converge at t=" +
+                            std::to_string(tc + dt));
+                dt *= 0.5;
+            }
+        }
+        record(t_target);
+    }
+    return wf;
+}
+
+} // namespace catlift::spice

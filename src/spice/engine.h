@@ -1,0 +1,159 @@
+// catlift/spice/engine.h
+//
+// The kernel analogue simulator.  The paper's AnaFAULT drives ELDO; this
+// engine plays that role: it accepts a netlist::Circuit, computes a DC
+// operating point and/or a transient response, and returns Waveforms.
+//
+// Numerics
+// --------
+//  * Modified Nodal Analysis: one unknown per non-ground node plus one
+//    branch current per voltage source.
+//  * Damped Newton-Raphson with per-iteration voltage limiting for the
+//    nonlinear MOS devices.
+//  * DC operating point: plain NR, then gmin stepping, then source stepping
+//    (in that order) until one converges.
+//  * Transient: backward-Euler or trapezoidal companion models, fixed
+//    user-grid steps with automatic internal step cutting when NR fails --
+//    the paper's experiment is a fixed "400 step transient fault
+//    simulation", which maps to fixed_grid mode.
+//  * Every node carries gmin to ground; transient adds cmin so that nodes
+//    isolated by open-fault injection stay well-posed (exactly the
+//    situation AnaFAULT creates with 100 MOhm opens and split nodes).
+
+#pragma once
+
+#include "netlist/netlist.h"
+#include "spice/ac.h"
+#include "spice/matrix.h"
+#include "spice/waveform.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace catlift::spice {
+
+/// Integration method for transient analysis.
+enum class Method { BackwardEuler, Trapezoidal };
+
+struct SimOptions {
+    double gmin = 1e-12;    ///< conductance to ground on every node [S]
+    double cmin = 1e-15;    ///< transient-only cap to ground per node [F]
+    double abstol = 1e-9;   ///< current convergence floor [A]
+    double vntol = 1e-6;    ///< voltage convergence floor [V]
+    double reltol = 1e-3;   ///< relative convergence tolerance
+    double dv_limit = 1.0;  ///< max voltage change per NR iteration [V]
+    int max_nr = 150;       ///< NR iteration cap per solve
+    int max_step_cuts = 10; ///< transient: halvings of the step on failure
+    Method method = Method::Trapezoidal;
+    bool uic = false;       ///< transient: skip DC OP, start from 0 / .ic
+};
+
+/// Counters for performance reporting (the source-model vs resistor-model
+/// runtime comparison of the paper reads these).
+struct SimStats {
+    std::size_t matrix_size = 0;
+    std::size_t nr_iterations = 0;
+    std::size_t lu_factorizations = 0;
+    std::size_t tran_steps = 0;
+    std::size_t step_cuts = 0;
+};
+
+struct DcResult {
+    bool converged = false;
+    int iterations = 0;
+    /// Strategy that finally converged: "nr", "gmin", "source".
+    std::string strategy;
+    std::map<std::string, double> voltages;
+};
+
+/// DC transfer sweep: re-solve the operating point for each level of one
+/// source (fresh solve per point; circuits here are tiny).  Returns one
+/// DcResult per level, in order.
+std::vector<DcResult> dc_sweep(const netlist::Circuit& ckt,
+                               const std::string& source,
+                               const std::vector<double>& levels,
+                               const SimOptions& opt = {});
+
+/// One-shot simulator bound to a circuit.  The circuit is copied: the
+/// simulator stays valid independently of the caller's object lifetime
+/// (fault campaigns hand in short-lived mutated circuits).
+class Simulator {
+public:
+    explicit Simulator(netlist::Circuit ckt, SimOptions opt = {});
+
+    /// DC operating point.
+    DcResult dc_op();
+
+    /// Transient analysis.  Returns waveforms for every node (plus the
+    /// requested traces), sampled on the user grid t = tstart..tstop step
+    /// tstep.  Throws catlift::Error if the analysis cannot proceed.
+    Waveforms tran(const netlist::TranSpec& spec);
+
+    /// Convenience: run the circuit's own .tran card.
+    Waveforms tran();
+
+    /// Small-signal AC analysis: linearise at the DC operating point and
+    /// sweep the frequency axis logarithmically.  Sources participate with
+    /// their `ac_mag`.  Throws if the operating point cannot be found.
+    AcResult ac(const AcSpec& spec);
+
+    /// Convenience: run the circuit's own .ac card.
+    AcResult ac();
+
+    const SimStats& stats() const { return stats_; }
+
+    /// Number of MNA unknowns (nodes + voltage-source branches).  The source
+    /// fault model grows this; the resistor model does not.
+    std::size_t unknowns() const { return n_nodes_ + n_branches_; }
+
+private:
+    struct MosInstance {
+        std::size_t dev;        // index into circuit devices
+        int d, g, s;            // node indices (-1 = ground)
+        double w, l;
+        const netlist::MosModel* model;
+    };
+    struct CapInstance {
+        int n1, n2;     // node indices (-1 = ground)
+        double c;
+        double v_prev = 0.0;  // branch voltage at previous accepted step
+        double i_prev = 0.0;  // branch current at previous accepted step
+    };
+
+    int node_id(const std::string& name) const;  // -1 for ground
+    double volt(const std::vector<double>& x, int node) const {
+        return node < 0 ? 0.0 : x[static_cast<std::size_t>(node)];
+    }
+
+    /// Assemble MNA at candidate solution x.  `h` <= 0 means DC (caps open);
+    /// otherwise the transient companion for the active method is stamped.
+    /// `src_scale` scales every independent source (source stepping),
+    /// `extra_gmin` is added on top of opt_.gmin (gmin stepping),
+    /// `t` is the transient time for source evaluation (DC uses dc_value).
+    void assemble(const std::vector<double>& x, double h, double t, bool dc,
+                  double src_scale, double extra_gmin, Matrix& a,
+                  std::vector<double>& rhs) const;
+
+    /// Newton loop at fixed (h, t).  Returns true on convergence; x is
+    /// updated in place.
+    bool newton(std::vector<double>& x, double h, double t, bool dc,
+                double src_scale, double extra_gmin, int max_iter);
+
+    /// Commit capacitor history after an accepted transient step.
+    void update_cap_history(const std::vector<double>& x, double h);
+
+    const netlist::Circuit ckt_;  ///< owned copy (see constructor note)
+    SimOptions opt_;
+    SimStats stats_;
+
+    std::vector<std::string> node_names_;           // index -> name
+    std::map<std::string, std::size_t> node_index_;  // name -> index
+    std::size_t n_nodes_ = 0;
+    std::size_t n_branches_ = 0;                     // V-source currents
+    std::vector<std::size_t> vsource_devs_;          // device idx per branch
+    std::vector<MosInstance> mos_;
+    mutable std::vector<CapInstance> caps_;  // history mutated across steps
+};
+
+} // namespace catlift::spice

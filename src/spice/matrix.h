@@ -1,0 +1,120 @@
+// catlift/spice/matrix.h
+//
+// Dense linear algebra for the MNA system, generic over the scalar so the
+// same LU serves the real transient/DC path and the complex AC path.
+// Fault-simulation circuits in this flow are tens of nodes (the paper's
+// VCO builds a ~40x40 system), so dense LU with partial pivoting beats any
+// sparse machinery on both robustness and constant factors.
+
+#pragma once
+
+#include "geom/base.h"
+
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace catlift::spice {
+
+/// Dense square matrix with row-major storage.
+template <typename T>
+class BasicMatrix {
+public:
+    BasicMatrix() = default;
+    explicit BasicMatrix(std::size_t n) : n_(n), a_(n * n, T{}) {}
+
+    std::size_t size() const { return n_; }
+
+    T& operator()(std::size_t r, std::size_t c) { return a_[r * n_ + c]; }
+    const T& operator()(std::size_t r, std::size_t c) const {
+        return a_[r * n_ + c];
+    }
+
+    void clear() { std::fill(a_.begin(), a_.end(), T{}); }
+
+private:
+    std::size_t n_ = 0;
+    std::vector<T> a_;
+};
+
+/// LU solver: factorises A (with partial pivoting) and solves Ax=b.
+template <typename T>
+class BasicLu {
+public:
+    /// Factorise a copy of `a`.  Returns false if the matrix is singular
+    /// beyond `pivot_floor`.
+    bool factor(const BasicMatrix<T>& a, double pivot_floor = 1e-18) {
+        n_ = a.size();
+        lu_.assign(n_ * n_, T{});
+        for (std::size_t r = 0; r < n_; ++r)
+            for (std::size_t c = 0; c < n_; ++c) lu_[r * n_ + c] = a(r, c);
+        perm_.resize(n_);
+        for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
+        ok_ = false;
+
+        for (std::size_t k = 0; k < n_; ++k) {
+            std::size_t piv = k;
+            double best = std::abs(lu_[k * n_ + k]);
+            for (std::size_t r = k + 1; r < n_; ++r) {
+                const double v = std::abs(lu_[r * n_ + k]);
+                if (v > best) {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if (best < pivot_floor) return false;  // singular
+            if (piv != k) {
+                for (std::size_t c = 0; c < n_; ++c)
+                    std::swap(lu_[k * n_ + c], lu_[piv * n_ + c]);
+                std::swap(perm_[k], perm_[piv]);
+            }
+            const T d = lu_[k * n_ + k];
+            for (std::size_t r = k + 1; r < n_; ++r) {
+                const T f = lu_[r * n_ + k] / d;
+                lu_[r * n_ + k] = f;
+                if (f == T{}) continue;
+                for (std::size_t c = k + 1; c < n_; ++c)
+                    lu_[r * n_ + c] -= f * lu_[k * n_ + c];
+            }
+        }
+        ok_ = true;
+        ++factor_count_;
+        return true;
+    }
+
+    /// Solve for one right-hand side; factor() must have succeeded.
+    std::vector<T> solve(const std::vector<T>& b) const {
+        require(ok_, "LuSolver::solve called without a successful factor()");
+        require(b.size() == n_, "LuSolver::solve: rhs size mismatch");
+        std::vector<T> x(n_);
+        for (std::size_t r = 0; r < n_; ++r) {
+            T s = b[perm_[r]];
+            for (std::size_t c = 0; c < r; ++c) s -= lu_[r * n_ + c] * x[c];
+            x[r] = s;
+        }
+        for (std::size_t ri = n_; ri-- > 0;) {
+            T s = x[ri];
+            for (std::size_t c = ri + 1; c < n_; ++c)
+                s -= lu_[ri * n_ + c] * x[c];
+            x[ri] = s / lu_[ri * n_ + ri];
+        }
+        return x;
+    }
+
+    std::size_t factor_count() const { return factor_count_; }
+
+private:
+    std::size_t n_ = 0;
+    std::vector<T> lu_;
+    std::vector<std::size_t> perm_;
+    bool ok_ = false;
+    std::size_t factor_count_ = 0;
+};
+
+using Matrix = BasicMatrix<double>;
+using LuSolver = BasicLu<double>;
+using CMatrix = BasicMatrix<std::complex<double>>;
+using CLuSolver = BasicLu<std::complex<double>>;
+
+} // namespace catlift::spice

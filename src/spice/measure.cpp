@@ -1,0 +1,108 @@
+#include "spice/measure.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace catlift::spice {
+
+std::vector<double> crossings(const Waveforms& wf, const std::string& trace,
+                              double level, int direction) {
+    const auto& t = wf.time();
+    const auto& y = wf.trace(trace);
+    std::vector<double> out;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        const double a = y[i - 1] - level;
+        const double b = y[i] - level;
+        if (a == b) continue;
+        const bool rising = a < 0 && b >= 0;
+        const bool falling = a > 0 && b <= 0;
+        if ((direction > 0 && !rising) || (direction < 0 && !falling)) continue;
+        if (!rising && !falling) continue;
+        const double frac = -a / (b - a);
+        out.push_back(t[i - 1] + frac * (t[i] - t[i - 1]));
+    }
+    return out;
+}
+
+std::optional<double> estimate_period(const Waveforms& wf,
+                                      const std::string& trace, double level,
+                                      double t0, double t1,
+                                      std::size_t min_edges) {
+    auto edges = crossings(wf, trace, level, +1);
+    edges.erase(std::remove_if(edges.begin(), edges.end(),
+                               [&](double t) { return t < t0 || t > t1; }),
+                edges.end());
+    if (edges.size() < min_edges) return std::nullopt;
+    // Mean inter-edge spacing.
+    return (edges.back() - edges.front()) /
+           static_cast<double>(edges.size() - 1);
+}
+
+double swing(const Waveforms& wf, const std::string& trace, double t0,
+             double t1) {
+    const auto& t = wf.time();
+    const auto& y = wf.trace(trace);
+    double lo = 0, hi = 0;
+    bool any = false;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i] < t0 || t[i] > t1) continue;
+        if (!any) {
+            lo = hi = y[i];
+            any = true;
+        } else {
+            lo = std::min(lo, y[i]);
+            hi = std::max(hi, y[i]);
+        }
+    }
+    return any ? hi - lo : 0.0;
+}
+
+double max_abs_diff(const Waveforms& a, const Waveforms& b,
+                    const std::string& trace, double t0, double t1) {
+    double m = 0.0;
+    for (double t : a.time()) {
+        if (t < t0 || t > t1) continue;
+        m = std::max(m, std::fabs(a.at(trace, t) - b.at(trace, t)));
+    }
+    for (double t : b.time()) {
+        if (t < t0 || t > t1) continue;
+        m = std::max(m, std::fabs(a.at(trace, t) - b.at(trace, t)));
+    }
+    return m;
+}
+
+std::string ascii_plot(const Waveforms& wf, const std::string& trace,
+                       int width, int height) {
+    const auto& t = wf.time();
+    if (t.size() < 2 || width < 2 || height < 2) return "";
+    const double ymin = wf.min_of(trace);
+    const double ymax = wf.max_of(trace);
+    const double span = (ymax - ymin) > 1e-12 ? (ymax - ymin) : 1.0;
+
+    std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width), ' '));
+    const double t0 = t.front(), t1 = t.back();
+    for (int c = 0; c < width; ++c) {
+        const double tc = t0 + (t1 - t0) * c / (width - 1);
+        const double v = wf.at(trace, tc);
+        int r = static_cast<int>(std::lround((v - ymin) / span * (height - 1)));
+        r = std::clamp(r, 0, height - 1);
+        grid[static_cast<std::size_t>(height - 1 - r)]
+            [static_cast<std::size_t>(c)] = '*';
+    }
+    std::ostringstream os;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%8.3g +", ymax);
+    os << buf << grid[0] << "\n";
+    for (int r = 1; r + 1 < height; ++r)
+        os << "         |" << grid[static_cast<std::size_t>(r)] << "\n";
+    std::snprintf(buf, sizeof buf, "%8.3g +", ymin);
+    os << buf << grid[static_cast<std::size_t>(height - 1)] << "\n";
+    std::snprintf(buf, sizeof buf, "          t: %.3g .. %.3g s  [%s]", t0, t1,
+                  trace.c_str());
+    os << buf << "\n";
+    return os.str();
+}
+
+} // namespace catlift::spice

@@ -1,0 +1,44 @@
+// catlift/spice/measure.h
+//
+// Waveform measurements used by the examples, tests and the AnaFAULT
+// post-processing phase: threshold crossings, period/frequency estimation,
+// swing, and simple norms between traces.
+
+#pragma once
+
+#include "spice/waveform.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::spice {
+
+/// Times at which the trace crosses `level` with the given direction
+/// (+1 rising, -1 falling, 0 both), linearly interpolated.
+std::vector<double> crossings(const Waveforms& wf, const std::string& trace,
+                              double level, int direction = 0);
+
+/// Estimated oscillation period from rising-edge crossings of `level` over
+/// the window [t0, t1]; nullopt if fewer than `min_edges` edges are found.
+std::optional<double> estimate_period(const Waveforms& wf,
+                                      const std::string& trace, double level,
+                                      double t0, double t1,
+                                      std::size_t min_edges = 3);
+
+/// Peak-to-peak swing of a trace over [t0, t1].
+double swing(const Waveforms& wf, const std::string& trace, double t0,
+             double t1);
+
+/// Maximum absolute difference between the same-named trace of two runs,
+/// comparing at the union of their sample times over [t0, t1].
+double max_abs_diff(const Waveforms& a, const Waveforms& b,
+                    const std::string& trace, double t0, double t1);
+
+/// Render a trace as a compact ASCII plot (rows = samples subsampled to
+/// `width` columns, amplitude scaled into `height` rows).  Used by the bench
+/// harnesses to show the Fig. 4/6 waveforms in the report output.
+std::string ascii_plot(const Waveforms& wf, const std::string& trace,
+                       int width = 72, int height = 16);
+
+} // namespace catlift::spice

@@ -1,0 +1,63 @@
+#include "spice/mos1.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace catlift::spice {
+
+Mos1Point mos1_eval_normalized(const netlist::MosModel& m, double w, double l,
+                               double vgs, double vds) {
+    require(vds >= 0.0, "mos1_eval_normalized: vds must be >= 0");
+    const double vth = std::fabs(m.vto);
+    const double beta = m.kp * (w / l);
+    const double vov = vgs - vth;
+
+    Mos1Point p;
+    if (vov <= 0.0) {
+        p.region = 0;  // cutoff
+        return p;
+    }
+    const double clm = 1.0 + m.lambda * vds;
+    if (vds < vov) {
+        // Triode.
+        p.id = beta * (vov * vds - 0.5 * vds * vds) * clm;
+        p.gm = beta * vds * clm;
+        p.gds = beta * ((vov - vds) * clm +
+                        (vov * vds - 0.5 * vds * vds) * m.lambda);
+        p.region = 1;
+    } else {
+        // Saturation.
+        p.id = 0.5 * beta * vov * vov * clm;
+        p.gm = beta * vov * clm;
+        p.gds = 0.5 * beta * vov * vov * m.lambda;
+        p.region = 2;
+    }
+    p.gm = std::max(p.gm, 0.0);
+    p.gds = std::max(p.gds, 0.0);
+    return p;
+}
+
+double mos1_drain_current(const netlist::MosModel& m, double w, double l,
+                          double vd, double vg, double vs) {
+    const double sign = m.is_nmos ? 1.0 : -1.0;
+    double vdn = sign * vd, vgn = sign * vg, vsn = sign * vs;
+    bool swapped = false;
+    if (vdn < vsn) {
+        std::swap(vdn, vsn);
+        swapped = true;
+    }
+    const Mos1Point p = mos1_eval_normalized(m, w, l, vgn - vsn, vdn - vsn);
+    double id = p.id;
+    if (swapped) id = -id;  // current reverses when roles are exchanged
+    return sign * id;       // undo PMOS reflection
+}
+
+MosCaps mos1_caps(const netlist::MosModel& m, double w, double l) {
+    const double cox = m.cox_per_area() * w * l;
+    MosCaps c;
+    c.cgs = 0.5 * cox + m.cgso * w;
+    c.cgd = 0.5 * cox + m.cgdo * w;
+    return c;
+}
+
+} // namespace catlift::spice

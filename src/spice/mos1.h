@@ -1,0 +1,45 @@
+// catlift/spice/mos1.h
+//
+// MOS level-1 (Shichman-Hodges) large-signal evaluation with channel-length
+// modulation.  The core evaluator works in *model space*: NMOS polarity with
+// vds >= 0.  The engine maps terminal voltages into model space (sign
+// reflection for PMOS, drain/source swap for reverse operation), stamps the
+// linearised companion, and maps the resulting current back.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+namespace catlift::spice {
+
+/// Operating point in model space (NMOS polarity, vds >= 0).
+struct Mos1Point {
+    double id = 0.0;   ///< channel current, effective-drain to effective-source
+    double gm = 0.0;   ///< d id / d vgs, >= 0
+    double gds = 0.0;  ///< d id / d vds, >= 0
+    int region = 0;    ///< 0 cutoff, 1 linear, 2 saturation
+};
+
+/// Evaluate the level-1 equations at model-space voltages.
+/// Precondition: vds >= 0.
+Mos1Point mos1_eval_normalized(const netlist::MosModel& m, double w, double l,
+                               double vgs, double vds);
+
+/// Convenience terminal-level evaluation: given real node voltages at
+/// drain/gate/source, returns the current flowing *into the drain terminal*
+/// (signed, PMOS and reverse operation handled).  Used by tests and the
+/// measurement utilities.
+double mos1_drain_current(const netlist::MosModel& m, double w, double l,
+                          double vd, double vg, double vs);
+
+/// Linear gate capacitances for transient analysis: constant-split Meyer
+/// approximation, Cgs = Cgd = W*L*Cox/2 + overlap.  Constant capacitors keep
+/// the Jacobian exact and the integration charge-conserving, which matters
+/// for the regenerative Schmitt stage of the paper's VCO.
+struct MosCaps {
+    double cgs = 0.0;
+    double cgd = 0.0;
+};
+MosCaps mos1_caps(const netlist::MosModel& m, double w, double l);
+
+} // namespace catlift::spice

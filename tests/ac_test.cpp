@@ -1,0 +1,230 @@
+// AC small-signal analysis: closed-form RC responses, MOS amplifier gain,
+// AC fault campaign, and AC deck parsing.
+
+#include "anafault/ac_campaign.h"
+#include "circuits/ota.h"
+#include "circuits/vco.h"
+#include "netlist/parser.h"
+#include "netlist/writer.h"
+#include "spice/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace catlift;
+using namespace catlift::netlist;
+using namespace catlift::spice;
+
+namespace {
+
+Circuit rc_lowpass(double r = 1e3, double c = 1e-9) {
+    Circuit ckt;
+    ckt.title = "rc lowpass";
+    SourceSpec src = SourceSpec::make_dc(0.0);
+    src.ac_mag = 1.0;
+    ckt.add_vsource("V1", "in", "0", src);
+    ckt.add_resistor("R1", "in", "out", r);
+    ckt.add_capacitor("C1", "out", "0", c);
+    return ckt;
+}
+
+} // namespace
+
+TEST(Ac, RcLowpassMatchesClosedForm) {
+    // f3dB = 1/(2 pi R C) = 159.2 kHz for 1k / 1n.
+    Simulator sim(rc_lowpass(), SimOptions{});
+    AcSpec spec;
+    spec.fstart = 1e3;
+    spec.fstop = 1e8;
+    spec.points_per_decade = 20;
+    const AcResult res = sim.ac(spec);
+
+    // Passband: 0 dB.
+    EXPECT_NEAR(res.mag_db_at("out", 1e3), 0.0, 0.05);
+    // At the corner: -3 dB.
+    const double f3 = 1.0 / (2 * M_PI * 1e3 * 1e-9);
+    EXPECT_NEAR(res.mag_db_at("out", f3), -3.01, 0.2);
+    // One decade above: -20 dB.
+    EXPECT_NEAR(res.mag_db_at("out", 10 * f3), -20.0, 0.5);
+    // Corner-frequency estimator agrees.
+    const auto corner = res.corner_frequency("out");
+    ASSERT_TRUE(corner.has_value());
+    EXPECT_NEAR(*corner, f3, f3 * 0.05);
+}
+
+TEST(Ac, PhaseOfRcLowpass) {
+    Simulator sim(rc_lowpass(), SimOptions{});
+    AcSpec spec;
+    spec.fstart = 1e3;
+    spec.fstop = 1e8;
+    spec.points_per_decade = 40;
+    const AcResult res = sim.ac(spec);
+    const double f3 = 1.0 / (2 * M_PI * 1e3 * 1e-9);
+    // Find the sweep point nearest the corner: phase ~ -45 deg.
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < res.points(); ++i)
+        if (std::fabs(res.freq()[i] - f3) <
+            std::fabs(res.freq()[best] - f3))
+            best = i;
+    EXPECT_NEAR(res.phase_deg("out", best), -45.0, 4.0);
+}
+
+TEST(Ac, HighpassHasNoLowFrequencyResponse) {
+    Circuit ckt;
+    SourceSpec src = SourceSpec::make_dc(0.0);
+    src.ac_mag = 1.0;
+    ckt.add_vsource("V1", "in", "0", src);
+    ckt.add_capacitor("C1", "in", "out", 1e-9);
+    ckt.add_resistor("R1", "out", "0", 1e3);
+    Simulator sim(ckt, SimOptions{});
+    AcSpec spec;
+    spec.fstart = 1e2;
+    spec.fstop = 1e8;
+    const AcResult res = sim.ac(spec);
+    EXPECT_LT(res.mag_db_at("out", 1e2), -40.0);   // blocked at LF
+    EXPECT_NEAR(res.mag_db_at("out", 1e8), 0.0, 0.1);  // passes at HF
+}
+
+TEST(Ac, CommonSourceAmplifierGain) {
+    // NMOS common-source stage with resistive load: |gain| = gm*RL (RL
+    // small enough that lambda barely matters).
+    Circuit ckt;
+    ckt.add_model(circuits::standard_nmos());
+    ckt.add_vsource("VDD", "vdd", "0", SourceSpec::make_dc(5.0));
+    SourceSpec vin = SourceSpec::make_dc(1.5);
+    vin.ac_mag = 1.0;
+    ckt.add_vsource("VIN", "g", "0", vin);
+    ckt.add_resistor("RL", "vdd", "d", 10e3);
+    ckt.add_mosfet("M1", "d", "g", "0", "0", "nm", 10e-6, 2e-6);
+    Simulator sim(ckt, SimOptions{});
+    // Expected small-signal gain at the OP.
+    auto op = sim.dc_op();
+    ASSERT_TRUE(op.converged);
+    const double id = (5.0 - op.voltages.at("d")) / 10e3;
+    const double gm = std::sqrt(2.0 * 50e-6 * (10.0 / 2.0) * id);
+    const double gain_db = 20.0 * std::log10(gm * 10e3);
+
+    AcSpec spec;
+    spec.fstart = 1e3;
+    spec.fstop = 1e6;
+    const AcResult res = sim.ac(spec);
+    EXPECT_NEAR(res.mag_db_at("d", 1e3), gain_db, 1.0);
+}
+
+TEST(Ac, OtaFollowerBandwidth) {
+    // The follower is flat at ~0 dB and rolls off at gm/(2 pi CL)-ish.
+    circuits::OtaOptions o;
+    netlist::Circuit ckt = circuits::build_ota(o);
+    // Static supply + AC drive for small-signal analysis.
+    ckt.device("VDD").source = SourceSpec::make_dc(5.0);
+    SourceSpec vin = SourceSpec::make_dc(2.5);
+    vin.ac_mag = 1.0;
+    ckt.device("VIN").source = vin;
+    Simulator sim(ckt, SimOptions{});
+    AcSpec spec;
+    spec.fstart = 1e3;
+    spec.fstop = 1e9;
+    const AcResult res = sim.ac(spec);
+    EXPECT_NEAR(res.mag_db_at("out", 1e3), 0.0, 1.0);
+    const auto corner = res.corner_frequency("out");
+    ASSERT_TRUE(corner.has_value());
+    EXPECT_GT(*corner, 1e6);
+    EXPECT_LT(*corner, 1e9);
+}
+
+TEST(Ac, RunsFromDeckCard) {
+    const char* deck =
+        "rc with ac card\n"
+        "V1 in 0 DC 0 AC 1\n"
+        "R1 in out 1k\n"
+        "C1 out 0 1n\n"
+        ".ac dec 10 1k 100meg\n"
+        ".end\n";
+    Circuit c = parse_spice(deck);
+    Simulator sim(c, SimOptions{});
+    const AcResult res = sim.ac();  // uses the .ac card
+    EXPECT_NEAR(res.mag_db_at("out", 1e3), 0.0, 0.1);
+    EXPECT_LT(res.mag_db_at("out", 1e8), -40.0);
+    Circuit no_card = parse_spice("t\nR1 a 0 1k\n.end\n");
+    Simulator sim2(no_card, SimOptions{});
+    EXPECT_THROW(sim2.ac(), Error);
+}
+
+TEST(Ac, BadSpecsRejected) {
+    Simulator sim(rc_lowpass(), SimOptions{});
+    AcSpec bad;
+    bad.fstart = 0.0;
+    EXPECT_THROW(sim.ac(bad), Error);
+    bad.fstart = 1e6;
+    bad.fstop = 1e3;
+    EXPECT_THROW(sim.ac(bad), Error);
+}
+
+TEST(Ac, DeckRoundTripCarriesAcMagnitude) {
+    const char* deck =
+        "t\n"
+        "V1 in 0 DC 2.5 AC 1\n"
+        "R1 in out 1k\n"
+        "C1 out 0 1n\n"
+        ".end\n";
+    Circuit c = parse_spice(deck);
+    EXPECT_DOUBLE_EQ(c.device("V1").source.ac_mag, 1.0);
+    EXPECT_DOUBLE_EQ(c.device("V1").source.dc, 2.5);
+    const Circuit back = parse_spice(write_spice(c));
+    EXPECT_DOUBLE_EQ(back.device("V1").source.ac_mag, 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// AC fault campaign on the RC filter and the OTA.
+
+TEST(AcCampaign, RcFaultsShiftTheCorner) {
+    Circuit ckt = rc_lowpass();
+    lift::FaultList fl;
+    lift::Fault s;  // capacitor short: output follows input -> flat response
+    s.id = 1;
+    s.kind = lift::FaultKind::LocalShort;
+    s.mechanism = "m";
+    s.probability = 1e-8;
+    s.net_a = "out";
+    s.net_b = "0";
+    fl.faults.push_back(s);
+    lift::Fault o;  // capacitor open: lowpass becomes all-pass
+    o.id = 2;
+    o.kind = lift::FaultKind::LineOpen;
+    o.mechanism = "m";
+    o.probability = 1e-8;
+    o.net = "out";
+    o.group_b = {{"C1", 0}};
+    fl.faults.push_back(o);
+
+    anafault::AcCampaignOptions opt;
+    opt.observed = {"out"};
+    opt.sweep.fstart = 1e3;
+    opt.sweep.fstop = 1e8;
+    const auto res = anafault::run_ac_campaign(ckt, fl, opt);
+    ASSERT_EQ(res.results.size(), 2u);
+    EXPECT_TRUE(res.results[0].detected);  // shorted output: huge deviation
+    EXPECT_TRUE(res.results[1].detected);  // open cap: passband extends
+    EXPECT_DOUBLE_EQ(res.coverage(), 100.0);
+    for (const auto& r : res.results)
+        EXPECT_GT(r.max_deviation_db, 3.0) << r.description;
+}
+
+TEST(AcCampaign, ToleranceGates) {
+    Circuit ckt = rc_lowpass();
+    lift::FaultList fl;
+    lift::Fault o;
+    o.id = 1;
+    o.kind = lift::FaultKind::LineOpen;
+    o.mechanism = "m";
+    o.probability = 1e-8;
+    o.net = "out";
+    o.group_b = {{"C1", 0}};
+    fl.faults.push_back(o);
+    anafault::AcCampaignOptions opt;
+    opt.observed = {"out"};
+    opt.db_tol = 1000.0;  // nothing can exceed this
+    const auto res = anafault::run_ac_campaign(ckt, fl, opt);
+    EXPECT_DOUBLE_EQ(res.coverage(), 0.0);
+}

@@ -1,0 +1,127 @@
+// LVS-core tests: structural netlist comparison under renaming, symmetry
+// and perturbation.
+
+#include "netlist/compare.h"
+#include "netlist/parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace catlift::netlist;
+
+namespace {
+
+Circuit inverter(const std::string& out, const std::string& in,
+                 const std::string& vdd) {
+    Circuit c;
+    MosModel n;
+    n.name = "nm";
+    n.is_nmos = true;
+    MosModel p;
+    p.name = "pm";
+    p.is_nmos = false;
+    p.vto = -0.8;
+    p.kp = 20e-6;
+    c.add_model(n);
+    c.add_model(p);
+    c.add_vsource("Vdd", vdd, "0", SourceSpec::make_dc(5));
+    c.add_mosfet("M1", out, in, "0", "0", "nm", 10e-6, 2e-6);
+    c.add_mosfet("M2", out, in, vdd, vdd, "pm", 20e-6, 2e-6);
+    return c;
+}
+
+} // namespace
+
+TEST(Compare, IdenticalCircuitsMatch) {
+    Circuit a = inverter("out", "in", "vdd");
+    auto r = compare_netlists(a, a);
+    EXPECT_TRUE(r.equivalent) << (r.diffs.empty() ? "" : r.diffs[0]);
+}
+
+TEST(Compare, NetRenamingIsInvisible) {
+    Circuit a = inverter("out", "in", "vdd");
+    Circuit b = inverter("n17", "n3", "pwr");
+    auto r = compare_netlists(a, b);
+    EXPECT_TRUE(r.equivalent);
+    // The discovered correspondence should map the unique nets.
+    EXPECT_EQ(r.net_map.at("out"), "n17");
+    EXPECT_EQ(r.net_map.at("in"), "n3");
+    EXPECT_EQ(r.net_map.at("vdd"), "pwr");
+}
+
+TEST(Compare, DrainSourceSwapIsEquivalent) {
+    Circuit a = inverter("out", "in", "vdd");
+    Circuit b = inverter("out", "in", "vdd");
+    // Swap drain/source terminal order on the NMOS: electrically identical.
+    auto& m1 = b.device("M1");
+    std::swap(m1.nodes[Device::kDrain], m1.nodes[Device::kSource]);
+    auto r = compare_netlists(a, b);
+    EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Compare, SizeChangeIsCaught) {
+    Circuit a = inverter("out", "in", "vdd");
+    Circuit b = inverter("out", "in", "vdd");
+    b.device("M1").w = 40e-6;  // 4x wider
+    auto r = compare_netlists(a, b);
+    EXPECT_FALSE(r.equivalent);
+    EXPECT_FALSE(r.diffs.empty());
+}
+
+TEST(Compare, MissingDeviceIsCaught) {
+    Circuit a = inverter("out", "in", "vdd");
+    Circuit b = inverter("out", "in", "vdd");
+    b.remove_device("M2");
+    auto r = compare_netlists(a, b);
+    EXPECT_FALSE(r.equivalent);
+}
+
+TEST(Compare, RewiredTerminalIsCaught) {
+    Circuit a = inverter("out", "in", "vdd");
+    Circuit b = inverter("out", "in", "vdd");
+    // Gate of M1 moved to vdd: structural change.
+    b.device("M1").nodes[Device::kGate] = "vdd";
+    auto r = compare_netlists(a, b);
+    EXPECT_FALSE(r.equivalent);
+}
+
+TEST(Compare, ValueToleranceAcceptsSnapToGrid) {
+    Circuit a = inverter("out", "in", "vdd");
+    Circuit b = inverter("out", "in", "vdd");
+    b.device("M1").w = 10.0001e-6;  // 10 ppm off: grid snapping noise
+    auto r = compare_netlists(a, b, /*value_rel_tol=*/1e-2);
+    EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Compare, ParallelUnitsMatchAsMultiset) {
+    // Two parallel diode-connected masters (the VCO uses this idiom).
+    auto build = [](const char* n1, const char* n2) {
+        Circuit c;
+        MosModel n;
+        n.name = "nm";
+        c.add_model(n);
+        c.add_isource("Ib", "b", "0", SourceSpec::make_dc(10e-6));
+        c.add_mosfet(n1, "b", "b", "0", "0", "nm", 10e-6, 2e-6);
+        c.add_mosfet(n2, "b", "b", "0", "0", "nm", 10e-6, 2e-6);
+        return c;
+    };
+    auto r = compare_netlists(build("M1", "M2"), build("MA", "MB"));
+    EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Compare, DifferentTopologySameCounts) {
+    // Same device inventory, different wiring: must NOT match.
+    Circuit a;
+    Circuit b;
+    for (Circuit* c : {&a, &b}) {
+        MosModel n;
+        n.name = "nm";
+        c->add_model(n);
+    }
+    // a: two stacked NMOS; b: two parallel NMOS.
+    a.add_mosfet("M1", "x", "g", "m", "0", "nm", 10e-6, 2e-6);
+    a.add_mosfet("M2", "m", "g", "0", "0", "nm", 10e-6, 2e-6);
+    b.add_mosfet("M1", "x", "g", "0", "0", "nm", 10e-6, 2e-6);
+    b.add_mosfet("M2", "x", "g", "0", "0", "nm", 10e-6, 2e-6);
+    auto r = compare_netlists(a, b);
+    EXPECT_FALSE(r.equivalent);
+}

@@ -1,0 +1,160 @@
+// Fault dictionary and diagnosis: the campaign's per-fault responses used
+// in reverse to name the fault behind an observed failing response.
+
+#include "anafault/diagnosis.h"
+#include "circuits/vco.h"
+#include "layout/cellgen.h"
+#include "lift/extract_faults.h"
+#include "spice/engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace catlift;
+using namespace catlift::anafault;
+
+namespace {
+
+/// A compact fault list for the VCO: distinct behaviour classes.
+lift::FaultList small_vco_list() {
+    lift::FaultList fl;
+    auto bridge = [&](int id, const char* a, const char* b) {
+        lift::Fault f;
+        f.id = id;
+        f.kind = lift::FaultKind::LocalShort;
+        f.mechanism = "m";
+        f.probability = 1e-8;
+        f.net_a = a;
+        f.net_b = b;
+        fl.faults.push_back(f);
+    };
+    bridge(1, "5", "6");   // frequency shift
+    bridge(2, "1", "3");   // stuck high
+    bridge(3, "9", "0");   // stuck low
+    lift::Fault so;
+    so.id = 4;
+    so.kind = lift::FaultKind::StuckOpen;
+    so.mechanism = "m";
+    so.probability = 1e-8;
+    so.victim = {"M7", 0};  // discharge sink open
+    fl.faults.push_back(so);
+    return fl;
+}
+
+DictionaryOptions vco_opts() {
+    DictionaryOptions opt;
+    opt.observed = {circuits::kVcoOutput};
+    return opt;
+}
+
+} // namespace
+
+TEST(Diagnosis, DictionaryBuildsOneEntryPerFault) {
+    const auto dict = FaultDictionary::build(circuits::build_vco(),
+                                             small_vco_list(), vco_opts());
+    EXPECT_EQ(dict.size(), 4u);
+    for (const auto& e : dict.entries())
+        EXPECT_EQ(e.signature.size(), 24u);  // default sampling
+}
+
+TEST(Diagnosis, NamesTheInjectedFault) {
+    const netlist::Circuit base = circuits::build_vco();
+    const lift::FaultList fl = small_vco_list();
+    const auto dict = FaultDictionary::build(base, fl, vco_opts());
+
+    // Simulate each fault "as the failing device" and diagnose it.
+    spice::SimOptions so;
+    so.uic = true;
+    for (const lift::Fault& f : fl.faults) {
+        const netlist::Circuit failing = inject(base, f);
+        spice::Simulator sim(failing, so);
+        const auto wf = sim.tran();
+        const auto matches = dict.diagnose(wf, 2);
+        ASSERT_FALSE(matches.empty()) << f.describe();
+        EXPECT_EQ(matches[0].entry->fault.id, f.id)
+            << "diagnosed " << matches[0].entry->fault.describe()
+            << " instead of " << f.describe();
+        EXPECT_LT(matches[0].distance, 0.2) << f.describe();
+    }
+}
+
+TEST(Diagnosis, HealthyDeviceIsCloseToNominal) {
+    const netlist::Circuit base = circuits::build_vco();
+    const auto dict =
+        FaultDictionary::build(base, small_vco_list(), vco_opts());
+    spice::SimOptions so;
+    so.uic = true;
+    spice::Simulator sim(base, so);
+    const auto wf = sim.tran();
+    EXPECT_LT(dict.distance_to_nominal(wf), 1e-6);
+    // And far from every dictionary fault.
+    const auto matches = dict.diagnose(wf, 1);
+    ASSERT_FALSE(matches.empty());
+    EXPECT_GT(matches[0].distance, 0.5);
+}
+
+TEST(Diagnosis, RankedByDistance) {
+    const auto dict = FaultDictionary::build(circuits::build_vco(),
+                                             small_vco_list(), vco_opts());
+    // Diagnose the stuck-high response: 1-3 must beat 9-0 (opposite rail).
+    const netlist::Circuit failing =
+        inject(circuits::build_vco(), small_vco_list().faults[1]);
+    spice::SimOptions so;
+    so.uic = true;
+    spice::Simulator sim(failing, so);
+    const auto matches = dict.diagnose(sim.tran(), 4);
+    ASSERT_EQ(matches.size(), 4u);
+    for (std::size_t i = 1; i < matches.size(); ++i)
+        EXPECT_GE(matches[i].distance, matches[i - 1].distance);
+    EXPECT_EQ(matches[0].entry->fault.net_b, "3");
+}
+
+TEST(Diagnosis, FullLiftListDiagnosesKillFaults) {
+    // End to end with the real GLRFM list: a stuck-output device is
+    // attributed to *a* stuck-output bridge (several are electrically
+    // near-identical; the winner must itself be a kill fault).
+    circuits::VcoOptions vo;
+    vo.with_sources = false;
+    const auto sch = circuits::build_vco(vo);
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    lift::LiftOptions lopt;
+    lopt.net_blocks = circuits::vco_net_blocks();
+    auto lift_res = lift::extract_faults(
+        lo, layout::Technology::single_poly_double_metal(), lopt);
+    // Keep the 24 most likely faults to bound the build time.
+    lift_res.faults.faults.resize(
+        std::min<std::size_t>(lift_res.faults.faults.size(), 24));
+
+    const netlist::Circuit base = circuits::build_vco();
+    const auto dict =
+        FaultDictionary::build(base, lift_res.faults, vco_opts());
+    ASSERT_GT(dict.size(), 10u);
+
+    // The failing device: bridge 1->3 (stuck high), which is in the list.
+    netlist::Circuit failing = base;
+    inject_short(failing, "1", "3");
+    spice::SimOptions so;
+    so.uic = true;
+    spice::Simulator sim(failing, so);
+    const auto matches = dict.diagnose(sim.tran(), 3);
+    ASSERT_FALSE(matches.empty());
+    EXPECT_LT(matches[0].distance, 0.1);
+}
+
+TEST(Diagnosis, Validation) {
+    DictionaryOptions bad = vco_opts();
+    bad.samples = 1;
+    EXPECT_THROW(FaultDictionary::build(circuits::build_vco(),
+                                        small_vco_list(), bad),
+                 Error);
+    DictionaryOptions no_nodes = vco_opts();
+    no_nodes.observed.clear();
+    EXPECT_THROW(FaultDictionary::build(circuits::build_vco(),
+                                        small_vco_list(), no_nodes),
+                 Error);
+    netlist::Circuit no_tran = circuits::build_vco();
+    no_tran.tran.reset();
+    EXPECT_THROW(FaultDictionary::build(no_tran, small_vco_list(),
+                                        vco_opts()),
+                 Error);
+}

@@ -1,0 +1,212 @@
+// Extension features: DC fault screen, stimulus refinement (the paper's
+// stated future work), and the layout renderer.
+
+#include "anafault/dc_campaign.h"
+#include "anafault/stimulus.h"
+#include "circuits/vco.h"
+#include "layout/cellgen.h"
+#include "layout/render.h"
+#include "lift/extract_faults.h"
+
+#include <gtest/gtest.h>
+
+using namespace catlift;
+using namespace catlift::anafault;
+
+namespace {
+
+netlist::Circuit divider_fixture() {
+    netlist::Circuit c;
+    c.title = "divider";
+    c.add_vsource("V1", "in", "0", netlist::SourceSpec::make_dc(10.0));
+    c.add_resistor("R1", "in", "mid", 1e3);
+    c.add_resistor("R2", "mid", "0", 1e3);
+    c.tran = netlist::TranSpec{1e-8, 1e-6, 0.0};
+    return c;
+}
+
+lift::FaultList divider_faults() {
+    lift::FaultList fl;
+    lift::Fault s;  // mid shorted to ground: 5V -> 0V, detectable in DC
+    s.id = 1;
+    s.kind = lift::FaultKind::LocalShort;
+    s.mechanism = "m";
+    s.probability = 1e-8;
+    s.net_a = "mid";
+    s.net_b = "0";
+    fl.faults.push_back(s);
+    lift::Fault o;  // R2 open: mid floats to ~10V
+    o.id = 2;
+    o.kind = lift::FaultKind::LineOpen;
+    o.mechanism = "m";
+    o.probability = 1e-8;
+    o.net = "mid";
+    o.group_b = {{"R2", 0}};
+    fl.faults.push_back(o);
+    return fl;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// DC screen
+
+TEST(DcScreen, DetectsStaticDeviations) {
+    DcScreenOptions opt;
+    opt.observed = {"mid"};
+    auto res = run_dc_screen(divider_fixture(), divider_faults(), opt);
+    ASSERT_EQ(res.results.size(), 2u);
+    EXPECT_NEAR(res.nominal_op.at("mid"), 5.0, 1e-6);
+    EXPECT_TRUE(res.results[0].detected);  // 5V -> 0V
+    EXPECT_TRUE(res.results[1].detected);  // 5V -> ~10V
+    EXPECT_DOUBLE_EQ(res.coverage(), 100.0);
+    EXPECT_TRUE(res.undetected_ids().empty());
+}
+
+TEST(DcScreen, ToleranceGatesDetection) {
+    DcScreenOptions opt;
+    opt.observed = {"mid"};
+    opt.v_tol = 20.0;  // nothing exceeds 20 V
+    auto res = run_dc_screen(divider_fixture(), divider_faults(), opt);
+    EXPECT_DOUBLE_EQ(res.coverage(), 0.0);
+    EXPECT_EQ(res.undetected_ids().size(), 2u);
+}
+
+TEST(DcScreen, MissingObservedNodeRejected) {
+    DcScreenOptions opt;
+    opt.observed = {"nosuch"};
+    EXPECT_THROW(run_dc_screen(divider_fixture(), divider_faults(), opt),
+                 Error);
+}
+
+TEST(DcScreen, VcoStaticFaultsVsDynamicFaults) {
+    // On the VCO: a supply-to-bias bridge shifts the operating point (DC
+    // detectable), while the frequency-shift bridge 5-6 looks DC-clean --
+    // the motivation for transient fault simulation.
+    lift::FaultList fl;
+    lift::Fault kill;
+    kill.id = 1;
+    kill.kind = lift::FaultKind::GlobalShort;
+    kill.mechanism = "m";
+    kill.probability = 1e-8;
+    kill.net_a = "1";
+    kill.net_b = "3";
+    fl.faults.push_back(kill);
+    lift::Fault freq;
+    freq.id = 2;
+    freq.kind = lift::FaultKind::LocalShort;
+    freq.mechanism = "m";
+    freq.probability = 1e-8;
+    freq.net_a = "5";
+    freq.net_b = "6";
+    fl.faults.push_back(freq);
+
+    // DC analysis evaluates sources at their DC values; the VCO deck uses
+    // a PULSE supply (activation at t=0), so power it statically first.
+    netlist::Circuit ckt = circuits::build_vco();
+    ckt.device("VDD").source = netlist::SourceSpec::make_dc(5.0);
+
+    DcScreenOptions opt;
+    opt.observed = {"3"};  // the mirror bias node
+    opt.v_tol = 0.5;       // bias shifts are sub-supply-sized
+    auto res = run_dc_screen(ckt, fl, opt);
+    ASSERT_EQ(res.results.size(), 2u);
+    EXPECT_TRUE(res.results[0].detected) << "bias shift is static";
+    EXPECT_FALSE(res.results[1].detected) << "frequency shift is dynamic";
+}
+
+// ---------------------------------------------------------------------------
+// Stimulus refinement
+
+TEST(Stimulus, CandidatesAreWellFormed) {
+    const auto cands = vco_stimulus_candidates();
+    ASSERT_EQ(cands.size(), 4u);
+    for (const auto& c : cands) {
+        EXPECT_EQ(c.source, "VCTRL");
+        EXPECT_GT(c.tran.tstop, 0.0);
+        EXPECT_FALSE(c.name.empty());
+    }
+}
+
+TEST(Stimulus, RefinementPicksCoverageThenTime) {
+    // Small synthetic refinement on the divider: two "stimuli" differing
+    // only in test length; equal coverage -> the shorter test wins.
+    netlist::Circuit c = divider_fixture();
+    std::vector<StimulusCandidate> cands;
+    for (double tstop : {2e-6, 1e-6}) {
+        StimulusCandidate s;
+        s.name = "dc10-" + std::to_string(tstop);
+        s.source = "V1";
+        s.spec = netlist::SourceSpec::make_dc(10.0);
+        s.tran = netlist::TranSpec{1e-8, tstop, 0.0};
+        cands.push_back(std::move(s));
+    }
+    CampaignOptions opt;
+    opt.detection.observed = {"mid"};
+    const auto res = refine_stimulus(c, divider_faults(), cands, opt);
+    ASSERT_EQ(res.entries.size(), 2u);
+    EXPECT_DOUBLE_EQ(res.entries[0].coverage, res.entries[1].coverage);
+    EXPECT_EQ(res.best, 1u);  // shorter test, same coverage
+    EXPECT_LE(res.winner().test_time, 1e-6);
+}
+
+TEST(Stimulus, RefinementPrefersHigherCoverage) {
+    // A stimulus that is off (0 V) cannot detect anything; a live one can.
+    netlist::Circuit c = divider_fixture();
+    std::vector<StimulusCandidate> cands;
+    StimulusCandidate dead;
+    dead.name = "off";
+    dead.source = "V1";
+    dead.spec = netlist::SourceSpec::make_dc(0.0);
+    dead.tran = netlist::TranSpec{1e-8, 1e-6, 0.0};
+    cands.push_back(dead);
+    StimulusCandidate live;
+    live.name = "on";
+    live.source = "V1";
+    live.spec = netlist::SourceSpec::make_dc(10.0);
+    live.tran = netlist::TranSpec{1e-8, 1e-6, 0.0};
+    cands.push_back(live);
+
+    CampaignOptions opt;
+    opt.detection.observed = {"mid"};
+    const auto res = refine_stimulus(c, divider_faults(), cands, opt);
+    EXPECT_EQ(res.best, 1u);
+    EXPECT_GT(res.winner().coverage,
+              res.entries[0].coverage);
+}
+
+TEST(Stimulus, EmptyCandidateListRejected) {
+    EXPECT_THROW(refine_stimulus(divider_fixture(), divider_faults(), {},
+                                 CampaignOptions{}),
+                 Error);
+}
+
+// ---------------------------------------------------------------------------
+// Layout renderer
+
+TEST(Render, VcoLayoutRenders) {
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    const auto lo = layout::generate_cell_layout(
+        circuits::build_vco(o), layout::vco_cellgen_options());
+    const std::string art = layout::ascii_render(lo);
+    EXPECT_NE(art.find('='), std::string::npos);  // metal2 tracks
+    EXPECT_NE(art.find('n'), std::string::npos);  // NMOS diffusion
+    EXPECT_NE(art.find('p'), std::string::npos);  // PMOS diffusion
+    EXPECT_NE(art.find('C'), std::string::npos);  // capacitor module
+    EXPECT_NE(art.find("legend"), std::string::npos);
+    // Roughly the right amount of output.
+    EXPECT_GT(art.size(), 800u);
+}
+
+TEST(Render, OptionsRespected) {
+    layout::Layout lo;
+    lo.name = "one";
+    lo.add(layout::Layer::Metal1, geom::Rect::um(0, 0, 50, 10));
+    layout::RenderOptions opt;
+    opt.width = 40;
+    opt.legend = false;
+    const std::string art = layout::ascii_render(lo, opt);
+    EXPECT_EQ(art.find("legend"), std::string::npos);
+    EXPECT_THROW(layout::ascii_render(lo, {2, false}), Error);
+}

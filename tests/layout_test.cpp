@@ -1,0 +1,126 @@
+// Layout database, text format, technology and DRC tests.
+
+#include "layout/drc.h"
+#include "layout/layout.h"
+
+#include <gtest/gtest.h>
+
+using namespace catlift;
+using namespace catlift::layout;
+using geom::Rect;
+
+TEST(Tech, LayerNamesRoundTrip) {
+    for (std::size_t i = 0; i < kLayerCount; ++i) {
+        const Layer l = static_cast<Layer>(i);
+        EXPECT_EQ(layer_from_name(layer_name(l)), l);
+    }
+    EXPECT_THROW(layer_from_name("bogus"), Error);
+}
+
+TEST(Tech, ConductingAndCutClassification) {
+    EXPECT_TRUE(is_conducting(Layer::Metal1));
+    EXPECT_TRUE(is_conducting(Layer::Poly));
+    EXPECT_TRUE(is_conducting(Layer::NDiff));
+    EXPECT_FALSE(is_conducting(Layer::Contact));
+    EXPECT_FALSE(is_conducting(Layer::NWell));
+    EXPECT_FALSE(is_conducting(Layer::CapMark));
+    EXPECT_TRUE(is_cut(Layer::Contact));
+    EXPECT_TRUE(is_cut(Layer::Via));
+    EXPECT_FALSE(is_cut(Layer::Metal2));
+}
+
+TEST(Tech, PaperProcessRules) {
+    const Technology t = Technology::single_poly_double_metal();
+    EXPECT_EQ(t.rule(Layer::Poly).min_width, 2000);
+    EXPECT_EQ(t.rule(Layer::Metal2).min_spacing, 3000);
+    EXPECT_GT(t.cap_per_area, 0.0);
+}
+
+TEST(LayoutDb, AddAndQuery) {
+    Layout lo;
+    lo.name = "t";
+    lo.add(Layer::Metal1, Rect::um(0, 0, 10, 2), "rail:0");
+    lo.add(Layer::Metal2, Rect::um(0, 5, 10, 8));
+    lo.add_label(Layer::Metal1, {geom::from_um(1), geom::from_um(1)}, "gnd");
+    EXPECT_EQ(lo.size(), 2u);
+    EXPECT_EQ(lo.on_layer(Layer::Metal1).size(), 1u);
+    EXPECT_EQ(lo.bbox(), Rect::um(0, 0, 10, 8));
+    EXPECT_THROW(lo.add(Layer::Metal1, Rect::um(0, 0, 0, 5)), Error);
+    EXPECT_THROW(lo.add_label(Layer::Metal1, {0, 0}, ""), Error);
+}
+
+TEST(LayoutDb, LayerAreaIsUnionArea) {
+    Layout lo;
+    lo.add(Layer::Metal1, Rect::um(0, 0, 10, 10));
+    lo.add(Layer::Metal1, Rect::um(5, 0, 15, 10));  // overlaps
+    EXPECT_DOUBLE_EQ(geom::to_um2(lo.layer_area(Layer::Metal1)), 150.0);
+}
+
+TEST(LayoutIo, RoundTrip) {
+    Layout lo;
+    lo.name = "cell_a";
+    lo.add(Layer::Poly, Rect::um(1, 2, 3, 20), "M1:g");
+    lo.add(Layer::Metal1, Rect::um(-5, 0, 40, 4), "rail:0");
+    lo.add_label(Layer::Metal1, {geom::from_um(0), geom::from_um(2)}, "0");
+    const std::string text = write_layout(lo);
+    const Layout back = read_layout_text(text);
+    EXPECT_EQ(back.name, "cell_a");
+    ASSERT_EQ(back.shapes.size(), 2u);
+    EXPECT_EQ(back.shapes[0].layer, Layer::Poly);
+    EXPECT_EQ(back.shapes[0].rect, lo.shapes[0].rect);
+    EXPECT_EQ(back.shapes[0].owner, "M1:g");
+    ASSERT_EQ(back.labels.size(), 1u);
+    EXPECT_EQ(back.labels[0].text, "0");
+    // Byte-stable on the second pass.
+    EXPECT_EQ(write_layout(back), text);
+}
+
+TEST(LayoutIo, Rejections) {
+    EXPECT_THROW(read_layout_text("rect metal1 0 0 1 1\n"), Error);  // no header
+    EXPECT_THROW(read_layout_text("layout x\nunits um\nend\n"), Error);
+    EXPECT_THROW(read_layout_text("layout x\nrect bogus 0 0 1 1\nend\n"),
+                 Error);
+    EXPECT_THROW(read_layout_text("layout x\n"), Error);  // no end
+    EXPECT_THROW(read_layout_text("layout x\nfrob 1\nend\n"), Error);
+}
+
+TEST(Drc, WidthViolation) {
+    const Technology t = Technology::single_poly_double_metal();
+    Layout lo;
+    lo.add(Layer::Metal1, Rect::um(0, 0, 1, 50));  // 1um < 2um min width
+    auto v = run_drc(lo, t);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, DrcViolation::Kind::Width);
+    EXPECT_NE(v[0].describe().find("metal1 width"), std::string::npos);
+}
+
+TEST(Drc, SpacingViolation) {
+    const Technology t = Technology::single_poly_double_metal();
+    Layout lo;
+    lo.add(Layer::Metal2, Rect::um(0, 0, 10, 3), "a");
+    lo.add(Layer::Metal2, Rect::um(0, 4, 10, 7), "b");  // 1um < 3um spacing
+    auto v = run_drc(lo, t);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0].kind, DrcViolation::Kind::Spacing);
+}
+
+TEST(Drc, TouchingShapesAreOneRegion) {
+    const Technology t = Technology::single_poly_double_metal();
+    Layout lo;
+    lo.add(Layer::Metal1, Rect::um(0, 0, 10, 3));
+    lo.add(Layer::Metal1, Rect::um(10, 0, 20, 3));  // abutting: fine
+    EXPECT_TRUE(run_drc(lo, t).empty());
+}
+
+TEST(Drc, SameOwnerExemption) {
+    const Technology t = Technology::single_poly_double_metal();
+    Layout lo;
+    // Contact pairs sit 2um apart by design; same owner exempts them only
+    // if the option says so.
+    lo.add(Layer::Contact, Rect::um(0, 0, 2, 2), "M1:s");
+    lo.add(Layer::Contact, Rect::um(0, 3, 2, 5), "M1:s");  // 1um apart
+    EXPECT_TRUE(run_drc(lo, t).empty());
+    DrcOptions strict;
+    strict.exempt_same_owner = false;
+    EXPECT_EQ(run_drc(lo, t, strict).size(), 1u);
+}

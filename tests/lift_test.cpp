@@ -1,0 +1,268 @@
+// LIFT tests: fault descriptors and IO, schematic fault enumeration,
+// L2RFM, and the full GLRFM extraction on the generated VCO layout.
+
+#include "circuits/vco.h"
+#include "layout/cellgen.h"
+#include "lift/extract_faults.h"
+#include "lift/schematic_faults.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace catlift;
+using namespace catlift::lift;
+
+namespace {
+
+netlist::Circuit vco_schematic() {
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    return circuits::build_vco(o);
+}
+
+} // namespace
+
+TEST(FaultModel, DescribeMatchesPaperStyle) {
+    Fault f;
+    f.id = 6;
+    f.kind = FaultKind::LocalShort;
+    f.mechanism = "n_ds_short";
+    f.net_a = "5";
+    f.net_b = "6";
+    EXPECT_EQ(f.describe(), "#6 BRI n_ds_short 5->6");
+}
+
+TEST(FaultModel, RankSortsByProbability) {
+    FaultList fl;
+    for (double p : {1e-9, 5e-7, 3e-8}) {
+        Fault f;
+        f.kind = FaultKind::LocalShort;
+        f.probability = p;
+        f.net_a = "a";
+        f.net_b = "b";
+        fl.faults.push_back(f);
+    }
+    fl.rank();
+    EXPECT_DOUBLE_EQ(fl.faults[0].probability, 5e-7);
+    EXPECT_EQ(fl.faults[0].id, 1);
+    EXPECT_EQ(fl.faults[2].id, 3);
+    EXPECT_NEAR(fl.total_probability(), 5.31e-7, 1e-9);
+}
+
+TEST(FaultModel, FaultListRoundTrip) {
+    FaultList fl;
+    fl.circuit = "vco";
+    Fault b;
+    b.id = 1;
+    b.kind = FaultKind::GlobalShort;
+    b.mechanism = "metal1_short";
+    b.probability = 3.4e-8;
+    b.net_a = "1";
+    b.net_b = "5";
+    fl.faults.push_back(b);
+    Fault o;
+    o.id = 2;
+    o.kind = FaultKind::SplitNode;
+    o.mechanism = "metal2_open";
+    o.probability = 6e-9;
+    o.net = "8";
+    o.group_b = {{"M6", 0}, {"M7", 1}};
+    fl.faults.push_back(o);
+    Fault s;
+    s.id = 3;
+    s.kind = FaultKind::StuckOpen;
+    s.mechanism = "contact_diff_open";
+    s.probability = 8e-9;
+    s.victim = {"M7", 0};
+    fl.faults.push_back(s);
+
+    const FaultList back = read_faultlist_text(write_faultlist(fl));
+    ASSERT_EQ(back.size(), 3u);
+    EXPECT_EQ(back.circuit, "vco");
+    EXPECT_EQ(back.faults[0].kind, FaultKind::GlobalShort);
+    EXPECT_EQ(back.faults[0].net_b, "5");
+    EXPECT_NEAR(back.faults[0].probability, 3.4e-8, 1e-12);
+    ASSERT_EQ(back.faults[1].group_b.size(), 2u);
+    EXPECT_EQ(back.faults[1].group_b[1], (TerminalRef{"M7", 1}));
+    EXPECT_EQ(back.faults[2].victim.device, "M7");
+}
+
+TEST(FaultModel, BadFaultListRejected) {
+    EXPECT_THROW(read_faultlist_text("fault 1\nend\n"), Error);
+    EXPECT_THROW(read_faultlist_text("faultlist x\nbogus\nend\n"), Error);
+    EXPECT_THROW(
+        read_faultlist_text("faultlist x\nfault 1 local_short m 1e-9 short a\nend\n"),
+        Error);
+    EXPECT_THROW(read_faultlist_text("faultlist x\n"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Schematic fault enumeration (ch. VI arithmetic).
+
+TEST(SchematicFaults, VcoCountsMatchPaper) {
+    const FaultList fl = all_schematic_faults(vco_schematic());
+    // "From the schematic 78 possible single open faults can be assumed on
+    // the transistors and one open fault on the capacitor ... the number
+    // of shorts is 73, including the short on the capacitor."
+    EXPECT_EQ(fl.opens(), 79u);
+    EXPECT_EQ(fl.shorts(), 73u);
+    EXPECT_EQ(fl.size(), 152u);
+}
+
+TEST(SchematicFaults, DesignedShortsExcluded) {
+    // The six diode-connected devices contribute no gate-drain short.
+    const FaultList fl = all_schematic_faults(vco_schematic());
+    for (const Fault& f : fl.faults) {
+        if (f.kind != FaultKind::LocalShort) continue;
+        EXPECT_NE(f.net_a, f.net_b) << f.describe();
+    }
+    // 26 transistors x 3 pairs - 6 designed + 1 capacitor short = 73.
+    EXPECT_EQ(fl.shorts(), 26u * 3u - 6u + 1u);
+}
+
+TEST(SchematicFaults, SourcesAreNotFaultSites) {
+    netlist::Circuit c = vco_schematic();
+    const std::size_t before = all_schematic_faults(c).size();
+    c.add_vsource("VX", "2", "0", netlist::SourceSpec::make_dc(1.0));
+    EXPECT_EQ(all_schematic_faults(c).size(), before);
+}
+
+TEST(L2rfm, SitsBetweenFullListAndGlrfm) {
+    const netlist::Circuit sch = vco_schematic();
+    const FaultList full = all_schematic_faults(sch);
+    const FaultList l2 = l2rfm_faults(sch);
+    EXPECT_LT(l2.size(), full.size());
+    EXPECT_GT(l2.size(), 20u);
+    // Weighted and ranked.
+    EXPECT_GT(l2.faults.front().probability, l2.faults.back().probability);
+}
+
+TEST(L2rfm, ThresholdShrinksList) {
+    const netlist::Circuit sch = vco_schematic();
+    L2rfmOptions strict;
+    strict.p_min = 1e-7;
+    EXPECT_LT(l2rfm_faults(sch, strict).size(), l2rfm_faults(sch).size());
+}
+
+// ---------------------------------------------------------------------------
+// GLRFM on the generated VCO layout.
+
+class Glrfm : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        const netlist::Circuit sch = vco_schematic();
+        const auto lo = layout::generate_cell_layout(
+            sch, layout::vco_cellgen_options());
+        LiftOptions opt;
+        opt.net_blocks = circuits::vco_net_blocks();
+        res_ = new LiftResult(extract_faults(
+            lo, layout::Technology::single_poly_double_metal(), opt));
+    }
+    static void TearDownTestSuite() {
+        delete res_;
+        res_ = nullptr;
+    }
+    static LiftResult* res_;
+};
+
+LiftResult* Glrfm::res_ = nullptr;
+
+TEST_F(Glrfm, SignificantReductionVsSchematic) {
+    // Paper: 152 -> 70, a 53% reduction.  The generated layout lands in
+    // the same regime.
+    const std::size_t full = all_schematic_faults(vco_schematic()).size();
+    const double reduction =
+        1.0 - static_cast<double>(res_->faults.size()) /
+                  static_cast<double>(full);
+    EXPECT_GT(reduction, 0.40);
+    EXPECT_LT(reduction, 0.70);
+}
+
+TEST_F(Glrfm, BridgingFaultsDominate) {
+    // Paper: 55 of 70 extracted failures are bridges.
+    const FaultList& fl = res_->faults;
+    EXPECT_GT(fl.shorts(), fl.size() / 2);
+}
+
+TEST_F(Glrfm, StuckOpenCountTracksContactRedundancy) {
+    // Seven terminals are drawn with single contacts; the stuck-open count
+    // must be in that region (cross-row supply stubs can add a couple).
+    const std::size_t n = res_->faults.count(FaultKind::StuckOpen);
+    EXPECT_GE(n, 5u);
+    EXPECT_LE(n, 12u);
+}
+
+TEST_F(Glrfm, ProbabilitiesInPaperRange) {
+    for (const Fault& f : res_->faults.faults) {
+        EXPECT_LT(f.probability, 1e-6) << f.describe();
+        EXPECT_GT(f.probability, 1e-9) << f.describe();
+    }
+}
+
+TEST_F(Glrfm, PaperExemplarFaultsPresent) {
+    // The #6-class bridge (5->6, charge rail to capacitor) and the
+    // #339-class supply bridge (1->3) must be extracted: the track order
+    // places them adjacent, as the paper's layout did.
+    auto has_bridge = [&](const std::string& a, const std::string& b) {
+        for (const Fault& f : res_->faults.faults)
+            if ((f.kind == FaultKind::LocalShort ||
+                 f.kind == FaultKind::GlobalShort) &&
+                ((f.net_a == a && f.net_b == b) ||
+                 (f.net_a == b && f.net_b == a)))
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(has_bridge("5", "6"));
+    EXPECT_TRUE(has_bridge("1", "3"));
+    EXPECT_TRUE(has_bridge("0", "9"));
+}
+
+TEST_F(Glrfm, DrainSourceBridgesExtracted) {
+    // The n_ds_short class: source/drain diffusions face each other across
+    // every gate; diffusion bridges must appear for switch transistors.
+    bool any_diff = false;
+    for (const Fault& f : res_->faults.faults)
+        if (f.mechanism == "diff_short") any_diff = true;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_F(Glrfm, RankedDescending) {
+    const auto& fs = res_->faults.faults;
+    for (std::size_t i = 1; i < fs.size(); ++i)
+        EXPECT_LE(fs[i].probability, fs[i - 1].probability);
+    EXPECT_EQ(fs.front().id, 1);
+}
+
+TEST_F(Glrfm, MergedFaultsAreUnique) {
+    std::set<std::string> seen;
+    for (const Fault& f : res_->faults.faults) {
+        std::string key = f.describe().substr(f.describe().find(' ') + 1);
+        EXPECT_TRUE(seen.insert(key).second) << "duplicate: " << key;
+    }
+}
+
+TEST_F(Glrfm, StatisticsAreConsistent) {
+    const LiftStats& st = res_->stats;
+    EXPECT_GT(st.bridge_sites, res_->faults.shorts());  // merging happened
+    EXPECT_GT(st.cut_sites, 0u);
+    EXPECT_GT(st.open_sites, 0u);
+    EXPECT_GT(st.dropped, 0u);
+    EXPECT_GT(st.dropped_probability, 0.0);
+}
+
+TEST_F(Glrfm, ThresholdMonotonicity) {
+    // Property: raising p_min can only shrink the list.
+    const netlist::Circuit sch = vco_schematic();
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    std::size_t prev = SIZE_MAX;
+    for (double p : {5e-9, 1.2e-8, 5e-8}) {
+        LiftOptions opt;
+        opt.p_min = p;
+        auto r = extract_faults(
+            lo, layout::Technology::single_poly_double_metal(), opt);
+        EXPECT_LE(r.faults.size(), prev);
+        prev = r.faults.size();
+    }
+}

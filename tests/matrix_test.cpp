@@ -1,0 +1,92 @@
+// Dense LU solver tests.
+
+#include "spice/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using catlift::spice::LuSolver;
+using catlift::spice::Matrix;
+
+TEST(Matrix, SolveIdentity) {
+    Matrix a(3);
+    for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+    LuSolver lu;
+    ASSERT_TRUE(lu.factor(a));
+    auto x = lu.solve({1.0, 2.0, 3.0});
+    EXPECT_DOUBLE_EQ(x[0], 1.0);
+    EXPECT_DOUBLE_EQ(x[1], 2.0);
+    EXPECT_DOUBLE_EQ(x[2], 3.0);
+}
+
+TEST(Matrix, SolveKnownSystem) {
+    // [2 1; 1 3] x = [5; 10] -> x = [1; 3]
+    Matrix a(2);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    LuSolver lu;
+    ASSERT_TRUE(lu.factor(a));
+    auto x = lu.solve({5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, PivotingHandlesZeroDiagonal) {
+    // Leading zero on the diagonal forces a row swap.
+    Matrix a(2);
+    a(0, 0) = 0;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 0;
+    LuSolver lu;
+    ASSERT_TRUE(lu.factor(a));
+    auto x = lu.solve({3.0, 7.0});
+    EXPECT_NEAR(x[0], 7.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Matrix, SingularDetected) {
+    Matrix a(2);
+    a(0, 0) = 1;
+    a(0, 1) = 2;
+    a(1, 0) = 2;
+    a(1, 1) = 4;
+    LuSolver lu;
+    EXPECT_FALSE(lu.factor(a));
+}
+
+TEST(Matrix, SolveWithoutFactorThrows) {
+    LuSolver lu;
+    EXPECT_THROW(lu.solve({1.0}), catlift::Error);
+}
+
+TEST(Matrix, ResidualSmallOnRandomSystems) {
+    // Property: ||Ax - b|| is tiny for a batch of pseudo-random systems.
+    std::uint64_t s = 12345;
+    auto rnd = [&]() {
+        s = s * 6364136223846793005ull + 1442695040888963407ull;
+        return static_cast<double>(static_cast<std::int64_t>(s >> 11)) /
+               static_cast<double>(1ll << 52) - 1.0;
+    };
+    for (int trial = 0; trial < 20; ++trial) {
+        const std::size_t n = 8;
+        Matrix a(n);
+        std::vector<double> b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            b[i] = rnd() * 10;
+            for (std::size_t j = 0; j < n; ++j) a(i, j) = rnd();
+            a(i, i) += 4.0;  // diagonally dominant -> well conditioned
+        }
+        LuSolver lu;
+        ASSERT_TRUE(lu.factor(a));
+        const auto x = lu.solve(b);
+        for (std::size_t i = 0; i < n; ++i) {
+            double r = -b[i];
+            for (std::size_t j = 0; j < n; ++j) r += a(i, j) * x[j];
+            EXPECT_LT(std::fabs(r), 1e-10);
+        }
+    }
+}

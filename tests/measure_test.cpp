@@ -1,0 +1,105 @@
+// Waveform container and measurement utilities.
+
+#include "spice/measure.h"
+#include "spice/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace catlift::spice;
+
+namespace {
+
+// Build a sampled sine waveform.
+Waveforms sine(double freq, double amp, double tstop, double dt) {
+    Waveforms wf;
+    wf.add_trace("v");
+    for (double t = 0; t <= tstop + dt / 2; t += dt)
+        wf.append(t, {amp * std::sin(2 * M_PI * freq * t)});
+    return wf;
+}
+
+} // namespace
+
+TEST(Waveform, AppendAndInterpolate) {
+    Waveforms wf;
+    wf.add_trace("a");
+    wf.append(0.0, {0.0});
+    wf.append(1.0, {10.0});
+    EXPECT_DOUBLE_EQ(wf.at("a", 0.5), 5.0);
+    EXPECT_DOUBLE_EQ(wf.at("a", -1.0), 0.0);   // clamped
+    EXPECT_DOUBLE_EQ(wf.at("a", 99.0), 10.0);  // clamped
+}
+
+TEST(Waveform, MonotonicTimeEnforced) {
+    Waveforms wf;
+    wf.add_trace("a");
+    wf.append(1.0, {0.0});
+    EXPECT_THROW(wf.append(0.5, {0.0}), catlift::Error);
+}
+
+TEST(Waveform, DuplicateTraceRejected) {
+    Waveforms wf;
+    wf.add_trace("a");
+    EXPECT_THROW(wf.add_trace("a"), catlift::Error);
+}
+
+TEST(Waveform, MinMaxAndCsv) {
+    Waveforms wf;
+    wf.add_trace("x");
+    wf.append(0, {1.0});
+    wf.append(1, {-2.0});
+    wf.append(2, {3.0});
+    EXPECT_DOUBLE_EQ(wf.min_of("x"), -2.0);
+    EXPECT_DOUBLE_EQ(wf.max_of("x"), 3.0);
+    const std::string csv = wf.to_csv();
+    EXPECT_NE(csv.find("time,x"), std::string::npos);
+    EXPECT_NE(csv.find("1,-2"), std::string::npos);
+}
+
+TEST(Measure, CrossingsOfSine) {
+    auto wf = sine(1e6, 1.0, 3e-6, 1e-9);
+    auto rising = crossings(wf, "v", 0.0, +1);
+    // Rising zero crossings at ~0(excl first sample), 1us, 2us, 3us.
+    ASSERT_GE(rising.size(), 2u);
+    EXPECT_NEAR(rising[0], 1e-6, 2e-9);
+    EXPECT_NEAR(rising[1], 2e-6, 2e-9);
+    auto falling = crossings(wf, "v", 0.0, -1);
+    ASSERT_GE(falling.size(), 2u);
+    EXPECT_NEAR(falling[0], 0.5e-6, 2e-9);
+}
+
+TEST(Measure, PeriodEstimate) {
+    auto wf = sine(2e6, 1.0, 5e-6, 0.5e-9);
+    auto p = estimate_period(wf, "v", 0.0, 0.0, 5e-6);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_NEAR(*p, 0.5e-6, 2e-9);
+}
+
+TEST(Measure, PeriodNeedsEnoughEdges) {
+    auto wf = sine(1e6, 1.0, 1.2e-6, 1e-9);  // barely more than one cycle
+    EXPECT_FALSE(estimate_period(wf, "v", 0.0, 0.0, 1.2e-6).has_value());
+}
+
+TEST(Measure, SwingOverWindow) {
+    auto wf = sine(1e6, 2.0, 2e-6, 1e-9);
+    EXPECT_NEAR(swing(wf, "v", 0.0, 2e-6), 4.0, 0.01);
+    // A quiet window right at the zero crossing has much smaller swing.
+    EXPECT_LT(swing(wf, "v", 0.0, 0.05e-6), 1.0);
+}
+
+TEST(Measure, MaxAbsDiffDetectsDeviation) {
+    auto a = sine(1e6, 1.0, 2e-6, 1e-9);
+    auto b = sine(1e6, 1.5, 2e-6, 1e-9);  // 50% taller
+    EXPECT_NEAR(max_abs_diff(a, b, "v", 0.0, 2e-6), 0.5, 0.01);
+    EXPECT_NEAR(max_abs_diff(a, a, "v", 0.0, 2e-6), 0.0, 1e-12);
+}
+
+TEST(Measure, AsciiPlotHasShape) {
+    auto wf = sine(1e6, 1.0, 2e-6, 2e-9);
+    const std::string plot = ascii_plot(wf, "v", 40, 8);
+    EXPECT_FALSE(plot.empty());
+    EXPECT_NE(plot.find('*'), std::string::npos);
+    EXPECT_NE(plot.find("[v]"), std::string::npos);
+}

@@ -1,0 +1,174 @@
+// Monte-Carlo defect injection: sampler statistics and cross-validation of
+// LIFT's analytic bridge probabilities against empirical defect sampling
+// (the original IFA methodology of [25] as an oracle).
+
+#include "circuits/vco.h"
+#include "defects/montecarlo.h"
+#include "layout/cellgen.h"
+#include "lift/extract_faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace catlift;
+using namespace catlift::defects;
+
+namespace {
+
+extract::Extraction vco_extraction() {
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    const auto sch = circuits::build_vco(o);
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    return extract::extract(lo,
+                            layout::Technology::single_poly_double_metal());
+}
+
+} // namespace
+
+TEST(Sampler, SizeDistributionMatchesPdf) {
+    const SizeDistribution dist(1000.0);
+    DefectSampler s(DefectStatistics::date95_table1(), dist, 25000.0, 7);
+    // Empirical CDF at a few checkpoints vs the analytic CDF.
+    const int n = 50000;
+    int below_x0 = 0, below_2x0 = 0, below_4x0 = 0;
+    for (int i = 0; i < n; ++i) {
+        const double x = s.sample_size();
+        EXPECT_GT(x, 0.0);
+        EXPECT_LE(x, 25000.0 * 1.001);
+        below_x0 += x <= 1000.0;
+        below_2x0 += x <= 2000.0;
+        below_4x0 += x <= 4000.0;
+    }
+    const double cap = dist.cdf(25000.0);
+    EXPECT_NEAR(below_x0 / double(n), dist.cdf(1000.0) / cap, 0.01);
+    EXPECT_NEAR(below_2x0 / double(n), dist.cdf(2000.0) / cap, 0.01);
+    EXPECT_NEAR(below_4x0 / double(n), dist.cdf(4000.0) / cap, 0.01);
+}
+
+TEST(Sampler, MechanismSelectionFollowsDensities) {
+    const DefectStatistics stats = DefectStatistics::date95_table1();
+    DefectSampler s(stats, SizeDistribution(1000.0), 25000.0, 11);
+    const geom::Rect chip = geom::Rect::um(0, 0, 100, 100);
+    double total = 0.0, shorts_density = 0.0;
+    for (const Mechanism& m : stats.mechanisms) {
+        total += m.rel_density;
+        if (m.mode == FailureMode::Short) shorts_density += m.rel_density;
+    }
+    const int n = 40000;
+    int shorts = 0;
+    for (int i = 0; i < n; ++i)
+        shorts += s.sample(chip).mode == FailureMode::Short;
+    EXPECT_NEAR(shorts / double(n), shorts_density / total, 0.01);
+}
+
+TEST(Sampler, Deterministic) {
+    const DefectStatistics stats = DefectStatistics::date95_table1();
+    DefectSampler a(stats, SizeDistribution(1000.0), 25000.0, 5);
+    DefectSampler b(stats, SizeDistribution(1000.0), 25000.0, 5);
+    const geom::Rect chip = geom::Rect::um(0, 0, 50, 50);
+    for (int i = 0; i < 100; ++i) {
+        const auto da = a.sample(chip);
+        const auto db = b.sample(chip);
+        EXPECT_EQ(da.layer, db.layer);
+        EXPECT_EQ(da.square, db.square);
+    }
+}
+
+TEST(MonteCarloBridges, ValidatesAnalyticRanking) {
+    // The empirical bridge census must agree with LIFT's analytic bridge
+    // probabilities: every heavy analytic pair is hit, and hit counts
+    // correlate with the analytic p_j (same physics, two computations).
+    const auto ex = vco_extraction();
+    const DefectStatistics stats = DefectStatistics::date95_table1();
+    long shorts = 0;
+    const BridgeCensus census = monte_carlo_bridges(
+        ex, stats, SizeDistribution(1000.0), 25000.0, 8000000, 1234, &shorts);
+    ASSERT_GT(shorts, 2000000L);
+    ASSERT_GT(census.size(), 10u);
+
+    // Analytic list for comparison.
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    const auto sch = circuits::build_vco(o);
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    lift::LiftOptions lopt;
+    lopt.net_blocks = circuits::vco_net_blocks();
+    const auto analytic = lift::extract_faults(
+        lo, layout::Technology::single_poly_double_metal(), lopt);
+
+    // Top-5 analytic bridges must all appear in the census with solid
+    // counts; the heaviest analytic pair must out-hit the lightest kept
+    // bridge by a clear margin.
+    long heaviest = 0, lightest = -1;
+    int top_rank = 0;
+    for (const auto& f : analytic.faults.faults) {
+        if (f.kind != lift::FaultKind::LocalShort &&
+            f.kind != lift::FaultKind::GlobalShort)
+            continue;
+        ++top_rank;
+        auto it = census.find({std::min(f.net_a, f.net_b),
+                               std::max(f.net_a, f.net_b)});
+        if (top_rank <= 5) {
+            ASSERT_NE(it, census.end()) << f.describe();
+            EXPECT_GT(it->second, 100) << f.describe();
+            heaviest = std::max(heaviest, it->second);
+        }
+        if (top_rank >= 50) {  // a light tail pair
+            lightest = it == census.end() ? 0 : it->second;
+            break;
+        }
+    }
+    ASSERT_GE(lightest, 0);
+    EXPECT_GT(heaviest, 4 * std::max(lightest, 1L));
+}
+
+TEST(MonteCarloBridges, CensusProportionalToProbability) {
+    // Quantitative check on two specific pairs: the count ratio matches
+    // the analytic probability ratio within Monte-Carlo noise.
+    const auto ex = vco_extraction();
+    const DefectStatistics stats = DefectStatistics::date95_table1();
+    const BridgeCensus census = monte_carlo_bridges(
+        ex, stats, SizeDistribution(1000.0), 25000.0, 10000000, 99);
+
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    const auto sch = circuits::build_vco(o);
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    lift::LiftOptions lopt;
+    const auto analytic = lift::extract_faults(
+        lo, layout::Technology::single_poly_double_metal(), lopt);
+
+    // Pick the two heaviest analytic bridges and compare ratios.
+    const lift::Fault* f1 = nullptr;
+    const lift::Fault* f2 = nullptr;
+    for (const auto& f : analytic.faults.faults) {
+        if (f.kind != lift::FaultKind::LocalShort &&
+            f.kind != lift::FaultKind::GlobalShort)
+            continue;
+        if (!f1) {
+            f1 = &f;
+        } else if (!f2) {
+            f2 = &f;
+            break;
+        }
+    }
+    ASSERT_TRUE(f1 && f2);
+    auto count_of = [&](const lift::Fault& f) {
+        auto it = census.find({std::min(f.net_a, f.net_b),
+                               std::max(f.net_a, f.net_b)});
+        return it == census.end() ? 0L : it->second;
+    };
+    const double c1 = static_cast<double>(count_of(*f1));
+    const double c2 = static_cast<double>(count_of(*f2));
+    ASSERT_GT(c1, 100.0);
+    ASSERT_GT(c2, 100.0);
+    const double analytic_ratio = f1->probability / f2->probability;
+    const double mc_ratio = c1 / c2;
+    EXPECT_NEAR(mc_ratio / analytic_ratio, 1.0, 0.35)
+        << f1->describe() << " vs " << f2->describe();
+}

@@ -1,0 +1,140 @@
+// MOS level-1 model evaluation: regions, symmetry, PMOS reflection,
+// derivative consistency.
+
+#include "spice/mos1.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace catlift::spice;
+using catlift::netlist::MosModel;
+
+namespace {
+
+MosModel nmos() {
+    MosModel m;
+    m.name = "nm";
+    m.is_nmos = true;
+    m.vto = 0.8;
+    m.kp = 50e-6;
+    m.lambda = 0.02;
+    return m;
+}
+
+MosModel pmos() {
+    MosModel m = nmos();
+    m.name = "pm";
+    m.is_nmos = false;
+    m.vto = -0.8;
+    m.kp = 20e-6;
+    return m;
+}
+
+constexpr double W = 10e-6, L = 2e-6;
+
+} // namespace
+
+TEST(Mos1, CutoffBelowThreshold) {
+    const auto p = mos1_eval_normalized(nmos(), W, L, 0.5, 3.0);
+    EXPECT_EQ(p.region, 0);
+    EXPECT_DOUBLE_EQ(p.id, 0.0);
+    EXPECT_DOUBLE_EQ(p.gm, 0.0);
+}
+
+TEST(Mos1, SaturationCurrentMatchesHandCalc) {
+    // id = 0.5*kp*(W/L)*(vgs-vt)^2*(1+lambda*vds)
+    const double vgs = 2.0, vds = 3.0;
+    const auto p = mos1_eval_normalized(nmos(), W, L, vgs, vds);
+    EXPECT_EQ(p.region, 2);
+    const double expect =
+        0.5 * 50e-6 * (W / L) * (vgs - 0.8) * (vgs - 0.8) * (1 + 0.02 * vds);
+    EXPECT_NEAR(p.id, expect, 1e-12);
+}
+
+TEST(Mos1, TriodeCurrentMatchesHandCalc) {
+    const double vgs = 3.0, vds = 0.5;  // vov = 2.2 > vds
+    const auto p = mos1_eval_normalized(nmos(), W, L, vgs, vds);
+    EXPECT_EQ(p.region, 1);
+    const double expect = 50e-6 * (W / L) * ((vgs - 0.8) * vds - 0.5 * vds * vds) *
+                          (1 + 0.02 * vds);
+    EXPECT_NEAR(p.id, expect, 1e-12);
+}
+
+TEST(Mos1, ContinuousAcrossTriodeSatBoundary) {
+    const double vgs = 2.0;
+    const double vov = vgs - 0.8;
+    const auto lo = mos1_eval_normalized(nmos(), W, L, vgs, vov - 1e-9);
+    const auto hi = mos1_eval_normalized(nmos(), W, L, vgs, vov + 1e-9);
+    EXPECT_NEAR(lo.id, hi.id, 1e-9 * std::max(1.0, lo.id));
+    EXPECT_NEAR(lo.gm, hi.gm, 1e-6);
+}
+
+TEST(Mos1, RejectsNegativeVds) {
+    EXPECT_THROW(mos1_eval_normalized(nmos(), W, L, 1.0, -0.1),
+                 catlift::Error);
+}
+
+TEST(Mos1, TerminalSymmetryUnderSwap) {
+    // Swapping drain and source voltages must exactly negate the terminal
+    // drain current.
+    const double i_fwd = mos1_drain_current(nmos(), W, L, 3.0, 2.5, 0.0);
+    const double i_rev = mos1_drain_current(nmos(), W, L, 0.0, 2.5, 3.0);
+    EXPECT_NEAR(i_fwd, -i_rev, 1e-15);
+    EXPECT_GT(i_fwd, 0.0);
+}
+
+TEST(Mos1, PmosMirrorsNmos) {
+    // A PMOS with source at 5V, gate at 3V, drain at 0V conducts with
+    // current flowing out of the drain terminal (negative drain current by
+    // the into-drain convention).
+    const double i = mos1_drain_current(pmos(), W, L, 0.0, 3.0, 5.0);
+    EXPECT_LT(i, 0.0);
+    // Magnitude equals the reflected NMOS current scaled by kp ratio.
+    MosModel n = nmos();
+    n.kp = 20e-6;
+    const double i_n = mos1_drain_current(n, W, L, 5.0, 2.0, 0.0);
+    EXPECT_NEAR(-i, i_n, 1e-12);
+}
+
+TEST(Mos1, PmosOffWhenGateHigh) {
+    const double i = mos1_drain_current(pmos(), W, L, 0.0, 5.0, 5.0);
+    EXPECT_DOUBLE_EQ(i, 0.0);
+}
+
+TEST(Mos1, GateCapsScaleWithGeometry) {
+    MosModel m = nmos();
+    const auto c1 = mos1_caps(m, 10e-6, 2e-6);
+    const auto c2 = mos1_caps(m, 20e-6, 2e-6);
+    EXPECT_GT(c1.cgs, 0.0);
+    EXPECT_NEAR(c2.cgs / c1.cgs, 2.0, 1e-6);  // ~linear in W
+    EXPECT_DOUBLE_EQ(c1.cgs, c1.cgd);         // constant split
+}
+
+// Property sweep: gm and gds must match finite differences of id across a
+// grid of bias points (derivative consistency is what Newton-Raphson needs).
+struct Bias {
+    double vgs;
+    double vds;
+};
+
+class Mos1Derivatives : public ::testing::TestWithParam<Bias> {};
+
+TEST_P(Mos1Derivatives, MatchFiniteDifference) {
+    const auto [vgs, vds] = GetParam();
+    const MosModel m = nmos();
+    const double h = 1e-7;
+    const auto p = mos1_eval_normalized(m, W, L, vgs, vds);
+    const auto pg = mos1_eval_normalized(m, W, L, vgs + h, vds);
+    const auto pd = mos1_eval_normalized(m, W, L, vgs, vds + h);
+    const double gm_fd = (pg.id - p.id) / h;
+    const double gds_fd = (pd.id - p.id) / h;
+    EXPECT_NEAR(p.gm, gm_fd, 1e-3 * std::max(1e-9, std::fabs(gm_fd)) + 1e-9);
+    EXPECT_NEAR(p.gds, gds_fd, 1e-3 * std::max(1e-9, std::fabs(gds_fd)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, Mos1Derivatives,
+    ::testing::Values(Bias{1.0, 0.1}, Bias{1.5, 0.2}, Bias{2.0, 0.5},
+                      Bias{2.5, 1.0}, Bias{3.0, 2.0}, Bias{2.0, 5.0},
+                      Bias{5.0, 0.05}, Bias{1.2, 3.0}, Bias{4.0, 4.0}));

@@ -1,0 +1,137 @@
+// Circuit model: builders, invariants, transformations used by AnaFAULT.
+
+#include "netlist/netlist.h"
+
+#include <gtest/gtest.h>
+
+using namespace catlift::netlist;
+
+namespace {
+
+Circuit simple_rc() {
+    Circuit c;
+    c.title = "rc";
+    c.add_vsource("V1", "in", "0", SourceSpec::make_dc(5.0));
+    c.add_resistor("R1", "in", "out", 1e3);
+    c.add_capacitor("C1", "out", "0", 1e-9);
+    return c;
+}
+
+} // namespace
+
+TEST(Netlist, CanonNode) {
+    EXPECT_EQ(canon_node("GND"), "0");
+    EXPECT_EQ(canon_node("gnd"), "0");
+    EXPECT_EQ(canon_node("0"), "0");
+    EXPECT_EQ(canon_node("OUT"), "out");
+}
+
+TEST(Netlist, AddAndQuery) {
+    Circuit c = simple_rc();
+    EXPECT_EQ(c.devices.size(), 3u);
+    EXPECT_TRUE(c.has_device("R1"));
+    EXPECT_EQ(c.device("R1").value, 1e3);
+    EXPECT_EQ(c.count(DeviceKind::Resistor), 1u);
+    const auto nodes = c.node_names();
+    EXPECT_EQ(nodes.size(), 3u);  // 0, in, out
+}
+
+TEST(Netlist, DuplicateDeviceRejected) {
+    Circuit c = simple_rc();
+    EXPECT_THROW(c.add_resistor("R1", "a", "b", 1.0), catlift::Error);
+}
+
+TEST(Netlist, NonPositiveValuesRejected) {
+    Circuit c;
+    EXPECT_THROW(c.add_resistor("R1", "a", "b", 0.0), catlift::Error);
+    EXPECT_THROW(c.add_resistor("R2", "a", "b", -5.0), catlift::Error);
+    EXPECT_THROW(c.add_capacitor("C1", "a", "b", 0.0), catlift::Error);
+}
+
+TEST(Netlist, MosfetNeedsModelAtValidate) {
+    Circuit c;
+    c.add_mosfet("M1", "d", "g", "s", "0", "nm", 10e-6, 2e-6);
+    EXPECT_THROW(c.validate(), catlift::Error);
+    MosModel m;
+    m.name = "nm";
+    c.add_model(m);
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_TRUE(c.model_of(c.device("M1")).is_nmos);
+}
+
+TEST(Netlist, RenameNodeGlobal) {
+    Circuit c = simple_rc();
+    c.rename_node("out", "merged");
+    EXPECT_EQ(c.device("R1").nodes[1], "merged");
+    EXPECT_EQ(c.device("C1").nodes[0], "merged");
+}
+
+TEST(Netlist, RenameNodeOnSelectedTerminals) {
+    Circuit c = simple_rc();
+    // Split node "out": move only the capacitor terminal to out_b.
+    c.rename_node_on({{"C1", 0}}, "out_b");
+    EXPECT_EQ(c.device("R1").nodes[1], "out");
+    EXPECT_EQ(c.device("C1").nodes[0], "out_b");
+}
+
+TEST(Netlist, RemoveDevice) {
+    Circuit c = simple_rc();
+    c.remove_device("C1");
+    EXPECT_FALSE(c.has_device("C1"));
+    EXPECT_THROW(c.remove_device("C1"), catlift::Error);
+}
+
+TEST(Netlist, FreshNames) {
+    Circuit c = simple_rc();
+    const std::string n = c.fresh_node("out");
+    EXPECT_EQ(n, "out1");
+    const std::string d = c.fresh_device("R");
+    EXPECT_EQ(d, "R2");
+}
+
+TEST(SourceSpecTest, DcValue) {
+    EXPECT_DOUBLE_EQ(SourceSpec::make_dc(3.0).dc_value(), 3.0);
+    auto p = SourceSpec::make_pulse(0, 5, 0, 50e-9, 50e-9, 1, 2);
+    EXPECT_DOUBLE_EQ(p.dc_value(), 0.0);
+}
+
+TEST(SourceSpecTest, PulseShape) {
+    // PULSE(0 5 10n 10n 10n 100n 200n)
+    auto p = SourceSpec::make_pulse(0, 5, 10e-9, 10e-9, 10e-9, 100e-9, 200e-9);
+    EXPECT_DOUBLE_EQ(p.value_at(0.0), 0.0);            // before delay
+    EXPECT_DOUBLE_EQ(p.value_at(15e-9), 2.5);          // mid rise
+    EXPECT_DOUBLE_EQ(p.value_at(50e-9), 5.0);          // plateau
+    EXPECT_NEAR(p.value_at(125e-9), 2.5, 1e-9);        // mid fall
+    EXPECT_DOUBLE_EQ(p.value_at(180e-9), 0.0);         // low
+    EXPECT_NEAR(p.value_at(215e-9), 2.5, 1e-9);        // periodic repeat
+}
+
+TEST(SourceSpecTest, PwlInterpolation) {
+    SourceSpec s;
+    s.kind = SourceSpec::Kind::Pwl;
+    s.pwl = {{0.0, 0.0}, {1e-6, 2.0}, {3e-6, 2.0}};
+    EXPECT_DOUBLE_EQ(s.value_at(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.value_at(0.5e-6), 1.0);
+    EXPECT_DOUBLE_EQ(s.value_at(2e-6), 2.0);
+    EXPECT_DOUBLE_EQ(s.value_at(9e-6), 2.0);
+}
+
+TEST(SourceSpecTest, SinShape) {
+    SourceSpec s;
+    s.kind = SourceSpec::Kind::Sin;
+    s.vo = 1.0;
+    s.va = 2.0;
+    s.freq = 1e6;
+    EXPECT_DOUBLE_EQ(s.value_at(0.0), 1.0);
+    EXPECT_NEAR(s.value_at(0.25e-6), 3.0, 1e-9);   // peak
+    EXPECT_NEAR(s.value_at(0.75e-6), -1.0, 1e-9);  // trough
+}
+
+TEST(MosModelTest, CoxFromTox) {
+    MosModel m;
+    m.tox = 20e-9;
+    // eps_ox / tox = 3.9*8.854e-12/20e-9 ~ 1.73e-3 F/m^2
+    EXPECT_NEAR(m.cox_per_area(), 1.726e-3, 1e-5);
+    m.tox = 0;
+    EXPECT_THROW(m.cox_per_area(), catlift::Error);
+}

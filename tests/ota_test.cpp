@@ -1,0 +1,114 @@
+// Second demonstrator: the 7-T OTA buffer through the complete CAT flow
+// (simulation, layout synthesis, LVS, LIFT, campaign).  Linear circuits
+// exercise different fault behaviour than the oscillator: gain/offset
+// errors instead of frequency changes.
+
+#include "anafault/campaign.h"
+#include "circuits/ota.h"
+#include "extract/extractor.h"
+#include "layout/cellgen.h"
+#include "layout/drc.h"
+#include "lift/extract_faults.h"
+#include "lift/schematic_faults.h"
+#include "spice/engine.h"
+#include "spice/measure.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace catlift;
+using namespace catlift::circuits;
+
+namespace {
+
+const layout::Technology kTech =
+    layout::Technology::single_poly_double_metal();
+
+spice::Waveforms simulate(netlist::Circuit ckt) {
+    spice::SimOptions opt;
+    opt.uic = true;
+    spice::Simulator sim(ckt, opt);
+    return sim.tran();
+}
+
+} // namespace
+
+TEST(Ota, FollowsItsInput) {
+    auto wf = simulate(build_ota());
+    // After bias settling the follower tracks the 1 MHz sine closely.
+    double max_err = 0.0;
+    for (double t = 1e-6; t < 4e-6; t += 1e-8)
+        max_err = std::max(max_err,
+                           std::fabs(wf.at("out", t) - wf.at("inp", t)));
+    EXPECT_LT(max_err, 0.1);
+    EXPECT_NEAR(swing(wf, "out", 1e-6, 4e-6), 1.0, 0.1);  // 0.5 V amplitude
+}
+
+TEST(Ota, GainErrorScalesWithAmplitude) {
+    OtaOptions big;
+    big.sine_amp = 1.5;  // drive harder: follower error grows
+    auto wf = simulate(build_ota(big));
+    EXPECT_GT(swing(wf, "out", 1e-6, 4e-6), 2.0);
+}
+
+TEST(Ota, LayoutDrcCleanAndLvsClean) {
+    OtaOptions o;
+    o.with_sources = false;
+    const netlist::Circuit dev = build_ota(o);
+    const layout::Layout lo = layout::generate_cell_layout(dev);
+    const auto drc = layout::run_drc(lo, kTech);
+    for (const auto& v : drc) ADD_FAILURE() << v.describe();
+    auto r = extract::lvs(lo, kTech, dev);
+    for (const auto& d : r.diffs) ADD_FAILURE() << d;
+    EXPECT_TRUE(r.equivalent);
+}
+
+TEST(Ota, SchematicFaultArithmetic) {
+    OtaOptions o;
+    o.with_sources = false;
+    const auto fl = lift::all_schematic_faults(build_ota(o));
+    // 7 transistors x 3 + 1 capacitor open = 22 opens.
+    EXPECT_EQ(fl.opens(), 22u);
+    // 7 x 3 pairs - 3 designed diode shorts (M3, M6, M7) - M2's designed
+    // gate-drain connection through the follower feedback + 1 cap short.
+    EXPECT_EQ(fl.shorts(), 7u * 3u - 4u + 1u);
+}
+
+TEST(Ota, LiftExtractsRankedFaults) {
+    OtaOptions o;
+    o.with_sources = false;
+    const netlist::Circuit dev = build_ota(o);
+    const layout::Layout lo = layout::generate_cell_layout(dev);
+    lift::LiftOptions opt;
+    opt.net_blocks = ota_net_blocks();
+    const auto res = lift::extract_faults(lo, kTech, opt);
+    EXPECT_GT(res.faults.size(), 10u);
+    EXPECT_GT(res.faults.shorts(), res.faults.size() / 2);  // bridges rule
+    for (const auto& f : res.faults.faults)
+        EXPECT_GT(f.probability, 0.0) << f.describe();
+}
+
+TEST(Ota, CampaignDetectsMostFaults) {
+    // Full pipeline: LIFT list -> AnaFAULT with a sine stimulus and a
+    // tighter amplitude tolerance (the buffer only swings 1 Vpp).
+    OtaOptions o;
+    o.with_sources = false;
+    const netlist::Circuit dev = build_ota(o);
+    const layout::Layout lo = layout::generate_cell_layout(dev);
+    lift::LiftOptions lopt;
+    lopt.net_blocks = ota_net_blocks();
+    const auto lift_res = lift::extract_faults(lo, kTech, lopt);
+
+    anafault::CampaignOptions copt;
+    copt.threads = 4;
+    copt.detection.observed = {kOtaOutput};
+    copt.detection.v_tol = 0.4;
+    const auto res =
+        anafault::run_campaign(build_ota(), lift_res.faults, copt);
+    EXPECT_EQ(res.failed(), 0u);
+    EXPECT_GT(res.final_coverage(), 70.0);
+    // The coverage curve is monotone and ends at the final value.
+    const auto curve = res.coverage_curve(20);
+    EXPECT_DOUBLE_EQ(curve.back().second, res.final_coverage());
+}

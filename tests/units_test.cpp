@@ -1,0 +1,62 @@
+// SPICE numeric literal parsing and formatting.
+
+#include "netlist/units.h"
+
+#include "geom/base.h"
+
+#include <gtest/gtest.h>
+
+using catlift::netlist::format_value;
+using catlift::netlist::is_value;
+using catlift::netlist::parse_value;
+
+TEST(Units, PlainNumbers) {
+    EXPECT_DOUBLE_EQ(parse_value("5"), 5.0);
+    EXPECT_DOUBLE_EQ(parse_value("-3.25"), -3.25);
+    EXPECT_DOUBLE_EQ(parse_value("1e-8"), 1e-8);
+    EXPECT_DOUBLE_EQ(parse_value("2.5E6"), 2.5e6);
+}
+
+TEST(Units, EngineeringSuffixes) {
+    EXPECT_DOUBLE_EQ(parse_value("2p"), 2e-12);
+    EXPECT_DOUBLE_EQ(parse_value("4.7k"), 4700.0);
+    EXPECT_DOUBLE_EQ(parse_value("10u"), 10e-6);
+    EXPECT_DOUBLE_EQ(parse_value("1n"), 1e-9);
+    EXPECT_DOUBLE_EQ(parse_value("100f"), 100e-15);
+    EXPECT_DOUBLE_EQ(parse_value("3m"), 3e-3);
+    EXPECT_DOUBLE_EQ(parse_value("2g"), 2e9);
+    EXPECT_DOUBLE_EQ(parse_value("1t"), 1e12);
+}
+
+TEST(Units, MegIsNotMilli) {
+    EXPECT_DOUBLE_EQ(parse_value("1meg"), 1e6);
+    EXPECT_DOUBLE_EQ(parse_value("1MEG"), 1e6);
+    EXPECT_DOUBLE_EQ(parse_value("1m"), 1e-3);
+    EXPECT_DOUBLE_EQ(parse_value("100MEG"), 1e8);
+}
+
+TEST(Units, TrailingUnitLettersIgnored) {
+    EXPECT_DOUBLE_EQ(parse_value("10uF"), 10e-6);
+    EXPECT_DOUBLE_EQ(parse_value("5V"), 5.0);
+    EXPECT_DOUBLE_EQ(parse_value("0.01ohm"), 0.01);
+}
+
+TEST(Units, Rejections) {
+    EXPECT_THROW(parse_value(""), catlift::Error);
+    EXPECT_THROW(parse_value("abc"), catlift::Error);
+    EXPECT_FALSE(is_value("zzz"));
+    EXPECT_TRUE(is_value("1k"));
+}
+
+TEST(Units, FormatRoundTrip) {
+    for (double v : {1e-15, 2e-12, 3.3e-9, 4.7e-6, 1e-3, 0.5, 1.0, 42.0,
+                     4700.0, 1e6, 2.5e9, 1e12}) {
+        const std::string s = format_value(v);
+        EXPECT_NEAR(parse_value(s), v, std::abs(v) * 1e-9) << s;
+    }
+    EXPECT_EQ(format_value(0.0), "0");
+}
+
+TEST(Units, FormatNegative) {
+    EXPECT_NEAR(parse_value(format_value(-2e-12)), -2e-12, 1e-21);
+}

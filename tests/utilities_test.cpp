@@ -1,0 +1,203 @@
+// Second-round utilities: rectangle subtraction, DC sweeps, fault-list
+// diffing, per-class campaign reports and the inverter-chain fixture.
+
+#include "anafault/campaign.h"
+#include "anafault/report.h"
+#include "circuits/vco.h"
+#include "geom/rect.h"
+#include "layout/cellgen.h"
+#include "lift/extract_faults.h"
+#include "spice/engine.h"
+#include "spice/measure.h"
+
+#include <gtest/gtest.h>
+
+using namespace catlift;
+
+// ---------------------------------------------------------------------------
+// geom::subtract
+
+TEST(RectSubtract, DisjointKeepsOriginal) {
+    const geom::Rect a(0, 0, 10, 10), b(20, 20, 30, 30);
+    const auto parts = geom::subtract(a, b);
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], a);
+}
+
+TEST(RectSubtract, FullCoverLeavesNothing) {
+    const geom::Rect a(2, 2, 8, 8), b(0, 0, 10, 10);
+    EXPECT_TRUE(geom::subtract(a, b).empty());
+}
+
+TEST(RectSubtract, MiddleCutProducesFourParts) {
+    const geom::Rect a(0, 0, 10, 10), hole(4, 4, 6, 6);
+    const auto parts = geom::subtract(a, hole);
+    EXPECT_EQ(parts.size(), 4u);
+    double area = 0;
+    for (const auto& p : parts) {
+        area += p.area();
+        EXPECT_FALSE(p.overlaps(hole));
+        for (const auto& q : parts) {
+            if (&p != &q) {
+                EXPECT_FALSE(p.overlaps(q));
+            }
+        }
+    }
+    EXPECT_DOUBLE_EQ(area, 100.0 - 4.0);
+}
+
+TEST(RectSubtract, StripeCutSplitsInTwo) {
+    // Vertical stripe through the middle: the extractor's channel cut.
+    const geom::Rect diff(0, 0, 18, 10), gate(8, 0, 10, 10);
+    const auto parts = geom::subtract(diff, gate);
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_FALSE(parts[0].touches(parts[1]) &&
+                 parts[0].overlaps(parts[1]));
+    EXPECT_DOUBLE_EQ(parts[0].area() + parts[1].area(), 160.0);
+}
+
+// ---------------------------------------------------------------------------
+// spice::dc_sweep
+
+TEST(DcSweep, InverterTransferCurve) {
+    const netlist::Circuit inv = circuits::build_inverter();
+    std::vector<double> levels;
+    for (double v = 0.0; v <= 5.0; v += 0.25) levels.push_back(v);
+    const auto sweep = spice::dc_sweep(inv, "VIN", levels);
+    ASSERT_EQ(sweep.size(), levels.size());
+    double prev = 6.0;
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        ASSERT_TRUE(sweep[i].converged) << levels[i];
+        const double out = sweep[i].voltages.at("out");
+        EXPECT_LE(out, prev + 1e-6);  // monotone falling
+        prev = out;
+    }
+    EXPECT_GT(sweep.front().voltages.at("out"), 4.9);
+    EXPECT_LT(sweep.back().voltages.at("out"), 0.2);
+}
+
+TEST(DcSweep, Validation) {
+    const netlist::Circuit inv = circuits::build_inverter();
+    EXPECT_THROW(spice::dc_sweep(inv, "VIN", {}), Error);
+    EXPECT_THROW(spice::dc_sweep(inv, "MN", {1.0}), Error);
+    EXPECT_THROW(spice::dc_sweep(inv, "nosuch", {1.0}), Error);
+}
+
+// ---------------------------------------------------------------------------
+// lift::diff_faultlists
+
+TEST(FaultListDiff, DetectsAddedRemovedAndShifted) {
+    lift::FaultList a, b;
+    auto bridge = [](const char* na, const char* nb, double p) {
+        lift::Fault f;
+        f.kind = lift::FaultKind::LocalShort;
+        f.mechanism = "m";
+        f.net_a = na;
+        f.net_b = nb;
+        f.probability = p;
+        return f;
+    };
+    a.faults = {bridge("1", "2", 1e-8), bridge("2", "3", 2e-8),
+                bridge("3", "4", 3e-8)};
+    b.faults = {bridge("2", "1", 1e-8),      // same pair, swapped order
+                bridge("2", "3", 4e-8),      // probability doubled
+                bridge("5", "6", 9e-9)};     // new pair
+    const auto d = lift::diff_faultlists(a, b);
+    ASSERT_EQ(d.only_a.size(), 1u);
+    EXPECT_EQ(d.only_a[0].net_a, "3");
+    ASSERT_EQ(d.only_b.size(), 1u);
+    EXPECT_EQ(d.only_b[0].net_a, "5");
+    ASSERT_EQ(d.probability_changed.size(), 1u);
+    EXPECT_EQ(d.probability_changed[0].first.net_a, "2");
+}
+
+TEST(FaultListDiff, ThresholdSweepIsMonotoneSubset) {
+    // The GLRFM list at a stricter threshold must be a subset of the
+    // looser list (no new faults, no probability changes).
+    circuits::VcoOptions o;
+    o.with_sources = false;
+    const auto sch = circuits::build_vco(o);
+    const auto lo =
+        layout::generate_cell_layout(sch, layout::vco_cellgen_options());
+    const auto tech = layout::Technology::single_poly_double_metal();
+    lift::LiftOptions loose, strict;
+    loose.p_min = 5e-9;
+    strict.p_min = 5e-8;
+    const auto fl_loose = lift::extract_faults(lo, tech, loose).faults;
+    const auto fl_strict = lift::extract_faults(lo, tech, strict).faults;
+    const auto d = lift::diff_faultlists(fl_strict, fl_loose);
+    EXPECT_TRUE(d.only_a.empty());          // strict adds nothing
+    EXPECT_FALSE(d.only_b.empty());         // loose keeps more
+    EXPECT_TRUE(d.probability_changed.empty());
+}
+
+// ---------------------------------------------------------------------------
+// report::class_breakdown
+
+TEST(ClassBreakdown, CountsPerKind) {
+    netlist::Circuit c;
+    c.add_vsource("V1", "in", "0",
+                  netlist::SourceSpec::make_pulse(0, 5, 0, 1e-9, 1e-9, 1, 2));
+    c.add_resistor("R1", "in", "out", 1e3);
+    c.add_capacitor("C1", "out", "0", 1e-9);
+    c.tran = netlist::TranSpec{1e-8, 4e-6, 0.0};
+
+    lift::FaultList fl;
+    lift::Fault s;
+    s.id = 1;
+    s.kind = lift::FaultKind::LocalShort;
+    s.mechanism = "m";
+    s.probability = 1e-8;
+    s.net_a = "out";
+    s.net_b = "0";
+    fl.faults.push_back(s);
+    lift::Fault o;
+    o.id = 2;
+    o.kind = lift::FaultKind::LineOpen;
+    o.mechanism = "m";
+    o.probability = 1e-8;
+    o.net = "out";
+    o.group_b = {{"C1", 0}};
+    fl.faults.push_back(o);
+
+    anafault::CampaignOptions opt;
+    opt.detection.observed = {"out"};
+    const auto res = anafault::run_campaign(c, fl, opt);
+    const std::string table = anafault::class_breakdown(res, fl);
+    EXPECT_NE(table.find("local_short"), std::string::npos);
+    EXPECT_NE(table.find("line_open"), std::string::npos);
+    EXPECT_NE(table.find("us"), std::string::npos);
+
+    lift::FaultList wrong;
+    EXPECT_THROW(anafault::class_breakdown(res, wrong), Error);
+}
+
+// ---------------------------------------------------------------------------
+// inverter chain fixture
+
+TEST(InverterChain, PropagatesAndInverts) {
+    // A 5-stage chain: odd number -> output inverted relative to input.
+    netlist::Circuit c = circuits::build_inverter_chain(5);
+    spice::SimOptions opt;
+    opt.uic = true;
+    spice::Simulator sim(c, opt);
+    const auto wf = sim.tran();
+    // Input high during [110ns, 500ns]; after 5 gate delays the end of the
+    // chain is LOW there.
+    EXPECT_LT(wf.at("c5", 400e-9), 0.5);
+    EXPECT_GT(wf.at("c5", 50e-9), 4.5);  // input low -> output high
+}
+
+TEST(InverterChain, ScalesThroughTheFullPipeline) {
+    const auto ckt = circuits::build_inverter_chain(12, false);
+    const auto lo = layout::generate_cell_layout(ckt);
+    const auto res = lift::extract_faults(
+        lo, layout::Technology::single_poly_double_metal(),
+        lift::LiftOptions{});
+    EXPECT_EQ(res.extraction.mosfets.size(), 24u);
+    EXPECT_GT(res.faults.size(), 20u);
+}
+
+TEST(InverterChain, Validation) {
+    EXPECT_THROW(circuits::build_inverter_chain(0), Error);
+}

@@ -1,0 +1,187 @@
+// The 26-transistor VCO demonstrator: structure, oscillation, control
+// characteristic and the paper's fault behaviour classes.
+
+#include "circuits/vco.h"
+#include "spice/engine.h"
+#include "spice/measure.h"
+
+#include <gtest/gtest.h>
+
+using namespace catlift;
+using namespace catlift::circuits;
+using namespace catlift::netlist;
+using namespace catlift::spice;
+
+namespace {
+
+Waveforms simulate(Circuit ckt) {
+    SimOptions opt;
+    opt.uic = true;
+    Simulator sim(ckt, opt);
+    return sim.tran();
+}
+
+int late_edges(const Waveforms& wf, double after = 2e-6) {
+    int n = 0;
+    for (double t : crossings(wf, kVcoOutput, 2.5, +1))
+        if (t > after) ++n;
+    return n;
+}
+
+} // namespace
+
+TEST(Vco, StructureMatchesPaperArithmetic) {
+    Circuit c = build_vco();
+    // 26 transistors, 1 capacitor.
+    EXPECT_EQ(c.count(DeviceKind::Mosfet), 26u);
+    EXPECT_EQ(c.count(DeviceKind::Capacitor), 1u);
+    // Exactly 6 diode-connected (designed gate-drain short) devices.
+    int diodes = 0;
+    for (const Device& d : c.devices)
+        if (d.kind == DeviceKind::Mosfet && d.drain() == d.gate()) ++diodes;
+    EXPECT_EQ(diodes, 6);
+    c.validate();
+}
+
+TEST(Vco, NetlistWithoutSourcesForLvs) {
+    VcoOptions opt;
+    opt.with_sources = false;
+    Circuit c = build_vco(opt);
+    EXPECT_EQ(c.count(DeviceKind::VSource), 0u);
+    EXPECT_EQ(c.devices.size(), 27u);  // 26 M + 1 C
+}
+
+TEST(Vco, OscillatesFaultFree) {
+    auto wf = simulate(build_vco());
+    EXPECT_EQ(wf.points(), 401u);  // the paper's 400-step grid
+    // Rail-to-rail square wave at the output.
+    EXPECT_GT(swing(wf, kVcoOutput, 1e-6, 4e-6), 4.5);
+    auto period = estimate_period(wf, kVcoOutput, 2.5, 1e-6, 4e-6);
+    ASSERT_TRUE(period.has_value());
+    EXPECT_GT(*period, 0.2e-6);
+    EXPECT_LT(*period, 1.2e-6);
+    // The capacitor node ramps inside the Schmitt hysteresis band.
+    EXPECT_GT(swing(wf, kVcoCapNode, 1e-6, 4e-6), 0.8);
+    EXPECT_LT(wf.max_of(kVcoCapNode), 4.5);
+}
+
+TEST(Vco, FrequencyFollowsControlVoltage) {
+    // It is a VCO: more control voltage -> more charge current -> higher
+    // frequency.
+    auto period_at = [&](double vc) {
+        VcoOptions o;
+        o.vctrl = vc;
+        auto wf = simulate(build_vco(o));
+        auto p = estimate_period(wf, kVcoOutput, 2.5, 1e-6, 4e-6);
+        EXPECT_TRUE(p.has_value()) << "vctrl=" << vc;
+        return p.value_or(1.0);
+    };
+    const double slow = period_at(2.2);
+    const double fast = period_at(3.0);
+    EXPECT_LT(fast, slow * 0.8);
+}
+
+TEST(Vco, BridgeChargeRailToCapChangesFrequency) {
+    // The paper's #6 BRI n_ds_short 5->6: oscillation continues at a
+    // different frequency (Fig. 4 middle trace).
+    auto nominal = simulate(build_vco());
+    auto pn = estimate_period(nominal, kVcoOutput, 2.5, 1e-6, 4e-6);
+
+    Circuit faulty = build_vco();
+    faulty.add_resistor("RSHORT", kVcoChargeRail, kVcoCapNode, 0.01);
+    auto wf = simulate(std::move(faulty));
+    EXPECT_GT(swing(wf, kVcoOutput, 1e-6, 4e-6), 4.5) << "still oscillates";
+    auto pf = estimate_period(wf, kVcoOutput, 2.5, 1e-6, 4e-6);
+    ASSERT_TRUE(pn.has_value());
+    ASSERT_TRUE(pf.has_value());
+    // Frequency visibly changed (>15%).
+    EXPECT_GT(std::abs(*pf - *pn) / *pn, 0.15);
+}
+
+TEST(Vco, BridgeSupplyToMirrorGateKillsOscillation) {
+    // The paper's #339-type metal1 bridge: constant output (Fig. 4 bottom).
+    Circuit faulty = build_vco();
+    faulty.add_resistor("RSHORT", "1", "3", 0.01);
+    auto wf = simulate(std::move(faulty));
+    EXPECT_LT(swing(wf, kVcoOutput, 2e-6, 4e-6), 0.5);
+    EXPECT_EQ(late_edges(wf), 0);
+}
+
+TEST(Vco, BridgeSchmittOutputToGroundKillsOscillation) {
+    Circuit faulty = build_vco();
+    faulty.add_resistor("RSHORT", kVcoSchmittDrain, "0", 0.01);
+    auto wf = simulate(std::move(faulty));
+    EXPECT_LT(swing(wf, kVcoOutput, 2e-6, 4e-6), 0.5);
+}
+
+TEST(Vco, Fig6ResistorSeverityClasses) {
+    // Fig. 6 phenomenon: the chosen shorting-resistor value dials the fault
+    // from invisible to catastrophic at the same location (drain of M11).
+    auto nominal = simulate(build_vco());
+    const auto pn = estimate_period(nominal, kVcoOutput, 2.5, 1.5e-6, 4e-6);
+    ASSERT_TRUE(pn.has_value());
+
+    auto run_r = [&](double r) {
+        Circuit c = build_vco();
+        c.add_resistor("RSHORT", kVcoSchmittDrain, "0", r);
+        return simulate(std::move(c));
+    };
+
+    // Large R: only slightly affected.
+    {
+        auto wf = run_r(1e6);
+        auto p = estimate_period(wf, kVcoOutput, 2.5, 1.5e-6, 4e-6);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_LT(std::abs(*p - *pn) / *pn, 0.05);
+    }
+    // Mid R: visible frequency shift, oscillation alive.
+    {
+        auto wf = run_r(3e4);
+        auto p = estimate_period(wf, kVcoOutput, 2.5, 1.5e-6, 4e-6);
+        ASSERT_TRUE(p.has_value());
+        EXPECT_GT(std::abs(*p - *pn) / *pn, 0.15);
+        EXPECT_GT(swing(wf, kVcoOutput, 2e-6, 4e-6), 4.0);
+    }
+    // Small R: oscillation stops.
+    {
+        auto wf = run_r(1.0);
+        EXPECT_LT(swing(wf, kVcoOutput, 2e-6, 4e-6), 0.5);
+        EXPECT_EQ(late_edges(wf), 0);
+    }
+}
+
+TEST(Vco, SchmittFixtureShowsHysteresis) {
+    Circuit c = build_schmitt_fixture();
+    SimOptions opt;
+    opt.uic = true;
+    Simulator sim(c, opt);
+    auto wf = sim.tran();
+    // Input rises 0..5V over 0..2us, falls back over 2..4us.  Find the
+    // output transitions: falling output on the way up (inverting), rising
+    // output on the way down.
+    auto in_window = [](const std::vector<double>& ts, double lo, double hi) {
+        for (double t : ts)
+            if (t > lo && t < hi) return t;
+        return -1.0;
+    };
+    // Ignore the supply-activation edge near t=0: the up-ramp transition
+    // lies in (0.2us, 2us), the down-ramp transition in (2us, 4us).
+    const double t_up = in_window(crossings(wf, "out", 2.5, -1), 0.2e-6, 2e-6);
+    const double t_dn = in_window(crossings(wf, "out", 2.5, +1), 2e-6, 4e-6);
+    ASSERT_GT(t_up, 0.0);
+    ASSERT_GT(t_dn, 0.0);
+    const double vdd = 5.0;
+    const double vt_hi = vdd * t_up / 2e-6;         // input voltage then
+    const double vt_lo = vdd * (4e-6 - t_dn) / 2e-6;
+    EXPECT_GT(vt_hi, 2.5);   // upper threshold above midpoint
+    EXPECT_LT(vt_lo, 2.5);   // lower threshold below midpoint
+    EXPECT_GT(vt_hi - vt_lo, 0.6) << "hysteresis window too small";
+}
+
+TEST(Vco, InverterFixtureInverts) {
+    Circuit c = build_inverter();
+    Simulator sim(c);
+    auto op = sim.dc_op();
+    ASSERT_TRUE(op.converged);
+    EXPECT_GT(op.voltages.at("out"), 4.5);
+}

@@ -1,0 +1,108 @@
+// anafaultc -- the AnaFAULT tool as a command-line program.
+//
+// Reads a SPICE deck (with its .tran card) and a LIFT fault list, runs the
+// automatic fault simulation cycle for every fault, and reports coverage.
+//
+//   anafaultc <deck.sp> <faults.flt> [options]
+//     --observe <node>   monitored node (repeatable; default: .save nodes)
+//     --supply <vsrc>    also monitor the branch current of this source
+//     --model <m>        hard fault model: resistor (default) | source
+//     --v-tol <V>        amplitude tolerance (default 2.0)
+//     --t-tol <s>        time tolerance (default 0.2e-6)
+//     --threads <n>      parallel workers (default 1)
+//     --table            per-fault result table
+//     --plot             ASCII coverage plot
+//     --csv <file>       coverage curve CSV
+
+#include "anafault/campaign.h"
+#include "anafault/report.h"
+#include "lift/fault.h"
+#include "netlist/parser.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+namespace {
+
+[[noreturn]] void usage() {
+    std::fprintf(
+        stderr,
+        "usage: anafaultc <deck.sp> <faults.flt> [--observe node]... "
+        "[--supply vsrc] [--model resistor|source] [--v-tol V] [--t-tol s] "
+        "[--threads n] [--table] [--plot] [--csv file]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace catlift;
+    std::string deck_path, flt_path, csv_path;
+    anafault::CampaignOptions opt;
+    opt.detection.observed.clear();
+    bool table = false, plot = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char* {
+            if (++i >= argc) usage();
+            return argv[i];
+        };
+        if (a == "--observe") opt.detection.observed.push_back(next());
+        else if (a == "--supply")
+            opt.detection.observed_supplies.push_back(next());
+        else if (a == "--model") {
+            const std::string m = next();
+            if (m == "resistor")
+                opt.injection.model = anafault::HardFaultModel::Resistor;
+            else if (m == "source")
+                opt.injection.model = anafault::HardFaultModel::Source;
+            else
+                usage();
+        } else if (a == "--v-tol") opt.detection.v_tol = std::atof(next());
+        else if (a == "--t-tol") opt.detection.t_tol = std::atof(next());
+        else if (a == "--threads")
+            opt.threads = static_cast<unsigned>(std::atoi(next()));
+        else if (a == "--table") table = true;
+        else if (a == "--plot") plot = true;
+        else if (a == "--csv") csv_path = next();
+        else if (!a.empty() && a[0] == '-') usage();
+        else if (deck_path.empty()) deck_path = a;
+        else if (flt_path.empty()) flt_path = a;
+        else usage();
+    }
+    if (deck_path.empty() || flt_path.empty()) usage();
+
+    try {
+        const netlist::Circuit ckt = netlist::parse_spice_file(deck_path);
+        std::ifstream ff(flt_path);
+        if (!ff.good()) throw Error("cannot open fault list " + flt_path);
+        const lift::FaultList faults = lift::read_faultlist(ff);
+
+        if (opt.detection.observed.empty())
+            opt.detection.observed = ckt.save_nodes;
+        if (opt.detection.observed.empty())
+            throw Error("no observed nodes: pass --observe or add .save to "
+                        "the deck");
+
+        const auto res = anafault::run_campaign(ckt, faults, opt);
+        std::printf("%s", anafault::campaign_summary(res).c_str());
+        if (plot)
+            std::printf("\n%s",
+                        anafault::coverage_plot_ascii(res).c_str());
+        if (table)
+            std::printf("\n%s", anafault::campaign_table(res).c_str());
+        if (!csv_path.empty()) {
+            std::ofstream f(csv_path);
+            if (!f.good()) throw Error("cannot write " + csv_path);
+            f << anafault::coverage_csv(res);
+        }
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "anafaultc: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,106 @@
+// liftc -- the LIFT tool as a command-line program.
+//
+// Reads a layout interchange file, performs the simultaneous circuit +
+// fault extraction, and writes the ranked weighted fault list (the
+// interface file AnaFAULT consumes).
+//
+//   liftc <layout.lay> [options]
+//     -o <file>        fault list output (default: stdout)
+//     --netlist <file> write the extracted SPICE netlist
+//     --p-min <p>      keep threshold (default 1.2e-8)
+//     --x0 <um>        defect size distribution peak (default 1.0)
+//     --xmax <um>      maximum defect size (default 25.0)
+//     --stats          print extraction statistics
+//     --render         print an ASCII view of the layout
+
+#include "layout/layout.h"
+#include "layout/render.h"
+#include "lift/extract_faults.h"
+#include "netlist/writer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace {
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: liftc <layout.lay> [-o faults.flt] "
+                 "[--netlist out.sp] [--p-min p] [--x0 um] [--xmax um] "
+                 "[--stats] [--render]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace catlift;
+    std::string in_path, out_path, netlist_path;
+    double p_min = 1.2e-8, x0_um = 1.0, xmax_um = 25.0;
+    bool stats = false, render = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char* {
+            if (++i >= argc) usage();
+            return argv[i];
+        };
+        if (a == "-o") out_path = next();
+        else if (a == "--netlist") netlist_path = next();
+        else if (a == "--p-min") p_min = std::atof(next());
+        else if (a == "--x0") x0_um = std::atof(next());
+        else if (a == "--xmax") xmax_um = std::atof(next());
+        else if (a == "--stats") stats = true;
+        else if (a == "--render") render = true;
+        else if (!a.empty() && a[0] == '-') usage();
+        else if (in_path.empty()) in_path = a;
+        else usage();
+    }
+    if (in_path.empty()) usage();
+
+    try {
+        const layout::Layout lo = layout::read_layout_file(in_path);
+        if (render) std::printf("%s\n", layout::ascii_render(lo).c_str());
+
+        lift::LiftOptions opt;
+        opt.p_min = p_min;
+        opt.model = defects::DefectModel(
+            defects::DefectStatistics::date95_table1(),
+            defects::SizeDistribution(x0_um * 1000.0), xmax_um * 1000.0);
+        const auto res = lift::extract_faults(
+            lo, layout::Technology::single_poly_double_metal(), opt);
+
+        if (stats) {
+            std::fprintf(stderr,
+                         "extracted %zu devices, %zu nets; %zu faults "
+                         "(%zu bridges, %zu opens/splits, %zu stuck-open); "
+                         "%zu sites dropped (%.3g p-mass)\n",
+                         res.extraction.circuit.devices.size(),
+                         res.extraction.net_names.size(), res.faults.size(),
+                         res.faults.shorts(),
+                         res.faults.count(lift::FaultKind::LineOpen) +
+                             res.faults.count(lift::FaultKind::SplitNode),
+                         res.faults.count(lift::FaultKind::StuckOpen),
+                         res.stats.dropped,
+                         res.stats.dropped_probability);
+        }
+        if (!netlist_path.empty())
+            netlist::write_spice_file(netlist_path, res.extraction.circuit);
+
+        if (out_path.empty()) {
+            lift::write_faultlist(std::cout, res.faults);
+        } else {
+            std::ofstream f(out_path);
+            if (!f.good()) throw Error("cannot write " + out_path);
+            lift::write_faultlist(f, res.faults);
+        }
+        return 0;
+    } catch (const Error& e) {
+        std::fprintf(stderr, "liftc: %s\n", e.what());
+        return 1;
+    }
+}
