@@ -1,5 +1,8 @@
 #include "anafault/ac_campaign.h"
 
+#include "batch/collapse.h"
+#include "batch/scheduler.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -31,33 +34,51 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
         require(res.nominal.has(node),
                 "ac campaign: observed node missing: " + node);
 
-    for (const lift::Fault& f : faults.faults) {
-        AcFaultResult r;
-        r.fault_id = f.id;
-        r.description = f.describe();
-        try {
-            const Circuit faulty = inject(ckt, f, opt.injection);
-            spice::Simulator sim(faulty, opt.sim);
-            const spice::AcResult ac = sim.ac(opt.sweep);
-            r.simulated = true;
-            for (std::size_t i = 0; i < res.nominal.points(); ++i) {
-                const double freq = res.nominal.freq()[i];
-                for (const std::string& node : opt.observed) {
-                    if (!ac.has(node)) continue;
-                    const double dev = std::fabs(ac.mag_db(node, i) -
-                                                 res.nominal.mag_db(node, i));
-                    r.max_deviation_db = std::max(r.max_deviation_db, dev);
-                    if (dev > opt.db_tol && !r.detect_freq)
-                        r.detect_freq = freq;
+    const std::size_t n_faults = faults.size();
+    res.results.resize(n_faults);
+
+    const std::vector<batch::CollapsedClass> classes =
+        opt.collapse ? batch::collapse(faults.faults)
+                     : batch::singleton_classes(n_faults);
+    const std::vector<batch::Job> jobs = batch::class_jobs(
+        classes,
+        [&](std::size_t m) { return faults.faults[m].probability; });
+
+    batch::run_classes(
+        batch::Scheduler(opt.threads), classes, jobs, res.results,
+        [&](std::size_t rep) {
+            const lift::Fault& f = faults.faults[rep];
+            AcFaultResult r;
+            try {
+                const Circuit faulty = inject(ckt, f, opt.injection);
+                spice::Simulator sim(faulty, opt.sim);
+                const spice::AcResult ac = sim.ac(opt.sweep);
+                r.simulated = true;
+                for (std::size_t i = 0; i < res.nominal.points(); ++i) {
+                    const double freq = res.nominal.freq()[i];
+                    for (const std::string& node : opt.observed) {
+                        if (!ac.has(node)) continue;
+                        const double dev =
+                            std::fabs(ac.mag_db(node, i) -
+                                      res.nominal.mag_db(node, i));
+                        r.max_deviation_db = std::max(r.max_deviation_db, dev);
+                        if (dev > opt.db_tol && !r.detect_freq)
+                            r.detect_freq = freq;
+                    }
                 }
+                r.detected = r.detect_freq.has_value();
+            } catch (const Error& e) {
+                r.simulated = false;
+                r.error = e.what();
             }
-            r.detected = r.detect_freq.has_value();
-        } catch (const Error& e) {
-            r.simulated = false;
-            r.error = e.what();
-        }
-        res.results.push_back(std::move(r));
-    }
+            return r;
+        },
+        [&](const AcFaultResult& verdict, std::size_t m) {
+            AcFaultResult copy = verdict;
+            copy.fault_id = faults.faults[m].id;
+            copy.description = faults.faults[m].describe();
+            return copy;
+        });
     return res;
 }
 

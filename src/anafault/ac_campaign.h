@@ -26,6 +26,10 @@ struct AcCampaignOptions {
     std::vector<std::string> observed = {"out"};
     double db_tol = 3.0;  ///< magnitude deviation tolerance [dB]
     spice::SimOptions sim;
+    /// Worker threads for the batch scheduler (1 = serial).
+    unsigned threads = 1;
+    /// Sweep each electrical-effect equivalence class once.
+    bool collapse = true;
 };
 
 struct AcFaultResult {

@@ -1,9 +1,16 @@
 #include "anafault/campaign.h"
 
+#include "batch/collapse.h"
+#include "batch/result_store.h"
+#include "netlist/writer.h"
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <thread>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <memory>
 
 namespace catlift::anafault {
 
@@ -28,35 +35,128 @@ TranSpec resolve_tran(const Circuit& ckt, const CampaignOptions& opt) {
     return *ckt.tran;
 }
 
-/// Run one mutated circuit; fills everything except id/description.
+/// Static identity of one fault in the batch queue: everything that is
+/// known before the kernel runs.
+struct JobMeta {
+    int fault_id = 0;
+    std::string description;
+    double probability = 0.0;
+    /// Electrical-effect signature; jobs sharing one are simulated once.
+    std::string signature;
+};
+
+std::string hexd(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%a", v);
+    return buf;
+}
+
+/// Campaign manifest: hashes everything that determines the per-fault
+/// verdicts, so a result store is only ever resumed against the campaign
+/// that wrote it.
+std::uint64_t manifest_hash(const Circuit& ckt,
+                            const std::vector<JobMeta>& metas,
+                            const TranSpec& ts, const CampaignOptions& opt) {
+    std::uint64_t h = batch::fnv1a(netlist::write_spice(ckt));
+    for (const JobMeta& m : metas) {
+        // Delimited: without separators, distinct (id, description,
+        // probability, signature) tuples could chain to the same bytes.
+        h = batch::fnv1a(std::to_string(m.fault_id) + "|" + m.description +
+                             "|" + hexd(m.probability) + "|" + m.signature +
+                             "\n",
+                         h);
+    }
+    std::string o;
+    o += to_string(opt.injection.model);
+    o += "|" + hexd(opt.injection.short_resistance);
+    o += "|" + hexd(opt.injection.open_resistance);
+    o += "|" + hexd(opt.detection.v_tol) + "|" + hexd(opt.detection.t_tol);
+    o += "|" + hexd(opt.detection.i_tol);
+    for (const std::string& n : opt.detection.observed) o += "|" + n;
+    for (const std::string& s : opt.detection.observed_supplies)
+        o += "|i:" + s;
+    o += "|" + hexd(ts.tstep) + "|" + hexd(ts.tstop) + "|" + hexd(ts.tstart);
+    o += opt.sim.method == spice::Method::Trapezoidal ? "|trap" : "|be";
+    o += opt.sim.uic ? "|uic" : "|op";
+    // Every solver knob alters waveforms (and hence verdicts) -- a store
+    // written under different numerics must never be resumed.
+    o += "|" + hexd(opt.sim.gmin) + "|" + hexd(opt.sim.cmin);
+    o += "|" + hexd(opt.sim.abstol) + "|" + hexd(opt.sim.vntol);
+    o += "|" + hexd(opt.sim.reltol) + "|" + hexd(opt.sim.dv_limit);
+    o += "|" + std::to_string(opt.sim.max_nr);
+    o += "|" + std::to_string(opt.sim.max_step_cuts);
+    // Engine shortcuts do not change verdicts, but a user toggling them
+    // (e.g. --no-collapse to rule out a collapse bug) wants faults
+    // actually re-simulated -- treat the store as foreign.
+    o += opt.collapse ? "|collapse" : "|nocollapse";
+    o += opt.early_abort ? "|abort" : "|noabort";
+    return batch::fnv1a(o, h);
+}
+
+/// Run one mutated circuit against the shared nominal baseline, streaming
+/// every accepted step into the detector so the run can stop at the first
+/// confirmed detection.
 FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
                             const TranSpec& ts, const CampaignOptions& opt) {
     FaultSimResult r;
     const auto t0 = std::chrono::steady_clock::now();
+    std::optional<StreamingDetector> detector;
     try {
+        detector.emplace(nominal, opt.detection);
         Simulator sim(faulty, opt.sim);
         r.matrix_size = sim.unknowns();
-        const Waveforms wf = sim.tran(ts);
+        const spice::StepObserver observer =
+            [&](double, const Waveforms& wf) {
+                return !(detector->feed(wf) && opt.early_abort);
+            };
+        sim.tran(ts, observer);
         r.sim_seconds = seconds_since(t0);
         r.nr_iterations = sim.stats().nr_iterations;
+        r.steps_saved = sim.stats().steps_saved;
         r.simulated = true;
-        r.detect_time = detect_time(nominal, wf, opt.detection);
+        r.detect_time = detector->detect_time();
     } catch (const Error& e) {
         r.sim_seconds = seconds_since(t0);
-        r.simulated = false;
         r.error = e.what();
+        // Detection is confirmed the instant the cumulative mismatch
+        // crosses t_tol; a solver failure later in the run cannot
+        // un-detect it.  Keeping the verdict makes early-abort on/off
+        // agree even when the faulty circuit stops converging after the
+        // detection instant (with early abort the failure is never
+        // reached at all).
+        if (detector && detector->detected()) {
+            r.detect_time = detector->detect_time();
+            r.simulated = true;
+        }
     }
     return r;
 }
 
+/// Copy a class representative's verdict to another member of the same
+/// equivalence class: identity fields come from the member, kernel cost
+/// stays attributed to the representative alone.
+FaultSimResult fan_out(const FaultSimResult& rep, const JobMeta& meta) {
+    FaultSimResult c = rep;
+    c.fault_id = meta.fault_id;
+    c.description = meta.description;
+    c.probability = meta.probability;
+    c.sim_seconds = 0.0;
+    c.nr_iterations = 0;
+    c.steps_saved = 0;
+    return c;
+}
+
 template <typename MakeCircuit>
-CampaignResult run_generic(const Circuit& ckt, std::size_t n_faults,
+CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
                            MakeCircuit make, const CampaignOptions& opt) {
     CampaignResult res;
     const TranSpec ts = resolve_tran(ckt, opt);
     res.tstop = ts.tstop;
+    const std::size_t n = metas.size();
+    res.batch.threads = std::max(1u, opt.threads);
 
-    // Nominal simulation first (paper, ch. V).
+    // Nominal simulation first (paper, ch. V); the baseline Waveforms are
+    // shared read-only by every worker.
     {
         const auto t0 = std::chrono::steady_clock::now();
         Simulator sim(ckt, opt.sim);
@@ -64,42 +164,128 @@ CampaignResult run_generic(const Circuit& ckt, std::size_t n_faults,
         res.nominal_seconds = seconds_since(t0);
     }
 
-    res.results.resize(n_faults);
-    std::atomic<std::size_t> cursor{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t i = cursor.fetch_add(1);
-            if (i >= n_faults) break;
-            // make() fills id/description/probability and returns the
-            // mutated circuit (or an error string).
-            FaultSimResult base;
-            try {
-                const Circuit faulty = make(i, base);
-                FaultSimResult r = simulate_one(faulty, res.nominal, ts, opt);
-                r.fault_id = base.fault_id;
-                r.description = base.description;
-                r.probability = base.probability;
-                res.results[i] = std::move(r);
-            } catch (const Error& e) {
-                base.simulated = false;
-                base.error = e.what();
-                res.results[i] = std::move(base);
+    res.results.resize(n);
+    std::vector<char> done(n, 0);
+
+    // Result store: load whatever a previous run of this exact campaign
+    // already finished.
+    std::unique_ptr<batch::ResultStore> store;
+    if (!opt.result_store.empty()) {
+        const std::uint64_t manifest = manifest_hash(ckt, metas, ts, opt);
+        if (!opt.resume) {
+            std::error_code ec;
+            std::filesystem::remove(opt.result_store, ec);
+        }
+        store = std::make_unique<batch::ResultStore>(opt.result_store,
+                                                     manifest);
+        std::map<int, std::size_t> by_id;
+        for (std::size_t i = 0; i < n; ++i) by_id[metas[i].fault_id] = i;
+        for (const FaultSimResult& r : store->loaded()) {
+            const auto it = by_id.find(r.fault_id);
+            if (it == by_id.end() || done[it->second]) continue;
+            res.results[it->second] = r;
+            done[it->second] = 1;
+            ++res.batch.resumed;
+        }
+    }
+
+    // Snapshot of which slots were filled from the store, before workers
+    // start marking their own slots done.
+    const std::vector<char> resumed_here = done;
+
+    // Equivalence classes over the *whole* list (so a resumed member can
+    // still donate its verdict to unfinished members of its class).
+    std::vector<batch::CollapsedClass> classes;
+    if (opt.collapse) {
+        std::vector<std::string> sigs;
+        sigs.reserve(n);
+        for (const JobMeta& m : metas) sigs.push_back(m.signature);
+        classes = batch::collapse_by_signature(sigs);
+    } else {
+        classes = batch::singleton_classes(n);
+    }
+    res.batch.classes = classes.size();
+
+    // One job per class that still has unfinished members; the scheduler
+    // simulates the likeliest faults first so weighted coverage converges
+    // early.
+    std::vector<batch::Job> jobs = batch::class_jobs(
+        classes, [&](std::size_t m) { return metas[m].probability; });
+    std::erase_if(jobs, [&](const batch::Job& j) {
+        const auto& members = classes[j.index].members;
+        return std::all_of(members.begin(), members.end(),
+                           [&](std::size_t m) { return done[m] != 0; });
+    });
+
+    std::atomic<std::size_t> kernel_runs{0};
+    auto run_class = [&](std::size_t c) {
+        const std::vector<std::size_t>& members = classes[c].members;
+
+        // A member finished by a previous run seeds the class verdict.
+        const FaultSimResult* verdict = nullptr;
+        for (std::size_t m : members)
+            if (done[m]) {
+                verdict = &res.results[m];
+                break;
             }
+
+        if (!verdict) {
+            const std::size_t rep =
+                *std::find_if(members.begin(), members.end(),
+                              [&](std::size_t m) { return !done[m]; });
+            FaultSimResult base;
+            base.fault_id = metas[rep].fault_id;
+            base.description = metas[rep].description;
+            base.probability = metas[rep].probability;
+            FaultSimResult r;
+            try {
+                const Circuit faulty = make(rep);
+                // Counted only once injection succeeded: a fault that
+                // cannot even be injected never reaches the kernel.
+                kernel_runs.fetch_add(1, std::memory_order_relaxed);
+                r = simulate_one(faulty, res.nominal, ts, opt);
+            } catch (const Error& e) {
+                r.simulated = false;
+                r.error = e.what();
+            }
+            r.fault_id = base.fault_id;
+            r.description = base.description;
+            r.probability = base.probability;
+            res.results[rep] = std::move(r);
+            done[rep] = 1;
+            if (store) store->append(res.results[rep]);
+            verdict = &res.results[rep];
+        }
+
+        for (std::size_t m : members) {
+            if (done[m]) continue;
+            res.results[m] = fan_out(*verdict, metas[m]);
+            done[m] = 1;
+            if (store) store->append(res.results[m]);
         }
     };
 
-    const unsigned n_threads = std::max(1u, opt.threads);
-    if (n_threads == 1) {
-        worker();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(n_threads);
-        for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-        for (auto& th : pool) th.join();
-    }
+    const batch::Scheduler scheduler(opt.threads);
+    const batch::SchedulerStats sstats = scheduler.run(jobs, run_class);
+    res.batch.steals = sstats.steals;
+    // Kernel simulations actually run -- a class completed purely by
+    // fanning out a resumed member's verdict does not count.
+    res.batch.scheduled = kernel_runs.load();
 
-    for (const FaultSimResult& r : res.results)
+    // Aggregate kernel cost over *this run's* work only: records loaded
+    // from the store carry their original sim_seconds/steps_saved in the
+    // per-fault results, but a warm resume must not re-report them as
+    // kernel time spent now.
+    for (std::size_t i = 0; i < n; ++i) {
+        if (resumed_here[i]) continue;
+        const FaultSimResult& r = res.results[i];
         res.total_seconds += r.sim_seconds;
+        if (r.steps_saved > 0) {
+            ++res.batch.early_aborts;
+            res.batch.steps_saved += r.steps_saved;
+        }
+    }
+    res.batch.collapsed = n - classes.size();
     return res;
 }
 
@@ -107,14 +293,20 @@ CampaignResult run_generic(const Circuit& ckt, std::size_t n_faults,
 
 CampaignResult run_campaign(const Circuit& ckt, const lift::FaultList& faults,
                             const CampaignOptions& opt) {
+    std::vector<JobMeta> metas;
+    metas.reserve(faults.size());
+    for (const lift::Fault& f : faults.faults) {
+        JobMeta m;
+        m.fault_id = f.id;
+        m.description = f.describe();
+        m.probability = f.probability;
+        m.signature = batch::effect_signature(f);
+        metas.push_back(std::move(m));
+    }
     return run_generic(
-        ckt, faults.size(),
-        [&](std::size_t i, FaultSimResult& base) {
-            const lift::Fault& f = faults.faults[i];
-            base.fault_id = f.id;
-            base.description = f.describe();
-            base.probability = f.probability;
-            return inject(ckt, f, opt.injection);
+        ckt, std::move(metas),
+        [&](std::size_t i) {
+            return inject(ckt, faults.faults[i], opt.injection);
         },
         opt);
 }
@@ -122,14 +314,20 @@ CampaignResult run_campaign(const Circuit& ckt, const lift::FaultList& faults,
 CampaignResult run_parametric_campaign(
     const Circuit& ckt, const std::vector<ParametricFault>& faults,
     const CampaignOptions& opt) {
+    std::vector<JobMeta> metas;
+    metas.reserve(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        JobMeta m;
+        m.fault_id = static_cast<int>(i) + 1;
+        m.description = faults[i].describe();
+        m.probability = 1.0;
+        m.signature = "PAR:" + faults[i].device + ":" + faults[i].param +
+                      ":" + hexd(faults[i].factor);
+        metas.push_back(std::move(m));
+    }
     return run_generic(
-        ckt, faults.size(),
-        [&](std::size_t i, FaultSimResult& base) {
-            base.fault_id = static_cast<int>(i) + 1;
-            base.description = faults[i].describe();
-            base.probability = 1.0;
-            return inject_parametric(ckt, faults[i]);
-        },
+        ckt, std::move(metas),
+        [&](std::size_t i) { return inject_parametric(ckt, faults[i]); },
         opt);
 }
 

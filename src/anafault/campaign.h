@@ -15,6 +15,8 @@
 
 #include "anafault/comparator.h"
 #include "anafault/fault_models.h"
+#include "batch/result_store.h"
+#include "batch/scheduler.h"
 #include "lift/fault.h"
 #include "netlist/netlist.h"
 #include "spice/engine.h"
@@ -34,32 +36,41 @@ struct CampaignOptions {
     /// Worker threads (1 = serial).
     unsigned threads = 1;
 
+    // -- batch engine knobs --------------------------------------------------
+    /// Stop each faulty run at the first confirmed detection instead of
+    /// integrating to tstop (verdicts are unchanged; see
+    /// StreamingDetector).
+    bool early_abort = true;
+    /// Collapse faults with identical electrical effect and simulate each
+    /// equivalence class once (batch/collapse.h).
+    bool collapse = true;
+    /// Path of the append-only result store ("" disables persistence).
+    std::string result_store;
+    /// Reuse results already in `result_store` from a previous (possibly
+    /// crashed) run of the *same* campaign; without this flag an existing
+    /// store is restarted.
+    bool resume = false;
+
     CampaignOptions() {
         sim.uic = true;  // paper: start at supply activation
     }
 };
 
-/// Outcome of one fault simulation.
-struct FaultSimResult {
-    int fault_id = 0;
-    std::string description;
-    double probability = 0.0;
-    bool simulated = false;            ///< kernel run completed
-    std::string error;                 ///< failure reason when !simulated
-    std::optional<double> detect_time; ///< earliest detection instant
-    double sim_seconds = 0.0;          ///< kernel wall time
-    std::size_t nr_iterations = 0;
-    std::size_t matrix_size = 0;       ///< MNA unknowns (source model grows it)
-};
+/// Outcome of one fault simulation (defined beside the result store that
+/// persists it).
+using FaultSimResult = batch::FaultSimResult;
 
 /// Aggregated campaign outcome with the coverage computations behind the
 /// paper's Fig. 5.
 struct CampaignResult {
     spice::Waveforms nominal;
     double nominal_seconds = 0.0;
-    double total_seconds = 0.0;  ///< sum of per-fault kernel times
+    double total_seconds = 0.0;  ///< kernel time this run spent on faults
+                                 ///< (store-resumed results excluded; their
+                                 ///< original cost stays on each result)
     double tstop = 0.0;
     std::vector<FaultSimResult> results;
+    batch::BatchStats batch;     ///< scheduler / collapse / abort counters
 
     std::size_t detected() const;
     std::size_t undetected() const;

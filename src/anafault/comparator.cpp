@@ -51,6 +51,60 @@ std::optional<double> detect_time_on(const Waveforms& nominal,
     return std::nullopt;
 }
 
+StreamingDetector::StreamingDetector(const Waveforms& nominal,
+                                     const DetectionSpec& spec)
+    : nominal_(&nominal), t_tol_(spec.t_tol) {
+    for (const std::string& node : spec.observed) {
+        require(nominal.has(node), "comparator: nominal lacks node " + node);
+        channels_.push_back(Channel{node, spec.v_tol, /*required=*/true,
+                                    true, false, 0.0});
+    }
+    for (const std::string& src : spec.observed_supplies) {
+        const std::string trace = "i(" + src + ")";
+        // detect_time() silently skips supply traces absent from either
+        // run; mirror that here.
+        if (!nominal.has(trace)) continue;
+        channels_.push_back(Channel{trace, spec.i_tol, /*required=*/false,
+                                    true, false, 0.0});
+    }
+}
+
+bool StreamingDetector::feed(const Waveforms& faulty) {
+    if (detect_time_) return true;
+    // Validate every channel up front (not lazily inside the sample loop):
+    // detect_time() throws on a missing required node even when another
+    // node would have detected first, and the streaming verdict must
+    // match it exactly.
+    for (Channel& ch : channels_) {
+        if (ch.checked) continue;
+        ch.present = faulty.has(ch.trace);
+        require(ch.present || !ch.required,
+                "comparator: faulty run lacks node " + ch.trace);
+        ch.checked = true;
+    }
+    const auto& tf = faulty.time();
+    for (std::size_t i = std::max<std::size_t>(next_, 1); i < tf.size();
+         ++i) {
+        const double t = tf[i];
+        const double dt = tf[i] - tf[i - 1];
+        for (Channel& ch : channels_) {
+            if (!ch.present) continue;
+            const double dv =
+                std::fabs(faulty.trace(ch.trace)[i] - nominal_->at(ch.trace, t));
+            if (dv > ch.tol) {
+                ch.accumulated += dt;
+                if (ch.accumulated > t_tol_) {
+                    detect_time_ = t;
+                    next_ = i + 1;
+                    return true;
+                }
+            }
+        }
+    }
+    next_ = tf.size();
+    return false;
+}
+
 std::optional<double> detect_time(const Waveforms& nominal,
                                   const Waveforms& faulty,
                                   const DetectionSpec& spec) {

@@ -48,4 +48,42 @@ std::optional<double> detect_time_on(const spice::Waveforms& nominal,
                                      const std::string& node,
                                      const DetectionSpec& spec);
 
+/// Incremental form of detect_time(): fed one accepted sample at a time
+/// while the faulty transient is still running, it reports detection the
+/// instant the cumulative mismatch duration first exceeds t_tol on any
+/// observed channel.  This is what lets the batch engine abort a faulty
+/// run early (ERASER-style) -- the verdict and detection instant are
+/// identical to the post-hoc detect_time() over the full run (tested).
+///
+/// The detector holds a reference to the nominal waveforms; keep them
+/// alive for its lifetime.
+class StreamingDetector {
+public:
+    StreamingDetector(const spice::Waveforms& nominal,
+                      const DetectionSpec& spec);
+
+    /// Consume every sample appended to `faulty` since the last call.
+    /// Returns detected(); once true, further feeds are no-ops.
+    bool feed(const spice::Waveforms& faulty);
+
+    bool detected() const { return detect_time_.has_value(); }
+    std::optional<double> detect_time() const { return detect_time_; }
+
+private:
+    struct Channel {
+        std::string trace;         ///< waveform trace name
+        double tol = 0.0;          ///< amplitude tolerance (V or A)
+        bool required = true;      ///< missing trace is an error
+        bool present = true;       ///< trace exists in the faulty run
+        bool checked = false;      ///< presence verified on first feed
+        double accumulated = 0.0;  ///< mismatch duration so far [s]
+    };
+
+    const spice::Waveforms* nominal_;
+    double t_tol_;
+    std::vector<Channel> channels_;
+    std::size_t next_ = 1;  ///< first unprocessed faulty sample index
+    std::optional<double> detect_time_;
+};
+
 } // namespace catlift::anafault

@@ -1,5 +1,8 @@
 #include "anafault/dc_campaign.h"
 
+#include "batch/collapse.h"
+#include "batch/scheduler.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -39,28 +42,46 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
         require(res.nominal_op.count(n) > 0,
                 "dc screen: observed node missing: " + n);
 
-    for (const lift::Fault& f : faults.faults) {
-        DcFaultResult r;
-        r.fault_id = f.id;
-        r.description = f.describe();
-        try {
-            const Circuit faulty = inject(ckt, f, opt.injection);
-            spice::Simulator sim(faulty, opt.sim);
-            const spice::DcResult op = sim.dc_op();
-            r.converged = op.converged;
-            if (op.converged) {
-                for (const std::string& n : opt.observed) {
-                    const double dv = std::fabs(op.voltages.at(n) -
-                                                res.nominal_op.at(n));
-                    r.max_deviation = std::max(r.max_deviation, dv);
+    const std::size_t n_faults = faults.size();
+    res.results.resize(n_faults);
+
+    // One solve per electrical-effect class, verdict fanned out.
+    const std::vector<batch::CollapsedClass> classes =
+        opt.collapse ? batch::collapse(faults.faults)
+                     : batch::singleton_classes(n_faults);
+    const std::vector<batch::Job> jobs = batch::class_jobs(
+        classes,
+        [&](std::size_t m) { return faults.faults[m].probability; });
+
+    batch::run_classes(
+        batch::Scheduler(opt.threads), classes, jobs, res.results,
+        [&](std::size_t rep) {
+            const lift::Fault& f = faults.faults[rep];
+            DcFaultResult r;
+            try {
+                const Circuit faulty = inject(ckt, f, opt.injection);
+                spice::Simulator sim(faulty, opt.sim);
+                const spice::DcResult op = sim.dc_op();
+                r.converged = op.converged;
+                if (op.converged) {
+                    for (const std::string& n : opt.observed) {
+                        const double dv = std::fabs(op.voltages.at(n) -
+                                                    res.nominal_op.at(n));
+                        r.max_deviation = std::max(r.max_deviation, dv);
+                    }
+                    r.detected = r.max_deviation > opt.v_tol;
                 }
-                r.detected = r.max_deviation > opt.v_tol;
+            } catch (const Error&) {
+                r.converged = false;
             }
-        } catch (const Error&) {
-            r.converged = false;
-        }
-        res.results.push_back(std::move(r));
-    }
+            return r;
+        },
+        [&](const DcFaultResult& verdict, std::size_t m) {
+            DcFaultResult copy = verdict;
+            copy.fault_id = faults.faults[m].id;
+            copy.description = faults.faults[m].describe();
+            return copy;
+        });
     return res;
 }
 

@@ -29,6 +29,10 @@ struct DcScreenOptions {
     std::vector<std::string> observed = {"11"};
     double v_tol = 2.0;
     spice::SimOptions sim;
+    /// Worker threads for the batch scheduler (1 = serial).
+    unsigned threads = 1;
+    /// Solve each electrical-effect equivalence class once.
+    bool collapse = true;
 };
 
 struct DcFaultResult {

@@ -56,6 +56,20 @@ std::string campaign_summary(const CampaignResult& res) {
                   "kernel time: nominal %.3fs, faults %.3fs total\n",
                   res.nominal_seconds, res.total_seconds);
     os << buf;
+    std::snprintf(buf, sizeof buf,
+                  "batch: %u thread%s, %zu classes (%zu collapsed), "
+                  "%zu simulated, %zu resumed\n",
+                  res.batch.threads, res.batch.threads == 1 ? "" : "s",
+                  res.batch.classes, res.batch.collapsed,
+                  res.batch.scheduled, res.batch.resumed);
+    os << buf;
+    if (res.batch.early_aborts > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "early abort: %zu runs stopped at detection, "
+                      "%zu grid steps saved\n",
+                      res.batch.early_aborts, res.batch.steps_saved);
+        os << buf;
+    }
     return os.str();
 }
 

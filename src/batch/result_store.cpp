@@ -1,0 +1,176 @@
+#include "batch/result_store.h"
+
+#include <cstring>
+#include <filesystem>
+
+namespace catlift::batch {
+
+std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t h) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+    return fnv1a(s.data(), s.size(), h);
+}
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42544143u;  // "CATB"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::string& buf, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const char* p = reinterpret_cast<const char*>(&v);
+    buf.append(p, sizeof v);
+}
+
+void put_str(std::string& buf, const std::string& s) {
+    put(buf, static_cast<std::uint32_t>(s.size()));
+    buf.append(s);
+}
+
+/// Cursor over a loaded byte buffer; every get reports success so the
+/// loader can stop cleanly at a truncated tail.
+struct Reader {
+    const std::string& buf;
+    std::size_t pos = 0;
+
+    template <typename T>
+    bool get(T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (buf.size() - pos < sizeof v) return false;
+        std::memcpy(&v, buf.data() + pos, sizeof v);
+        pos += sizeof v;
+        return true;
+    }
+    bool get_str(std::string& s) {
+        std::uint32_t n = 0;
+        if (!get(n)) return false;
+        if (buf.size() - pos < n) return false;
+        s.assign(buf.data() + pos, n);
+        pos += n;
+        return true;
+    }
+};
+
+std::string encode(const FaultSimResult& r) {
+    std::string p;
+    put(p, static_cast<std::int32_t>(r.fault_id));
+    put(p, static_cast<std::uint8_t>(r.simulated ? 1 : 0));
+    put(p, static_cast<std::uint8_t>(r.detect_time ? 1 : 0));
+    put(p, r.detect_time.value_or(0.0));
+    put(p, r.probability);
+    put(p, r.sim_seconds);
+    put(p, static_cast<std::uint64_t>(r.nr_iterations));
+    put(p, static_cast<std::uint64_t>(r.matrix_size));
+    put(p, static_cast<std::uint64_t>(r.steps_saved));
+    put_str(p, r.description);
+    put_str(p, r.error);
+    return p;
+}
+
+bool decode(const std::string& payload, FaultSimResult& r) {
+    Reader rd{payload};
+    std::int32_t id = 0;
+    std::uint8_t simulated = 0, has_detect = 0;
+    double detect = 0.0;
+    std::uint64_t nr = 0, msize = 0, saved = 0;
+    if (!rd.get(id) || !rd.get(simulated) || !rd.get(has_detect) ||
+        !rd.get(detect) || !rd.get(r.probability) || !rd.get(r.sim_seconds) ||
+        !rd.get(nr) || !rd.get(msize) || !rd.get(saved) ||
+        !rd.get_str(r.description) || !rd.get_str(r.error))
+        return false;
+    r.fault_id = id;
+    r.simulated = simulated != 0;
+    if (has_detect) r.detect_time = detect;
+    r.nr_iterations = static_cast<std::size_t>(nr);
+    r.matrix_size = static_cast<std::size_t>(msize);
+    r.steps_saved = static_cast<std::size_t>(saved);
+    return rd.pos == payload.size();
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string path, std::uint64_t manifest)
+    : path_(std::move(path)), manifest_(manifest) {
+    require(!path_.empty(), "result store: empty path");
+
+    // Read whatever is already on disk.
+    std::string bytes;
+    {
+        std::ifstream in(path_, std::ios::binary);
+        if (in.good()) {
+            bytes.assign(std::istreambuf_iterator<char>(in),
+                         std::istreambuf_iterator<char>());
+        }
+    }
+
+    std::size_t good_end = 0;  // byte offset of the last intact record end
+    bool header_ok = false;
+    {
+        Reader rd{bytes};
+        std::uint32_t magic = 0, version = 0;
+        std::uint64_t stored_manifest = 0;
+        if (rd.get(magic) && rd.get(version) && rd.get(stored_manifest) &&
+            magic == kMagic && version == kVersion &&
+            stored_manifest == manifest_) {
+            header_ok = true;
+            good_end = rd.pos;
+            for (;;) {
+                std::uint32_t len = 0;
+                if (!rd.get(len)) break;
+                if (bytes.size() - rd.pos < len + sizeof(std::uint64_t)) break;
+                const std::string payload = bytes.substr(rd.pos, len);
+                rd.pos += len;
+                std::uint64_t check = 0;
+                if (!rd.get(check)) break;
+                if (check != fnv1a(payload)) break;
+                FaultSimResult r;
+                if (!decode(payload, r)) break;
+                loaded_.push_back(std::move(r));
+                good_end = rd.pos;
+            }
+        }
+    }
+
+    if (header_ok) {
+        // Trim any partial tail, then continue appending after it.
+        if (good_end < bytes.size())
+            std::filesystem::resize_file(path_, good_end);
+        out_.open(path_, std::ios::binary | std::ios::app);
+        require(out_.good(), "result store: cannot append to " + path_);
+    } else {
+        // Fresh or foreign store: restart with our manifest.
+        loaded_.clear();
+        out_.open(path_, std::ios::binary | std::ios::trunc);
+        require(out_.good(), "result store: cannot write " + path_);
+        std::string hdr;
+        put(hdr, kMagic);
+        put(hdr, kVersion);
+        put(hdr, manifest_);
+        out_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+        out_.flush();
+        require(out_.good(), "result store: header write failed: " + path_);
+    }
+}
+
+void ResultStore::append(const FaultSimResult& r) {
+    const std::string payload = encode(r);
+    std::string rec;
+    put(rec, static_cast<std::uint32_t>(payload.size()));
+    rec.append(payload);
+    put(rec, fnv1a(payload));
+
+    std::lock_guard<std::mutex> lk(mu_);
+    out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+    out_.flush();
+    require(out_.good(), "result store: append failed: " + path_);
+}
+
+} // namespace catlift::batch

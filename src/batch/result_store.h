@@ -1,0 +1,81 @@
+// catlift/batch/result_store.h
+//
+// Crash-resumable campaign persistence: an append-only binary log of
+// per-fault simulation results, bound to a manifest hash of everything
+// that determines those results (circuit text, fault list, campaign
+// options).  A campaign opens the store before scheduling; every record
+// already present -- written by an earlier run that crashed, was killed,
+// or simply finished -- is handed back so only the remaining faults are
+// simulated.  A store whose manifest does not match (the circuit or the
+// options changed) is discarded and restarted, never silently reused.
+//
+// The log tolerates truncation anywhere: each record carries its payload
+// length and an FNV-1a checksum, and loading stops at the first short or
+// corrupt record, trimming the file back to the last good byte.  Killing
+// a campaign mid-write therefore costs at most one fault's result.
+
+#pragma once
+
+#include "geom/base.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::batch {
+
+/// Outcome of one fault simulation -- the unit the store persists and the
+/// campaign layer aggregates (anafault::FaultSimResult is an alias).
+struct FaultSimResult {
+    int fault_id = 0;
+    std::string description;
+    double probability = 0.0;
+    bool simulated = false;            ///< kernel run completed
+    std::string error;                 ///< failure reason when !simulated
+    std::optional<double> detect_time; ///< earliest detection instant
+    double sim_seconds = 0.0;          ///< kernel wall time
+    std::size_t nr_iterations = 0;
+    std::size_t matrix_size = 0;       ///< MNA unknowns (source model grows it)
+    std::size_t steps_saved = 0;       ///< grid steps skipped by early abort
+};
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/// FNV-1a 64-bit rolling hash (pass the previous result as `h` to chain).
+std::uint64_t fnv1a(const void* data, std::size_t len,
+                    std::uint64_t h = kFnvOffsetBasis);
+std::uint64_t fnv1a(const std::string& s,
+                    std::uint64_t h = kFnvOffsetBasis);
+
+/// Append-only result log.  Thread-safe: workers append concurrently.
+class ResultStore {
+public:
+    /// Open (creating if needed) the store at `path` for the campaign
+    /// identified by `manifest`.  Existing records are loaded when the
+    /// stored manifest matches; otherwise the file is restarted.  A
+    /// trailing partial record is trimmed.  Throws catlift::Error on I/O
+    /// failure.
+    ResultStore(std::string path, std::uint64_t manifest);
+
+    /// Records recovered from disk at open (file order).
+    const std::vector<FaultSimResult>& loaded() const { return loaded_; }
+
+    /// Append one result and flush it to disk.
+    void append(const FaultSimResult& r);
+
+    const std::string& path() const { return path_; }
+    std::uint64_t manifest() const { return manifest_; }
+
+private:
+    std::string path_;
+    std::uint64_t manifest_ = 0;
+    std::vector<FaultSimResult> loaded_;
+    std::ofstream out_;
+    std::mutex mu_;
+};
+
+} // namespace catlift::batch

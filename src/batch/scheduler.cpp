@@ -1,0 +1,108 @@
+#include "batch/scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace catlift::batch {
+
+Scheduler::Scheduler(unsigned threads) : threads_(std::max(1u, threads)) {}
+
+namespace {
+
+/// One worker's deque with its lock.  Owner pops the front, thieves pop the
+/// back.
+struct WorkDeque {
+    std::mutex mu;
+    std::deque<std::size_t> jobs;
+};
+
+} // namespace
+
+SchedulerStats Scheduler::run(
+    std::vector<Job> jobs, const std::function<void(std::size_t)>& fn) const {
+    SchedulerStats stats;
+    if (jobs.empty()) return stats;
+
+    // Highest probability first; stable so ties keep fault-list order and
+    // the deal below is reproducible run to run.
+    std::stable_sort(jobs.begin(), jobs.end(),
+                     [](const Job& a, const Job& b) {
+                         return a.priority > b.priority;
+                     });
+
+    if (threads_ == 1 || jobs.size() == 1) {
+        // Same cancel-on-error contract as the threaded path.
+        for (const Job& j : jobs) {
+            fn(j.index);
+            ++stats.executed;
+        }
+        return stats;
+    }
+
+    const unsigned w = std::min<unsigned>(
+        threads_, static_cast<unsigned>(jobs.size()));
+    std::vector<WorkDeque> deques(w);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        deques[i % w].jobs.push_back(jobs[i].index);
+
+    std::atomic<std::size_t> executed{0};
+    std::atomic<std::size_t> steals{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+
+    auto worker = [&](unsigned self) {
+        for (;;) {
+            if (cancelled.load(std::memory_order_relaxed)) return;
+            std::size_t idx = 0;
+            bool have = false, stolen = false;
+            {
+                std::lock_guard<std::mutex> lk(deques[self].mu);
+                if (!deques[self].jobs.empty()) {
+                    idx = deques[self].jobs.front();
+                    deques[self].jobs.pop_front();
+                    have = true;
+                }
+            }
+            if (!have) {
+                // Steal: scan the other deques starting after self, taking
+                // from the back (the victim's lowest-priority pending job).
+                for (unsigned k = 1; k < w && !have; ++k) {
+                    WorkDeque& victim = deques[(self + k) % w];
+                    std::lock_guard<std::mutex> lk(victim.mu);
+                    if (!victim.jobs.empty()) {
+                        idx = victim.jobs.back();
+                        victim.jobs.pop_back();
+                        have = stolen = true;
+                    }
+                }
+            }
+            if (!have) return;  // every deque empty: done
+            if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
+            try {
+                fn(idx);
+            } catch (...) {
+                cancelled.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lk(err_mu);
+                if (!first_error) first_error = std::current_exception();
+            }
+            executed.fetch_add(1, std::memory_order_relaxed);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(w);
+    for (unsigned t = 0; t < w; ++t) pool.emplace_back(worker, t);
+    for (auto& th : pool) th.join();
+
+    if (first_error) std::rethrow_exception(first_error);
+    stats.executed = executed.load();
+    stats.steals = steals.load();
+    return stats;
+}
+
+} // namespace catlift::batch

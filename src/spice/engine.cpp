@@ -476,6 +476,11 @@ AcResult Simulator::ac(const AcSpec& spec) {
 }
 
 Waveforms Simulator::tran(const netlist::TranSpec& spec) {
+    return tran(spec, StepObserver{});
+}
+
+Waveforms Simulator::tran(const netlist::TranSpec& spec,
+                          const StepObserver& observer) {
     require(spec.tstep > 0 && spec.tstop > spec.tstart,
             "bad .tran parameters");
     const std::size_t n = n_nodes_ + n_branches_;
@@ -532,6 +537,11 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec) {
         std::llround((spec.tstop - spec.tstart) / spec.tstep));
     require(steps > 0, "transient: zero steps");
 
+    if (observer && !observer(spec.tstart, wf)) {
+        stats_.steps_saved += steps;
+        return wf;
+    }
+
     // Save method so the first sub-step can use BE bootstrap under TRAP.
     const Method user_method = opt_.method;
     bool first_substep = true;
@@ -567,6 +577,10 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec) {
             }
         }
         record(t_target);
+        if (observer && !observer(t_target, wf)) {
+            stats_.steps_saved += steps - k;
+            return wf;
+        }
     }
     return wf;
 }

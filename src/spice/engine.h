@@ -27,6 +27,7 @@
 #include "spice/matrix.h"
 #include "spice/waveform.h"
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -57,6 +58,9 @@ struct SimStats {
     std::size_t lu_factorizations = 0;
     std::size_t tran_steps = 0;
     std::size_t step_cuts = 0;
+    /// User-grid steps never integrated because a step observer stopped the
+    /// transient early (the batch engine's ERASER-style trimmed redundancy).
+    std::size_t steps_saved = 0;
 };
 
 struct DcResult {
@@ -75,6 +79,14 @@ std::vector<DcResult> dc_sweep(const netlist::Circuit& ckt,
                                const std::vector<double>& levels,
                                const SimOptions& opt = {});
 
+/// Observer invoked after every accepted user-grid sample of a transient
+/// analysis: receives the sample time and the waveforms recorded so far
+/// (the new sample is the last row).  Returning false stops the analysis
+/// at that sample; the truncated waveforms are returned and the skipped
+/// user-grid steps are counted in SimStats::steps_saved.  Fault campaigns
+/// use this to abort a faulty run at the first confirmed detection.
+using StepObserver = std::function<bool(double t, const Waveforms& wf)>;
+
 /// One-shot simulator bound to a circuit.  The circuit is copied: the
 /// simulator stays valid independently of the caller's object lifetime
 /// (fault campaigns hand in short-lived mutated circuits).
@@ -89,6 +101,10 @@ public:
     /// requested traces), sampled on the user grid t = tstart..tstop step
     /// tstep.  Throws catlift::Error if the analysis cannot proceed.
     Waveforms tran(const netlist::TranSpec& spec);
+
+    /// Transient analysis with a per-accepted-step observer (may be empty).
+    Waveforms tran(const netlist::TranSpec& spec,
+                   const StepObserver& observer);
 
     /// Convenience: run the circuit's own .tran card.
     Waveforms tran();

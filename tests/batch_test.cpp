@@ -1,0 +1,495 @@
+// Batch fault-simulation engine tests: work-stealing scheduler, fault
+// collapsing, early-abort streaming detection, the append-only result
+// store, and the campaign-level guarantees (thread-count determinism,
+// crash resume).
+
+#include "anafault/campaign.h"
+#include "anafault/comparator.h"
+#include "batch/collapse.h"
+#include "batch/result_store.h"
+#include "batch/scheduler.h"
+#include "core/cat.h"
+#include "spice/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace catlift;
+using namespace catlift::anafault;
+using netlist::Circuit;
+using netlist::SourceSpec;
+using netlist::TranSpec;
+
+namespace {
+
+/// Pulsed voltage divider: cheap to simulate, faults on it are clearly
+/// detectable (or clearly not) at node "out".
+Circuit divider_fixture() {
+    Circuit c;
+    c.title = "divider";
+    c.add_vsource("V1", "in", "0",
+                  SourceSpec::make_pulse(0, 5, 0, 1e-9, 1e-9, 1e-6, 2e-6));
+    c.add_resistor("R1", "in", "out", 1e3);
+    c.add_resistor("R2", "out", "0", 1e3);
+    c.add_capacitor("C1", "out", "0", 1e-10);
+    c.tran = TranSpec{1e-8, 4e-6, 0.0};
+    return c;
+}
+
+lift::Fault make_short(int id, const std::string& a, const std::string& b,
+                       double prob, const std::string& mech = "m1_short") {
+    lift::Fault f;
+    f.id = id;
+    f.kind = lift::FaultKind::LocalShort;
+    f.mechanism = mech;
+    f.probability = prob;
+    f.net_a = a;
+    f.net_b = b;
+    return f;
+}
+
+lift::Fault make_term_open(int id, const std::string& dev, int term,
+                           const std::string& net, double prob) {
+    lift::Fault f;
+    f.id = id;
+    f.kind = lift::FaultKind::LineOpen;
+    f.mechanism = "cut";
+    f.probability = prob;
+    f.net = net;
+    f.group_b = {lift::TerminalRef{dev, term}};
+    return f;
+}
+
+/// Mixed fault list with two pairs of electrically equivalent faults.
+lift::FaultList divider_faults() {
+    lift::FaultList fl;
+    fl.circuit = "divider";
+    fl.faults.push_back(make_short(1, "out", "0", 4e-3));
+    fl.faults.push_back(make_short(2, "in", "out", 3e-3));
+    // Same net pair as #1, different mechanism and net order: one class.
+    fl.faults.push_back(make_short(3, "0", "out", 2e-3, "m2_short"));
+    fl.faults.push_back(make_term_open(4, "R2", 0, "out", 1.5e-3));
+    // Stuck-open on the same terminal as #4: one class.
+    {
+        lift::Fault f;
+        f.id = 5;
+        f.kind = lift::FaultKind::StuckOpen;
+        f.mechanism = "contact";
+        f.probability = 1e-3;
+        f.victim = lift::TerminalRef{"R2", 0};
+        fl.faults.push_back(f);
+    }
+    // Benign: bridging the two terminals of the already-conducting V1.
+    fl.faults.push_back(make_short(6, "in", "0", 0.5e-3));
+    return fl;
+}
+
+CampaignOptions divider_options() {
+    CampaignOptions opt;
+    opt.detection.observed = {"out"};
+    return opt;
+}
+
+std::string temp_store_path(const std::string& tag) {
+    return (std::filesystem::temp_directory_path() /
+            ("catlift_batch_" + tag + ".store"))
+        .string();
+}
+
+void expect_same_results(const CampaignResult& a, const CampaignResult& b) {
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        SCOPED_TRACE("fault index " + std::to_string(i));
+        EXPECT_EQ(a.results[i].fault_id, b.results[i].fault_id);
+        EXPECT_EQ(a.results[i].description, b.results[i].description);
+        EXPECT_EQ(a.results[i].probability, b.results[i].probability);
+        EXPECT_EQ(a.results[i].simulated, b.results[i].simulated);
+        ASSERT_EQ(a.results[i].detect_time.has_value(),
+                  b.results[i].detect_time.has_value());
+        if (a.results[i].detect_time) {
+            // Byte-identical verdicts, not merely close ones.
+            EXPECT_EQ(*a.results[i].detect_time, *b.results[i].detect_time);
+        }
+    }
+    EXPECT_EQ(a.detected(), b.detected());
+    EXPECT_EQ(a.final_coverage(), b.final_coverage());
+    EXPECT_EQ(a.weighted_coverage(), b.weighted_coverage());
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+TEST(Scheduler, ExecutesEveryJobExactlyOnce) {
+    const std::size_t n = 200;
+    std::vector<batch::Job> jobs;
+    for (std::size_t i = 0; i < n; ++i)
+        jobs.push_back(batch::Job{i, static_cast<double>(i % 7)});
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    const batch::Scheduler sched(4);
+    const auto stats = sched.run(jobs, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(stats.executed, n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(Scheduler, SerialRunsHighestPriorityFirst) {
+    std::vector<batch::Job> jobs = {
+        {0, 0.1}, {1, 0.9}, {2, 0.5}, {3, 0.9}};
+    std::vector<std::size_t> order;
+    const batch::Scheduler sched(1);
+    sched.run(jobs, [&](std::size_t i) { order.push_back(i); });
+    // Descending priority; the stable sort keeps 1 before 3.
+    EXPECT_EQ(order, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(Scheduler, PropagatesWorkerException) {
+    std::vector<batch::Job> jobs = {{0, 1.0}, {1, 0.5}};
+    const batch::Scheduler sched(2);
+    EXPECT_THROW(sched.run(jobs,
+                           [&](std::size_t i) {
+                               if (i == 1) throw Error("boom");
+                           }),
+                 Error);
+}
+
+// ---------------------------------------------------------------------------
+// Collapse
+
+TEST(Collapse, ShortsKeyOnSortedNetPair) {
+    const auto a = batch::effect_signature(make_short(1, "n5", "n6", 1e-3));
+    const auto b =
+        batch::effect_signature(make_short(2, "n6", "n5", 2e-3, "poly"));
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, batch::effect_signature(make_short(3, "n5", "n7", 1e-3)));
+}
+
+TEST(Collapse, StuckOpenAndSingleTerminalLineOpenCollapse) {
+    lift::Fault stuck;
+    stuck.kind = lift::FaultKind::StuckOpen;
+    stuck.victim = lift::TerminalRef{"M3", 0};
+    const auto line = make_term_open(2, "M3", 0, "n9", 1e-3);
+    EXPECT_EQ(batch::effect_signature(stuck), batch::effect_signature(line));
+}
+
+TEST(Collapse, SplitSignatureIgnoresTerminalOrder) {
+    lift::Fault a;
+    a.kind = lift::FaultKind::SplitNode;
+    a.net = "n1";
+    a.group_b = {{"M1", 2}, {"M2", 0}};
+    lift::Fault b = a;
+    b.group_b = {{"M2", 0}, {"M1", 2}};
+    EXPECT_EQ(batch::effect_signature(a), batch::effect_signature(b));
+}
+
+TEST(Collapse, GroupsEquivalentFaults) {
+    const auto fl = divider_faults();
+    const auto classes = batch::collapse(fl.faults);
+    ASSERT_EQ(classes.size(), 4u);  // 6 faults, two merged pairs
+    // Class of fault #1 also holds fault #3 (same net pair).
+    EXPECT_EQ(classes[0].members, (std::vector<std::size_t>{0, 2}));
+    // Class of fault #4 also holds the stuck-open #5 (same terminal).
+    EXPECT_EQ(classes[2].members, (std::vector<std::size_t>{3, 4}));
+}
+
+// ---------------------------------------------------------------------------
+// Streaming detection and early abort
+
+TEST(StreamingDetector, MatchesPostHocComparator) {
+    // Nominal: flat 2.5 V.  Faulty: drifts away from t = 1 us on.
+    spice::Waveforms nominal, faulty;
+    nominal.add_trace("out");
+    faulty.add_trace("out");
+    const double dt = 1e-8;
+    for (double t = 0; t <= 4e-6 + dt / 2; t += dt)
+        nominal.append(t, {2.5});
+
+    DetectionSpec spec;
+    spec.observed = {"out"};
+    StreamingDetector det(nominal, spec);
+    std::optional<double> streamed;
+    for (double t = 0; t <= 4e-6 + dt / 2; t += dt) {
+        faulty.append(t, {t < 1e-6 ? 2.5 : 7.0});
+        if (det.feed(faulty) && !streamed) streamed = det.detect_time();
+    }
+    const auto post_hoc = detect_time(nominal, faulty, spec);
+    ASSERT_TRUE(post_hoc.has_value());
+    ASSERT_TRUE(streamed.has_value());
+    EXPECT_EQ(*streamed, *post_hoc);
+}
+
+TEST(StreamingDetector, NoDetectionStaysClean) {
+    spice::Waveforms nominal, faulty;
+    nominal.add_trace("out");
+    faulty.add_trace("out");
+    for (double t = 0; t <= 1e-6; t += 1e-8) {
+        nominal.append(t, {2.5});
+        faulty.append(t, {2.6});  // within the 2 V tolerance
+    }
+    DetectionSpec spec;
+    spec.observed = {"out"};
+    StreamingDetector det(nominal, spec);
+    EXPECT_FALSE(det.feed(faulty));
+    EXPECT_FALSE(det.detect_time().has_value());
+}
+
+TEST(Engine, StepObserverStopsTransient) {
+    Circuit c = divider_fixture();
+    spice::SimOptions sopt;
+    sopt.uic = true;
+    spice::Simulator sim(c, sopt);
+    const TranSpec ts{1e-8, 4e-6, 0.0};
+    const auto wf = sim.tran(
+        ts, [](double t, const spice::Waveforms&) { return t < 1e-6; });
+    // Stopped at the sample where the observer said no: 1 us of 4 us.
+    EXPECT_NEAR(wf.time().back(), 1e-6, 1e-12);
+    EXPECT_EQ(sim.stats().steps_saved, 300u);
+    EXPECT_EQ(wf.points(), 101u);
+}
+
+TEST(Campaign, EarlyAbortKeepsVerdictsAndSavesSteps) {
+    const Circuit c = divider_fixture();
+    const auto fl = divider_faults();
+    CampaignOptions full = divider_options();
+    full.early_abort = false;
+    CampaignOptions abort_opt = divider_options();
+    abort_opt.early_abort = true;
+
+    const auto r_full = run_campaign(c, fl, full);
+    const auto r_abort = run_campaign(c, fl, abort_opt);
+    expect_same_results(r_full, r_abort);
+
+    EXPECT_EQ(r_full.batch.early_aborts, 0u);
+    EXPECT_EQ(r_full.batch.steps_saved, 0u);
+    EXPECT_GT(r_abort.batch.early_aborts, 0u);
+    EXPECT_GT(r_abort.batch.steps_saved, 0u);
+    // The detectable faults fire early in the 4 us window; most of the
+    // integration should have been skipped.
+    EXPECT_GT(r_abort.batch.steps_saved, 100u);
+}
+
+TEST(Campaign, CollapseSimulatesEachClassOnce) {
+    const Circuit c = divider_fixture();
+    const auto fl = divider_faults();
+    const auto res = run_campaign(c, fl, divider_options());
+
+    EXPECT_EQ(res.batch.classes, 4u);
+    EXPECT_EQ(res.batch.collapsed, 2u);
+    EXPECT_EQ(res.batch.scheduled, 4u);
+
+    // Fault #3 shares the verdict of #1 but keeps its own identity, and
+    // its kernel cost is attributed to the representative alone.
+    const auto& rep = res.results[0];
+    const auto& dup = res.results[2];
+    ASSERT_TRUE(rep.detect_time.has_value());
+    ASSERT_TRUE(dup.detect_time.has_value());
+    EXPECT_EQ(*rep.detect_time, *dup.detect_time);
+    EXPECT_EQ(dup.fault_id, 3);
+    EXPECT_EQ(dup.probability, 2e-3);
+    EXPECT_EQ(dup.sim_seconds, 0.0);
+    EXPECT_GT(rep.sim_seconds, 0.0);
+
+    const auto no_collapse = [&] {
+        CampaignOptions opt = divider_options();
+        opt.collapse = false;
+        return run_campaign(c, fl, opt);
+    }();
+    EXPECT_EQ(no_collapse.batch.collapsed, 0u);
+    EXPECT_EQ(no_collapse.batch.scheduled, 6u);
+    expect_same_results(res, no_collapse);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism (acceptance: byte-identical verdicts at 1, 2 and 8 threads)
+
+TEST(Campaign, DeterministicAcrossThreadCounts) {
+    const Circuit c = divider_fixture();
+    const auto fl = divider_faults();
+    CampaignOptions opt = divider_options();
+
+    opt.threads = 1;
+    const auto r1 = run_campaign(c, fl, opt);
+    for (const unsigned t : {2u, 8u}) {
+        opt.threads = t;
+        const auto rt = run_campaign(c, fl, opt);
+        SCOPED_TRACE("threads=" + std::to_string(t));
+        expect_same_results(r1, rt);
+    }
+}
+
+TEST(Campaign, VcoDeterministicAcrossThreadCounts) {
+    // The paper's VCO campaign end to end: layout-extracted fault list,
+    // early abort and collapsing on.  Verdicts and coverage must be
+    // byte-identical at every thread count.
+    const core::VcoExperiment e = core::make_vco_experiment();
+    const auto lift_res =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    CampaignOptions opt = e.config.campaign;
+
+    opt.threads = 1;
+    const auto r1 = run_campaign(e.sim_circuit, lift_res.faults, opt);
+    EXPECT_GT(r1.detected(), 0u);
+    for (const unsigned t : {2u, 8u}) {
+        opt.threads = t;
+        const auto rt = run_campaign(e.sim_circuit, lift_res.faults, opt);
+        SCOPED_TRACE("threads=" + std::to_string(t));
+        expect_same_results(r1, rt);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Result store
+
+TEST(ResultStore, RoundTripsRecords) {
+    const std::string path = temp_store_path("roundtrip");
+    std::filesystem::remove(path);
+    FaultSimResult r;
+    r.fault_id = 7;
+    r.description = "#7 BRI 5->6";
+    r.probability = 1.25e-3;
+    r.simulated = true;
+    r.detect_time = 1.5e-6;
+    r.sim_seconds = 0.25;
+    r.nr_iterations = 1234;
+    r.matrix_size = 17;
+    r.steps_saved = 42;
+    FaultSimResult failed;
+    failed.fault_id = 8;
+    failed.description = "#8 OPEN";
+    failed.simulated = false;
+    failed.error = "transient failed to converge at t=0.000001";
+    {
+        batch::ResultStore store(path, 0xABCDu);
+        EXPECT_TRUE(store.loaded().empty());
+        store.append(r);
+        store.append(failed);
+    }
+    batch::ResultStore store(path, 0xABCDu);
+    ASSERT_EQ(store.loaded().size(), 2u);
+    const auto& a = store.loaded()[0];
+    EXPECT_EQ(a.fault_id, 7);
+    EXPECT_EQ(a.description, r.description);
+    EXPECT_EQ(a.probability, r.probability);
+    ASSERT_TRUE(a.detect_time.has_value());
+    EXPECT_EQ(*a.detect_time, 1.5e-6);
+    EXPECT_EQ(a.nr_iterations, 1234u);
+    EXPECT_EQ(a.matrix_size, 17u);
+    EXPECT_EQ(a.steps_saved, 42u);
+    const auto& b = store.loaded()[1];
+    EXPECT_FALSE(b.simulated);
+    EXPECT_FALSE(b.detect_time.has_value());
+    EXPECT_EQ(b.error, failed.error);
+    std::filesystem::remove(path);
+}
+
+TEST(ResultStore, ManifestMismatchRestartsTheFile) {
+    const std::string path = temp_store_path("manifest");
+    std::filesystem::remove(path);
+    {
+        batch::ResultStore store(path, 1);
+        FaultSimResult r;
+        r.fault_id = 1;
+        store.append(r);
+    }
+    batch::ResultStore other(path, 2);
+    EXPECT_TRUE(other.loaded().empty());
+    std::filesystem::remove(path);
+}
+
+TEST(ResultStore, TruncatedTailLosesAtMostOneRecord) {
+    const std::string path = temp_store_path("trunc");
+    std::filesystem::remove(path);
+    {
+        batch::ResultStore store(path, 9);
+        for (int i = 1; i <= 3; ++i) {
+            FaultSimResult r;
+            r.fault_id = i;
+            r.description = "fault " + std::to_string(i);
+            store.append(r);
+        }
+    }
+    // Chop bytes off the last record, as a kill -9 mid-write would.
+    std::filesystem::resize_file(path, std::filesystem::file_size(path) - 5);
+    {
+        batch::ResultStore store(path, 9);
+        ASSERT_EQ(store.loaded().size(), 2u);
+        EXPECT_EQ(store.loaded()[1].fault_id, 2);
+        // The trimmed store accepts appends again.
+        FaultSimResult r;
+        r.fault_id = 4;
+        store.append(r);
+    }
+    batch::ResultStore store(path, 9);
+    ASSERT_EQ(store.loaded().size(), 3u);
+    EXPECT_EQ(store.loaded()[2].fault_id, 4);
+    std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-resume (acceptance: a killed campaign completes without
+// re-simulating finished faults)
+
+TEST(Campaign, ResumesAfterTruncatedStore) {
+    const Circuit c = divider_fixture();
+    const auto fl = divider_faults();
+    const std::string path = temp_store_path("resume");
+    std::filesystem::remove(path);
+
+    CampaignOptions opt = divider_options();
+    opt.result_store = path;
+    const auto reference = run_campaign(c, fl, opt);
+    EXPECT_EQ(reference.batch.resumed, 0u);
+
+    // Simulate a crash mid-write: drop the tail of the log.
+    const auto full_size = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full_size - full_size / 3);
+
+    CampaignOptions resume_opt = opt;
+    resume_opt.resume = true;
+    const auto resumed = run_campaign(c, fl, resume_opt);
+    expect_same_results(reference, resumed);
+    EXPECT_GT(resumed.batch.resumed, 0u);
+    // Finished faults were not re-simulated: fewer kernel runs than
+    // equivalence classes.
+    EXPECT_LT(resumed.batch.scheduled, resumed.batch.classes);
+
+    // A third run over the now-complete store simulates nothing at all.
+    const auto warm = run_campaign(c, fl, resume_opt);
+    expect_same_results(reference, warm);
+    EXPECT_EQ(warm.batch.scheduled, 0u);
+    EXPECT_EQ(warm.batch.resumed, fl.size());
+    std::filesystem::remove(path);
+}
+
+TEST(Campaign, FreshRunIgnoresStaleStore) {
+    const Circuit c = divider_fixture();
+    const auto fl = divider_faults();
+    const std::string path = temp_store_path("stale");
+    std::filesystem::remove(path);
+
+    CampaignOptions opt = divider_options();
+    opt.result_store = path;
+    run_campaign(c, fl, opt);
+
+    // Different tolerance -> different manifest -> nothing resumes.
+    CampaignOptions changed = opt;
+    changed.resume = true;
+    changed.detection.v_tol = 0.5;
+    const auto res = run_campaign(c, fl, changed);
+    EXPECT_EQ(res.batch.resumed, 0u);
+    EXPECT_EQ(res.batch.scheduled, res.batch.classes);
+
+    // Solver knobs are part of the manifest too: different numerics mean
+    // different waveforms, so the store must restart.
+    CampaignOptions numerics = opt;
+    numerics.resume = true;
+    numerics.sim.reltol = 1e-4;
+    const auto res2 = run_campaign(c, fl, numerics);
+    EXPECT_EQ(res2.batch.resumed, 0u);
+    std::filesystem::remove(path);
+}

@@ -10,6 +10,10 @@
 //     --v-tol <V>        amplitude tolerance (default 2.0)
 //     --t-tol <s>        time tolerance (default 0.2e-6)
 //     --threads <n>      parallel workers (default 1)
+//     --store <file>     append-only result store (crash-resumable log)
+//     --resume           reuse finished faults from --store
+//     --no-early-abort   integrate every faulty run to tstop
+//     --no-collapse      skip the fault-collapsing pre-pass
 //     --table            per-fault result table
 //     --plot             ASCII coverage plot
 //     --csv <file>       coverage curve CSV
@@ -32,7 +36,8 @@ namespace {
         stderr,
         "usage: anafaultc <deck.sp> <faults.flt> [--observe node]... "
         "[--supply vsrc] [--model resistor|source] [--v-tol V] [--t-tol s] "
-        "[--threads n] [--table] [--plot] [--csv file]\n");
+        "[--threads n] [--store file] [--resume] [--no-early-abort] "
+        "[--no-collapse] [--table] [--plot] [--csv file]\n");
     std::exit(2);
 }
 
@@ -66,6 +71,10 @@ int main(int argc, char** argv) {
         else if (a == "--t-tol") opt.detection.t_tol = std::atof(next());
         else if (a == "--threads")
             opt.threads = static_cast<unsigned>(std::atoi(next()));
+        else if (a == "--store") opt.result_store = next();
+        else if (a == "--resume") opt.resume = true;
+        else if (a == "--no-early-abort") opt.early_abort = false;
+        else if (a == "--no-collapse") opt.collapse = false;
         else if (a == "--table") table = true;
         else if (a == "--plot") plot = true;
         else if (a == "--csv") csv_path = next();
@@ -75,6 +84,10 @@ int main(int argc, char** argv) {
         else usage();
     }
     if (deck_path.empty() || flt_path.empty()) usage();
+    if (opt.resume && opt.result_store.empty()) {
+        std::fprintf(stderr, "anafaultc: --resume needs --store <file>\n");
+        return 2;
+    }
 
     try {
         const netlist::Circuit ckt = netlist::parse_spice_file(deck_path);
