@@ -1,0 +1,190 @@
+// Adaptive LTE-controlled time stepping on the paper's VCO campaign, and
+// mid-sweep early abort on the OTA AC campaign.
+//
+// The fixed grid integrates 400 steps per run whether anything happens or
+// not; early abort (PR 1) trims the part of a *detected* run after its
+// detection instant, and the adaptive kernel trims the quiescent part of
+// every run -- nominal, detected-before-abort, and especially undetected
+// tails.  This bench measures all four transient configurations on the
+// 64-fault VCO campaign, checks the detection verdicts are identical
+// across them, runs the OTA AC campaign with and without dB early abort,
+// and emits machine-readable BENCH_adaptive_tran.json.
+
+#include "anafault/ac_campaign.h"
+#include "circuits/ota.h"
+#include "core/cat.h"
+#include "lift/extract_faults.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace catlift;
+
+namespace {
+
+struct TranSample {
+    std::string label;
+    bool adaptive = false;
+    bool early_abort = false;
+    double wall_s = 0.0;
+    std::size_t steps_integrated = 0;
+    std::size_t steps_interpolated = 0;
+    std::size_t steps_saved = 0;
+    std::size_t detected = 0;
+    std::string verdicts;  ///< per-fault verdict string, for identity check
+};
+
+std::string verdict_string(const anafault::CampaignResult& res) {
+    std::string v;
+    for (const auto& r : res.results)
+        v += r.detect_time ? 'D' : (r.simulated ? 'u' : 'x');
+    return v;
+}
+
+TranSample run_tran(const core::VcoExperiment& e,
+                    const lift::FaultList& faults, bool adaptive,
+                    bool early_abort) {
+    TranSample s;
+    s.label = std::string(adaptive ? "adaptive" : "fixed") +
+              (early_abort ? "-abort" : "-noabort");
+    s.adaptive = adaptive;
+    s.early_abort = early_abort;
+    anafault::CampaignOptions opt = e.config.campaign;
+    opt.sim.adaptive = adaptive;
+    opt.early_abort = early_abort;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = anafault::run_campaign(e.sim_circuit, faults, opt);
+    s.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    s.steps_integrated = res.batch.steps_integrated;
+    s.steps_interpolated = res.batch.steps_interpolated;
+    s.steps_saved = res.batch.steps_saved;
+    s.detected = res.detected();
+    s.verdicts = verdict_string(res);
+    return s;
+}
+
+struct AcSample {
+    std::string label;
+    bool early_abort = false;
+    double wall_s = 0.0;
+    std::size_t points_saved = 0;
+    std::size_t early_aborts = 0;
+    std::size_t detected = 0;
+};
+
+AcSample run_ac(const netlist::Circuit& ckt, const lift::FaultList& faults,
+                bool early_abort) {
+    AcSample s;
+    s.label = early_abort ? "ac-abort" : "ac-noabort";
+    s.early_abort = early_abort;
+    anafault::AcCampaignOptions opt;
+    opt.observed = {circuits::kOtaOutput};
+    opt.sweep.fstart = 1e3;
+    opt.sweep.fstop = 1e9;
+    opt.early_abort = early_abort;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = anafault::run_ac_campaign(ckt, faults, opt);
+    s.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    s.points_saved = res.batch.freq_points_saved;
+    s.early_aborts = res.batch.early_aborts;
+    s.detected = res.detected();
+    return s;
+}
+
+} // namespace
+
+int main() {
+    std::printf("== adaptive transient kernel: VCO campaign ==\n\n");
+    const core::VcoExperiment e = core::make_vco_experiment();
+    const auto lift_res =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    std::printf("  faults: %zu\n\n", lift_res.faults.size());
+
+    // Unmeasured warmup.
+    run_tran(e, lift_res.faults, false, false);
+
+    std::vector<TranSample> tran;
+    for (const bool adaptive : {false, true})
+        for (const bool abort_on : {false, true})
+            tran.push_back(run_tran(e, lift_res.faults, adaptive, abort_on));
+
+    bool verdicts_identical = true;
+    for (const TranSample& s : tran)
+        if (s.verdicts != tran.front().verdicts) verdicts_identical = false;
+
+    std::printf("  %-18s %10s %12s %14s %12s %9s\n", "config", "wall [s]",
+                "integrated", "interpolated", "grid saved", "detected");
+    for (const TranSample& s : tran)
+        std::printf("  %-18s %10.3f %12zu %14zu %12zu %9zu\n",
+                    s.label.c_str(), s.wall_s, s.steps_integrated,
+                    s.steps_interpolated, s.steps_saved, s.detected);
+    std::printf("\n  verdicts identical across configs: %s\n\n",
+                verdicts_identical ? "yes" : "NO");
+
+    std::printf("== AC early abort: OTA campaign ==\n\n");
+    circuits::OtaOptions dev_opt;
+    dev_opt.with_sources = false;
+    const netlist::Circuit ota_dev = circuits::build_ota(dev_opt);
+    const layout::Layout ota_lo = layout::generate_cell_layout(ota_dev);
+    lift::LiftOptions ota_lopt;
+    ota_lopt.net_blocks = circuits::ota_net_blocks();
+    const auto ota_faults = lift::extract_faults(
+        ota_lo, layout::Technology::single_poly_double_metal(), ota_lopt);
+    netlist::Circuit ota = circuits::build_ota();
+    ota.device("VDD").source = netlist::SourceSpec::make_dc(5.0);
+    ota.device("VIN").source = netlist::SourceSpec::make_dc(2.5);
+    ota.device("VIN").source.ac_mag = 1.0;
+    std::printf("  faults: %zu\n\n", ota_faults.faults.size());
+
+    std::vector<AcSample> ac;
+    for (const bool abort_on : {false, true})
+        ac.push_back(run_ac(ota, ota_faults.faults, abort_on));
+
+    std::printf("  %-12s %10s %14s %9s %9s\n", "config", "wall [s]",
+                "points saved", "aborts", "detected");
+    for (const AcSample& s : ac)
+        std::printf("  %-12s %10.3f %14zu %9zu %9zu\n", s.label.c_str(),
+                    s.wall_s, s.points_saved, s.early_aborts, s.detected);
+    std::printf("\n");
+
+    std::ofstream js("BENCH_adaptive_tran.json");
+    js << "{\n  \"bench\": \"adaptive_tran\",\n";
+    js << "  \"circuit\": \"vco\",\n";
+    js << "  \"faults\": " << lift_res.faults.size() << ",\n";
+    js << "  \"verdicts_identical\": "
+       << (verdicts_identical ? "true" : "false") << ",\n";
+    js << "  \"tran\": [\n";
+    for (std::size_t i = 0; i < tran.size(); ++i) {
+        const TranSample& s = tran[i];
+        js << "    {\"label\": \"" << s.label << "\", \"adaptive\": "
+           << (s.adaptive ? "true" : "false") << ", \"early_abort\": "
+           << (s.early_abort ? "true" : "false") << ", \"wall_s\": "
+           << s.wall_s << ", \"steps_integrated\": " << s.steps_integrated
+           << ", \"steps_interpolated\": " << s.steps_interpolated
+           << ", \"steps_saved\": " << s.steps_saved
+           << ", \"detected\": " << s.detected << "}"
+           << (i + 1 < tran.size() ? "," : "") << "\n";
+    }
+    js << "  ],\n";
+    js << "  \"ac\": {\"circuit\": \"ota\", \"faults\": "
+       << ota_faults.faults.size() << ", \"samples\": [\n";
+    for (std::size_t i = 0; i < ac.size(); ++i) {
+        const AcSample& s = ac[i];
+        js << "    {\"label\": \"" << s.label << "\", \"early_abort\": "
+           << (s.early_abort ? "true" : "false") << ", \"wall_s\": "
+           << s.wall_s << ", \"freq_points_saved\": " << s.points_saved
+           << ", \"early_aborts\": " << s.early_aborts
+           << ", \"detected\": " << s.detected << "}"
+           << (i + 1 < ac.size() ? "," : "") << "\n";
+    }
+    js << "  ]}\n}\n";
+    std::printf("  wrote BENCH_adaptive_tran.json\n");
+    return verdicts_identical ? 0 : 1;
+}

@@ -26,6 +26,7 @@ struct Sample {
     unsigned threads = 1;
     bool early_abort = false;
     bool collapse = false;
+    bool adaptive = false;
     double wall_s = 0.0;
     std::size_t early_aborts = 0;
     std::size_t steps_saved = 0;
@@ -34,11 +35,12 @@ struct Sample {
 
 double run_once(const core::VcoExperiment& e, const lift::FaultList& faults,
                 unsigned threads, bool early_abort, bool collapse,
-                Sample& out) {
+                bool adaptive, Sample& out) {
     anafault::CampaignOptions opt = e.config.campaign;
     opt.threads = threads;
     opt.early_abort = early_abort;
     opt.collapse = collapse;
+    opt.sim.adaptive = adaptive;
     const auto t0 = std::chrono::steady_clock::now();
     const auto res = anafault::run_campaign(e.sim_circuit, faults, opt);
     out.wall_s = std::chrono::duration<double>(
@@ -68,17 +70,18 @@ int main() {
     // to whichever configuration happens to run first.
     {
         Sample warmup;
-        run_once(e, lift_res.faults, 1, false, false, warmup);
+        run_once(e, lift_res.faults, 1, false, false, false, warmup);
     }
 
-    // Seed-equivalent serial loop: threads=1, no collapsing, every run
-    // integrated to tstop -- the exact work profile of the seed's inner
-    // loop (same kernel; the inline scheduler path adds no threads).
+    // Seed-equivalent serial loop: threads=1, no collapsing, fixed-grid
+    // integration, every run integrated to tstop -- the exact work profile
+    // of the seed's inner loop (same kernel; the inline scheduler path
+    // adds no threads).
     {
         Sample s;
         s.label = "seed-serial";
         s.threads = 1;
-        run_once(e, lift_res.faults, 1, false, false, s);
+        run_once(e, lift_res.faults, 1, false, false, false, s);
         samples.push_back(s);
     }
     const double t_seed = samples[0].wall_s;
@@ -94,7 +97,8 @@ int main() {
             s.threads = n;
             s.early_abort = abort_on;
             s.collapse = true;
-            run_once(e, lift_res.faults, n, abort_on, true, s);
+            s.adaptive = true;  // campaign default: LTE stride control
+            run_once(e, lift_res.faults, n, abort_on, true, true, s);
             samples.push_back(s);
         }
     }
@@ -118,7 +122,8 @@ int main() {
         js << "    {\"label\": \"" << s.label << "\", \"threads\": "
            << s.threads << ", \"early_abort\": "
            << (s.early_abort ? "true" : "false") << ", \"collapse\": "
-           << (s.collapse ? "true" : "false") << ", \"wall_s\": " << s.wall_s
+           << (s.collapse ? "true" : "false") << ", \"adaptive\": "
+           << (s.adaptive ? "true" : "false") << ", \"wall_s\": " << s.wall_s
            << ", \"speedup_vs_seed\": " << t_seed / s.wall_s
            << ", \"early_aborts\": " << s.early_aborts
            << ", \"steps_saved\": " << s.steps_saved

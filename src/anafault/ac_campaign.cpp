@@ -1,9 +1,11 @@
 #include "anafault/ac_campaign.h"
 
+#include "anafault/comparator.h"
 #include "batch/collapse.h"
 #include "batch/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace catlift::anafault {
@@ -36,6 +38,7 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
 
     const std::size_t n_faults = faults.size();
     res.results.resize(n_faults);
+    res.batch.threads = std::max(1u, opt.threads);
 
     const std::vector<batch::CollapsedClass> classes =
         opt.collapse ? batch::collapse(faults.faults)
@@ -44,29 +47,34 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
         classes,
         [&](std::size_t m) { return faults.faults[m].probability; });
 
-    batch::run_classes(
+    const std::vector<char> is_rep =
+        batch::representative_mask(classes, n_faults);
+    std::atomic<std::size_t> points_saved{0}, aborted{0};
+    const batch::SchedulerStats sstats = batch::run_classes(
         batch::Scheduler(opt.threads), classes, jobs, res.results,
         [&](std::size_t rep) {
             const lift::Fault& f = faults.faults[rep];
             AcFaultResult r;
             try {
                 const Circuit faulty = inject(ckt, f, opt.injection);
+                AcStreamingDetector detector(res.nominal, opt.observed,
+                                             opt.db_tol);
                 spice::Simulator sim(faulty, opt.sim);
-                const spice::AcResult ac = sim.ac(opt.sweep);
+                const spice::AcPointObserver observer =
+                    [&](double, const spice::AcResult& partial) {
+                        return !(detector.feed(partial) && opt.early_abort);
+                    };
+                sim.ac(opt.sweep, observer);
                 r.simulated = true;
-                for (std::size_t i = 0; i < res.nominal.points(); ++i) {
-                    const double freq = res.nominal.freq()[i];
-                    for (const std::string& node : opt.observed) {
-                        if (!ac.has(node)) continue;
-                        const double dev =
-                            std::fabs(ac.mag_db(node, i) -
-                                      res.nominal.mag_db(node, i));
-                        r.max_deviation_db = std::max(r.max_deviation_db, dev);
-                        if (dev > opt.db_tol && !r.detect_freq)
-                            r.detect_freq = freq;
-                    }
+                r.detected = detector.detected();
+                r.detect_freq = detector.detect_freq();
+                r.max_deviation_db = detector.max_deviation_db();
+                r.points_saved = sim.stats().ac_points_saved;
+                if (r.points_saved > 0) {
+                    aborted.fetch_add(1, std::memory_order_relaxed);
+                    points_saved.fetch_add(r.points_saved,
+                                           std::memory_order_relaxed);
                 }
-                r.detected = r.detect_freq.has_value();
             } catch (const Error& e) {
                 r.simulated = false;
                 r.error = e.what();
@@ -77,8 +85,16 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
             AcFaultResult copy = verdict;
             copy.fault_id = faults.faults[m].id;
             copy.description = faults.faults[m].describe();
+            // Kernel savings stay attributed to the class representative.
+            if (!is_rep[m]) copy.points_saved = 0;
             return copy;
         });
+    res.batch.classes = classes.size();
+    res.batch.collapsed = n_faults - classes.size();
+    res.batch.scheduled = sstats.executed;
+    res.batch.steals = sstats.steals;
+    res.batch.early_aborts = aborted.load();
+    res.batch.freq_points_saved = points_saved.load();
     return res;
 }
 

@@ -6,10 +6,19 @@
 // small-signal response is swept, and the fault counts as detected when
 // its magnitude response deviates from the nominal one by more than the
 // dB tolerance anywhere in the sweep.
+//
+// The sweep is streamed through an AcStreamingDetector wired into the
+// kernel's per-frequency-point observer: with early abort on (default) a
+// faulty sweep stops at its first dB violation instead of computing the
+// rest of the axis -- the frequency-domain twin of the transient
+// campaign's ERASER-style abort.  Verdict and first-violation frequency
+// are identical either way; only max_deviation_db is then reported up to
+// the abort point.
 
 #pragma once
 
 #include "anafault/fault_models.h"
+#include "batch/scheduler.h"
 #include "lift/fault.h"
 #include "netlist/netlist.h"
 #include "spice/engine.h"
@@ -30,6 +39,9 @@ struct AcCampaignOptions {
     unsigned threads = 1;
     /// Sweep each electrical-effect equivalence class once.
     bool collapse = true;
+    /// Stop each faulty sweep at its first dB-tolerance violation instead
+    /// of computing every frequency point (verdicts are unchanged).
+    bool early_abort = true;
 };
 
 struct AcFaultResult {
@@ -38,13 +50,16 @@ struct AcFaultResult {
     bool simulated = false;
     std::string error;
     bool detected = false;
-    double max_deviation_db = 0.0;       ///< worst magnitude deviation
+    double max_deviation_db = 0.0;       ///< worst deviation over the swept
+                                         ///< points (up to the abort, if any)
     std::optional<double> detect_freq;   ///< frequency of first violation
+    std::size_t points_saved = 0;        ///< sweep points skipped by abort
 };
 
 struct AcCampaignResult {
     spice::AcResult nominal;
     std::vector<AcFaultResult> results;
+    batch::BatchStats batch;  ///< scheduler / collapse / abort counters
 
     std::size_t detected() const;
     double coverage() const;  ///< percent

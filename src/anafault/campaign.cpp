@@ -85,6 +85,12 @@ std::uint64_t manifest_hash(const Circuit& ckt,
     o += "|" + hexd(opt.sim.reltol) + "|" + hexd(opt.sim.dv_limit);
     o += "|" + std::to_string(opt.sim.max_nr);
     o += "|" + std::to_string(opt.sim.max_step_cuts);
+    // Adaptive stepping changes the waveforms (within LTE tolerance, but
+    // changed is changed): a store written under the other stepping mode
+    // or a different LTE knob must not be resumed.
+    o += opt.sim.adaptive ? "|adaptive" : "|fixedgrid";
+    o += "|" + hexd(opt.sim.lte_tol);
+    o += "|" + std::to_string(opt.sim.max_stride);
     // Engine shortcuts do not change verdicts, but a user toggling them
     // (e.g. --no-collapse to rule out a collapse bug) wants faults
     // actually re-simulated -- treat the store as foreign.
@@ -113,6 +119,8 @@ FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
         r.sim_seconds = seconds_since(t0);
         r.nr_iterations = sim.stats().nr_iterations;
         r.steps_saved = sim.stats().steps_saved;
+        r.steps_integrated = sim.stats().tran_steps;
+        r.steps_interpolated = sim.stats().grid_points_interpolated;
         r.simulated = true;
         r.detect_time = detector->detect_time();
     } catch (const Error& e) {
@@ -143,6 +151,8 @@ FaultSimResult fan_out(const FaultSimResult& rep, const JobMeta& meta) {
     c.sim_seconds = 0.0;
     c.nr_iterations = 0;
     c.steps_saved = 0;
+    c.steps_integrated = 0;
+    c.steps_interpolated = 0;
     return c;
 }
 
@@ -162,6 +172,8 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         Simulator sim(ckt, opt.sim);
         res.nominal = sim.tran(ts);
         res.nominal_seconds = seconds_since(t0);
+        res.batch.steps_integrated = sim.stats().tran_steps;
+        res.batch.steps_interpolated = sim.stats().grid_points_interpolated;
     }
 
     res.results.resize(n);
@@ -280,6 +292,8 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         if (resumed_here[i]) continue;
         const FaultSimResult& r = res.results[i];
         res.total_seconds += r.sim_seconds;
+        res.batch.steps_integrated += r.steps_integrated;
+        res.batch.steps_interpolated += r.steps_interpolated;
         if (r.steps_saved > 0) {
             ++res.batch.early_aborts;
             res.batch.steps_saved += r.steps_saved;

@@ -52,7 +52,12 @@ struct CampaignOptions {
     bool resume = false;
 
     CampaignOptions() {
-        sim.uic = true;  // paper: start at supply activation
+        sim.uic = true;       // paper: start at supply activation
+        // LTE-controlled adaptive stepping is the campaign default: an
+        // undetected fault's quiescent tail integrates in a handful of
+        // solves instead of a full fixed grid, multiplying with early
+        // abort.  anafaultc exposes --no-adaptive / --lte-tol.
+        sim.adaptive = true;
     }
 };
 

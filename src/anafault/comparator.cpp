@@ -105,6 +105,34 @@ bool StreamingDetector::feed(const Waveforms& faulty) {
     return false;
 }
 
+AcStreamingDetector::AcStreamingDetector(const spice::AcResult& nominal,
+                                         std::vector<std::string> observed,
+                                         double db_tol)
+    : nominal_(&nominal), observed_(std::move(observed)), db_tol_(db_tol) {
+    for (const std::string& node : observed_)
+        require(nominal_->has(node),
+                "ac comparator: nominal lacks node " + node);
+}
+
+bool AcStreamingDetector::feed(const spice::AcResult& faulty) {
+    const std::size_t upto =
+        std::min(faulty.points(), nominal_->points());
+    for (std::size_t i = next_; i < upto; ++i) {
+        for (const std::string& node : observed_) {
+            // A node split can rename the observed node out of the faulty
+            // circuit; such a channel is simply not comparable.
+            if (!faulty.has(node)) continue;
+            const double dev = std::fabs(faulty.mag_db(node, i) -
+                                         nominal_->mag_db(node, i));
+            max_dev_ = std::max(max_dev_, dev);
+            if (dev > db_tol_ && !detect_freq_)
+                detect_freq_ = nominal_->freq()[i];
+        }
+    }
+    next_ = upto;
+    return detected();
+}
+
 std::optional<double> detect_time(const Waveforms& nominal,
                                   const Waveforms& faulty,
                                   const DetectionSpec& spec) {

@@ -15,6 +15,7 @@
 
 #pragma once
 
+#include "spice/ac.h"
 #include "spice/waveform.h"
 
 #include <optional>
@@ -84,6 +85,41 @@ private:
     std::vector<Channel> channels_;
     std::size_t next_ = 1;  ///< first unprocessed faulty sample index
     std::optional<double> detect_time_;
+};
+
+/// Frequency-domain counterpart of StreamingDetector: fed the partial
+/// AcResult of a faulty sweep one (or more) frequency points at a time, it
+/// reports detection the instant the magnitude response first deviates
+/// from the nominal one by more than `db_tol` on any observed node.  Both
+/// sweeps must share the AcSpec (point-aligned frequency axes).  The AC
+/// fault campaign hooks this into spice::AcPointObserver so a faulty sweep
+/// stops mid-axis at its first violation; the verdict and first-violation
+/// frequency are identical to scanning the full sweep post hoc.
+///
+/// The detector holds a reference to the nominal result; keep it alive
+/// for the detector's lifetime.
+class AcStreamingDetector {
+public:
+    AcStreamingDetector(const spice::AcResult& nominal,
+                        std::vector<std::string> observed, double db_tol);
+
+    /// Consume every frequency point appended to `faulty` since the last
+    /// call.  Returns detected().
+    bool feed(const spice::AcResult& faulty);
+
+    bool detected() const { return detect_freq_.has_value(); }
+    std::optional<double> detect_freq() const { return detect_freq_; }
+    /// Worst magnitude deviation over the points fed so far [dB] (with an
+    /// early-aborted sweep, over the points before the abort).
+    double max_deviation_db() const { return max_dev_; }
+
+private:
+    const spice::AcResult* nominal_;
+    std::vector<std::string> observed_;
+    double db_tol_;
+    std::size_t next_ = 0;  ///< first unprocessed frequency point index
+    std::optional<double> detect_freq_;
+    double max_dev_ = 0.0;
 };
 
 } // namespace catlift::anafault

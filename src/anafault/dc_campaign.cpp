@@ -4,6 +4,7 @@
 #include "batch/scheduler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 namespace catlift::anafault {
@@ -38,12 +39,14 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
     const spice::DcResult nom_op = nominal.dc_op();
     require(nom_op.converged, "dc screen: nominal operating point failed");
     res.nominal_op = nom_op.voltages;
+    res.nominal_iterations = nom_op.iterations;
     for (const std::string& n : opt.observed)
         require(res.nominal_op.count(n) > 0,
                 "dc screen: observed node missing: " + n);
 
     const std::size_t n_faults = faults.size();
     res.results.resize(n_faults);
+    res.batch.threads = std::max(1u, opt.threads);
 
     // One solve per electrical-effect class, verdict fanned out.
     const std::vector<batch::CollapsedClass> classes =
@@ -53,7 +56,10 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
         classes,
         [&](std::size_t m) { return faults.faults[m].probability; });
 
-    batch::run_classes(
+    const std::vector<char> is_rep =
+        batch::representative_mask(classes, n_faults);
+    std::atomic<std::size_t> warm_hits{0}, nr_saved{0};
+    const batch::SchedulerStats sstats = batch::run_classes(
         batch::Scheduler(opt.threads), classes, jobs, res.results,
         [&](std::size_t rep) {
             const lift::Fault& f = faults.faults[rep];
@@ -61,8 +67,22 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             try {
                 const Circuit faulty = inject(ckt, f, opt.injection);
                 spice::Simulator sim(faulty, opt.sim);
-                const spice::DcResult op = sim.dc_op();
+                const spice::DcResult op = opt.warm_start
+                                               ? sim.dc_op(res.nominal_op)
+                                               : sim.dc_op();
                 r.converged = op.converged;
+                r.nr_iterations = op.iterations;
+                r.strategy = op.strategy;
+                if (op.strategy == "warm") {
+                    warm_hits.fetch_add(1, std::memory_order_relaxed);
+                    // Saved vs the nominal circuit's own cold cost -- the
+                    // best available baseline for a one-shot faulty solve.
+                    if (res.nominal_iterations > op.iterations)
+                        nr_saved.fetch_add(
+                            static_cast<std::size_t>(res.nominal_iterations -
+                                                     op.iterations),
+                            std::memory_order_relaxed);
+                }
                 if (op.converged) {
                     for (const std::string& n : opt.observed) {
                         const double dv = std::fabs(op.voltages.at(n) -
@@ -80,8 +100,16 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             DcFaultResult copy = verdict;
             copy.fault_id = faults.faults[m].id;
             copy.description = faults.faults[m].describe();
+            // Kernel cost stays attributed to the class representative.
+            if (!is_rep[m]) copy.nr_iterations = 0;
             return copy;
         });
+    res.batch.classes = classes.size();
+    res.batch.collapsed = n_faults - classes.size();
+    res.batch.scheduled = sstats.executed;
+    res.batch.steals = sstats.steals;
+    res.batch.warm_start_solves = warm_hits.load();
+    res.batch.nr_saved_warm = nr_saved.load();
     return res;
 }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include "anafault/fault_models.h"
+#include "batch/scheduler.h"
 #include "lift/fault.h"
 #include "netlist/netlist.h"
 #include "spice/engine.h"
@@ -33,6 +34,16 @@ struct DcScreenOptions {
     unsigned threads = 1;
     /// Solve each electrical-effect equivalence class once.
     bool collapse = true;
+    /// Warm-start each faulty operating point from the nominal one (most
+    /// faults perturb the circuit locally, so plain NR from the nominal
+    /// solution converges in a few iterations; the cold strategy ladder
+    /// stays as the fallback).  Caveat: on a faulty circuit that remains
+    /// multistable, the warm solve settles in the nominal basin while a
+    /// cold solve may pick another operating point -- for a screen that
+    /// measures deviation *from nominal* the warm answer is the
+    /// conservative one, but set this to false to reproduce cold-start
+    /// verdicts exactly.
+    bool warm_start = true;
 };
 
 struct DcFaultResult {
@@ -41,11 +52,15 @@ struct DcFaultResult {
     bool converged = false;      ///< operating point found
     bool detected = false;       ///< deviation beyond tolerance
     double max_deviation = 0.0;  ///< largest |dV| over observed nodes [V]
+    int nr_iterations = 0;       ///< NR cost of the solve
+    std::string strategy;        ///< "warm", "nr", "gmin", "source"
 };
 
 struct DcScreenResult {
     std::map<std::string, double> nominal_op;  ///< fault-free node voltages
+    int nominal_iterations = 0;  ///< NR cost of the nominal (cold) solve
     std::vector<DcFaultResult> results;
+    batch::BatchStats batch;     ///< scheduler / collapse / warm-start stats
 
     std::size_t detected() const;
     /// DC fault coverage in percent.

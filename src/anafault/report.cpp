@@ -70,6 +70,14 @@ std::string campaign_summary(const CampaignResult& res) {
                       res.batch.early_aborts, res.batch.steps_saved);
         os << buf;
     }
+    if (res.batch.steps_interpolated > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "adaptive stepping: %zu steps integrated, "
+                      "%zu grid samples interpolated\n",
+                      res.batch.steps_integrated,
+                      res.batch.steps_interpolated);
+        os << buf;
+    }
     return os.str();
 }
 

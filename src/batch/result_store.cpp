@@ -21,7 +21,10 @@ std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
 namespace {
 
 constexpr std::uint32_t kMagic = 0x42544143u;  // "CATB"
-constexpr std::uint32_t kVersion = 1;
+// v2: steps_integrated + steps_interpolated appended to each record (the
+// adaptive transient kernel's counters).  A v1 store is treated as foreign
+// and restarted, like any other manifest mismatch.
+constexpr std::uint32_t kVersion = 2;
 
 template <typename T>
 void put(std::string& buf, const T& v) {
@@ -70,6 +73,8 @@ std::string encode(const FaultSimResult& r) {
     put(p, static_cast<std::uint64_t>(r.nr_iterations));
     put(p, static_cast<std::uint64_t>(r.matrix_size));
     put(p, static_cast<std::uint64_t>(r.steps_saved));
+    put(p, static_cast<std::uint64_t>(r.steps_integrated));
+    put(p, static_cast<std::uint64_t>(r.steps_interpolated));
     put_str(p, r.description);
     put_str(p, r.error);
     return p;
@@ -80,10 +85,11 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     std::int32_t id = 0;
     std::uint8_t simulated = 0, has_detect = 0;
     double detect = 0.0;
-    std::uint64_t nr = 0, msize = 0, saved = 0;
+    std::uint64_t nr = 0, msize = 0, saved = 0, integrated = 0, interp = 0;
     if (!rd.get(id) || !rd.get(simulated) || !rd.get(has_detect) ||
         !rd.get(detect) || !rd.get(r.probability) || !rd.get(r.sim_seconds) ||
         !rd.get(nr) || !rd.get(msize) || !rd.get(saved) ||
+        !rd.get(integrated) || !rd.get(interp) ||
         !rd.get_str(r.description) || !rd.get_str(r.error))
         return false;
     r.fault_id = id;
@@ -92,6 +98,8 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     r.nr_iterations = static_cast<std::size_t>(nr);
     r.matrix_size = static_cast<std::size_t>(msize);
     r.steps_saved = static_cast<std::size_t>(saved);
+    r.steps_integrated = static_cast<std::size_t>(integrated);
+    r.steps_interpolated = static_cast<std::size_t>(interp);
     return rd.pos == payload.size();
 }
 

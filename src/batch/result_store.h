@@ -41,6 +41,11 @@ struct FaultSimResult {
     std::size_t nr_iterations = 0;
     std::size_t matrix_size = 0;       ///< MNA unknowns (source model grows it)
     std::size_t steps_saved = 0;       ///< grid steps skipped by early abort
+    /// Companion steps the kernel actually solved (an adaptive step spanning
+    /// several grid intervals counts once) and grid samples the adaptive
+    /// controller filled by interpolation instead of a solve.
+    std::size_t steps_integrated = 0;
+    std::size_t steps_interpolated = 0;
 };
 
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;

@@ -39,8 +39,10 @@ struct SchedulerStats {
 };
 
 /// Aggregate statistics of a batch campaign: what the scheduler, the
-/// fault-collapsing pre-pass, the early-abort comparator and the result
-/// store each contributed.  Carried on anafault::CampaignResult.
+/// fault-collapsing pre-pass, the per-point observers (early abort,
+/// adaptive stepping, warm starts) and the result store each contributed.
+/// Carried on the transient, AC and DC campaign results; each campaign
+/// fills the counters that apply to its analysis.
 struct BatchStats {
     unsigned threads = 1;        ///< workers requested (the scheduler caps
                                  ///< actual workers at the job count)
@@ -48,9 +50,18 @@ struct BatchStats {
     std::size_t collapsed = 0;   ///< faults folded into a class representative
     std::size_t resumed = 0;     ///< results loaded from the result store
     std::size_t scheduled = 0;   ///< kernel simulations actually run
-    std::size_t early_aborts = 0; ///< runs stopped before tstop by detection
-    std::size_t steps_saved = 0;  ///< user-grid steps never integrated
+    std::size_t early_aborts = 0; ///< runs stopped early by detection
+    std::size_t steps_saved = 0;  ///< tran: user-grid steps never integrated
     std::size_t steals = 0;       ///< cross-worker job steals
+    // -- adaptive transient kernel (nominal run + this run's faults) --------
+    std::size_t steps_integrated = 0;  ///< companion steps actually solved
+    std::size_t steps_interpolated = 0; ///< grid samples filled by the LTE
+                                        ///< controller without a solve
+    // -- AC campaign --------------------------------------------------------
+    std::size_t freq_points_saved = 0; ///< sweep points skipped by dB abort
+    // -- DC campaign / sweeps -----------------------------------------------
+    std::size_t warm_start_solves = 0; ///< OPs converged from a warm start
+    std::size_t nr_saved_warm = 0;     ///< NR iterations saved vs cold solves
 };
 
 /// Work-stealing thread pool.  `run` sorts the jobs by descending priority

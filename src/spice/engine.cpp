@@ -4,6 +4,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
 
 namespace catlift::spice {
 
@@ -72,6 +75,13 @@ int Simulator::node_id(const std::string& name) const {
     auto it = node_index_.find(name);
     require(it != node_index_.end(), "unknown node " + name);
     return static_cast<int>(it->second);
+}
+
+void Simulator::set_source_dc(const std::string& name, double value) {
+    Device& d = ckt_.device(name);
+    require(d.kind == DeviceKind::VSource || d.kind == DeviceKind::ISource,
+            "set_source_dc: " + name + " is not a source");
+    d.source = netlist::SourceSpec::make_dc(value);
 }
 
 void Simulator::assemble(const std::vector<double>& x, double h, double t,
@@ -235,63 +245,98 @@ bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
     return false;
 }
 
-DcResult Simulator::dc_op() {
+DcResult Simulator::dc_op() { return dc_op_impl(nullptr); }
+
+DcResult Simulator::dc_op(const std::map<std::string, double>& initial) {
+    std::vector<double> x0(n_nodes_ + n_branches_, 0.0);
+    for (std::size_t i = 0; i < n_nodes_; ++i) {
+        const auto it = initial.find(node_names_[i]);
+        if (it != initial.end()) x0[i] = it->second;
+    }
+    return dc_op_impl(&x0);
+}
+
+DcResult Simulator::dc_op_impl(const std::vector<double>* warm) {
     DcResult res;
     const std::size_t n = n_nodes_ + n_branches_;
     std::vector<double> x(n, 0.0);
+    const std::size_t it_entry = stats_.nr_iterations;
 
-    // Each strategy is retried over a damping ladder: regenerative circuits
-    // (the VCO's Schmitt trigger) limit-cycle under a generous voltage step
-    // but converge cleanly once the per-iteration update is clamped harder.
-    const double dv_ladder[] = {opt_.dv_limit, 0.5, 0.2};
-    const double dv_saved = opt_.dv_limit;
-
-    for (double dv : dv_ladder) {
-        if (res.converged) break;
-        if (dv > dv_saved) continue;
-        opt_.dv_limit = dv;
-
-        // Strategy 1: plain Newton.
-        x.assign(n, 0.0);
+    // Warm start: plain Newton from the supplied solution.  A nearby
+    // operating point (the previous sweep level, the nominal circuit of a
+    // fault screen) usually converges in a couple of iterations; the cold
+    // ladder below stays as the fallback.
+    if (warm) {
+        x = *warm;
         if (newton(x, 0.0, 0.0, /*dc=*/true, 1.0, 0.0, opt_.max_nr)) {
             res.converged = true;
-            res.strategy = "nr";
-            break;
-        }
-
-        // Strategy 2: gmin stepping.
-        x.assign(n, 0.0);
-        bool ok = true;
-        for (double g = 1e-2; g >= 1e-13; g *= 0.1) {
-            if (!newton(x, 0.0, 0.0, true, 1.0, g, opt_.max_nr)) {
-                ok = false;
-                break;
-            }
-        }
-        if (ok && newton(x, 0.0, 0.0, true, 1.0, 0.0, opt_.max_nr)) {
-            res.converged = true;
-            res.strategy = "gmin";
-            break;
-        }
-
-        // Strategy 3: source stepping.
-        x.assign(n, 0.0);
-        ok = true;
-        for (double s = 0.05; s <= 1.0 + 1e-12; s += 0.05) {
-            if (!newton(x, 0.0, 0.0, true, std::min(s, 1.0), 0.0,
-                        opt_.max_nr)) {
-                ok = false;
-                break;
-            }
-        }
-        if (ok) {
-            res.converged = true;
-            res.strategy = "source";
-            break;
+            res.strategy = "warm";
+            const std::size_t spent = stats_.nr_iterations - it_entry;
+            ++stats_.warm_start_solves;
+            if (last_cold_nr_ > spent)
+                stats_.nr_saved_warm += last_cold_nr_ - spent;
         }
     }
-    opt_.dv_limit = dv_saved;
 
+    const std::size_t it_cold = stats_.nr_iterations;
+    if (!res.converged) {
+        // Each strategy is retried over a damping ladder: regenerative
+        // circuits (the VCO's Schmitt trigger) limit-cycle under a generous
+        // voltage step but converge cleanly once the per-iteration update is
+        // clamped harder.
+        const double dv_ladder[] = {opt_.dv_limit, 0.5, 0.2};
+        const double dv_saved = opt_.dv_limit;
+
+        for (double dv : dv_ladder) {
+            if (res.converged) break;
+            if (dv > dv_saved) continue;
+            opt_.dv_limit = dv;
+
+            // Strategy 1: plain Newton.
+            x.assign(n, 0.0);
+            if (newton(x, 0.0, 0.0, /*dc=*/true, 1.0, 0.0, opt_.max_nr)) {
+                res.converged = true;
+                res.strategy = "nr";
+                break;
+            }
+
+            // Strategy 2: gmin stepping.
+            x.assign(n, 0.0);
+            bool ok = true;
+            for (double g = 1e-2; g >= 1e-13; g *= 0.1) {
+                if (!newton(x, 0.0, 0.0, true, 1.0, g, opt_.max_nr)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok && newton(x, 0.0, 0.0, true, 1.0, 0.0, opt_.max_nr)) {
+                res.converged = true;
+                res.strategy = "gmin";
+                break;
+            }
+
+            // Strategy 3: source stepping.
+            x.assign(n, 0.0);
+            ok = true;
+            for (double s = 0.05; s <= 1.0 + 1e-12; s += 0.05) {
+                if (!newton(x, 0.0, 0.0, true, std::min(s, 1.0), 0.0,
+                            opt_.max_nr)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok) {
+                res.converged = true;
+                res.strategy = "source";
+                break;
+            }
+        }
+        opt_.dv_limit = dv_saved;
+        // The cold cost baselines future warm starts of this simulator.
+        if (res.converged) last_cold_nr_ = stats_.nr_iterations - it_cold;
+    }
+
+    res.iterations = static_cast<int>(stats_.nr_iterations - it_entry);
     if (res.converged) {
         for (std::size_t i = 0; i < n_nodes_; ++i)
             res.voltages[node_names_[i]] = x[i];
@@ -313,6 +358,22 @@ void Simulator::update_cap_history(const std::vector<double>& x, double h) {
     }
 }
 
+double Simulator::lte_ratio(const std::vector<double>& x_prev, double h_prev,
+                            const std::vector<double>& x_old,
+                            const std::vector<double>& x_new,
+                            double dt) const {
+    if (h_prev <= 0.0) return std::numeric_limits<double>::infinity();
+    const double slope_scale = dt / h_prev;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n_nodes_; ++i) {
+        const double pred = x_old[i] + (x_old[i] - x_prev[i]) * slope_scale;
+        const double err = std::fabs(x_new[i] - pred);
+        const double tol = opt_.lte_tol * std::max(1.0, std::fabs(x_new[i]));
+        worst = std::max(worst, err / tol);
+    }
+    return worst;
+}
+
 Waveforms Simulator::tran() {
     require(ckt_.tran.has_value(), "circuit has no .tran card");
     return tran(*ckt_.tran);
@@ -321,19 +382,29 @@ Waveforms Simulator::tran() {
 std::vector<DcResult> dc_sweep(const netlist::Circuit& ckt,
                                const std::string& source,
                                const std::vector<double>& levels,
-                               const SimOptions& opt) {
+                               const SimOptions& opt,
+                               const DcSweepObserver& observer,
+                               SimStats* stats) {
     require(!levels.empty(), "dc_sweep: no levels");
     const Device& d = ckt.device(source);
     require(d.kind == DeviceKind::VSource || d.kind == DeviceKind::ISource,
             "dc_sweep: " + source + " is not a source");
+
+    // One simulator for the whole sweep: each level after the first is
+    // warm-started from the previous level's solution.
+    Simulator sim(ckt, opt);
     std::vector<DcResult> out;
     out.reserve(levels.size());
+    std::map<std::string, double> warm;
     for (double v : levels) {
-        netlist::Circuit c = ckt;
-        c.device(source).source = netlist::SourceSpec::make_dc(v);
-        Simulator sim(c, opt);
-        out.push_back(sim.dc_op());
+        sim.set_source_dc(source, v);
+        DcResult r = warm.empty() ? sim.dc_op() : sim.dc_op(warm);
+        if (r.converged) warm = r.voltages;
+        const bool stop = observer && !observer(v, r);
+        out.push_back(std::move(r));
+        if (stop) break;
     }
+    if (stats) *stats = sim.stats();
     return out;
 }
 
@@ -346,7 +417,9 @@ AcResult Simulator::ac() {
     return ac(spec);
 }
 
-AcResult Simulator::ac(const AcSpec& spec) {
+AcResult Simulator::ac(const AcSpec& spec) { return ac(spec, AcPointObserver{}); }
+
+AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
     require(spec.fstart > 0 && spec.fstop > spec.fstart &&
                 spec.points_per_decade > 0,
             "bad .ac parameters");
@@ -442,19 +515,38 @@ AcResult Simulator::ac(const AcSpec& spec) {
     AcResult res;
     for (const std::string& nn : node_names_) res.add_node(nn);
 
-    // Sweep.
+    // Sweep.  The G part is frequency-independent: it is stamped into the
+    // complex matrix once, and per point only the cells touched by a
+    // capacitor are reset before jwC is added (the loop used to rebuild
+    // all n^2 entries from scratch at every frequency).
     const double decades = std::log10(spec.fstop / spec.fstart);
     const int total = std::max(
         2, static_cast<int>(decades * spec.points_per_decade + 0.5) + 1);
     CMatrix a(n);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < n; ++c)
+            a(r, c) = std::complex<double>(g(r, c), 0.0);
+    std::set<std::pair<std::size_t, std::size_t>> cap_cell_set;
+    for (const CapInstance& cp : caps_) {
+        const auto r1 = static_cast<std::size_t>(cp.n1);
+        const auto r2 = static_cast<std::size_t>(cp.n2);
+        if (cp.n1 >= 0) cap_cell_set.emplace(r1, r1);
+        if (cp.n2 >= 0) cap_cell_set.emplace(r2, r2);
+        if (cp.n1 >= 0 && cp.n2 >= 0) {
+            cap_cell_set.emplace(r1, r2);
+            cap_cell_set.emplace(r2, r1);
+        }
+    }
+    const std::vector<std::pair<std::size_t, std::size_t>> cap_cells(
+        cap_cell_set.begin(), cap_cell_set.end());
+
     CLuSolver lu;
     for (int k = 0; k < total; ++k) {
         const double f =
             spec.fstart * std::pow(10.0, decades * k / (total - 1));
         const double w = 2.0 * M_PI * f;
-        for (std::size_t r = 0; r < n; ++r)
-            for (std::size_t c = 0; c < n; ++c)
-                a(r, c) = std::complex<double>(g(r, c), 0.0);
+        for (const auto& [r, c] : cap_cells)
+            a(r, c) = std::complex<double>(g(r, c), 0.0);
         for (const CapInstance& cp : caps_) {
             const std::complex<double> jwc(0.0, w * cp.c);
             if (cp.n1 >= 0)
@@ -471,6 +563,11 @@ AcResult Simulator::ac(const AcSpec& spec) {
         res.append(f, std::vector<std::complex<double>>(
                           sol.begin(),
                           sol.begin() + static_cast<long>(n_nodes_)));
+        ++stats_.ac_points;
+        if (observer && !observer(f, res)) {
+            stats_.ac_points_saved += static_cast<std::size_t>(total - k - 1);
+            break;
+        }
     }
     return res;
 }
@@ -546,9 +643,10 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
     const Method user_method = opt_.method;
     bool first_substep = true;
 
-    double tc = spec.tstart;
-    for (std::size_t k = 1; k <= steps; ++k) {
-        const double t_target = spec.tstart + static_cast<double>(k) * spec.tstep;
+    // Integrate exactly one grid interval ending at t_target with the
+    // fixed-grid cut loop: the full interval first, halved internally when
+    // NR fails.  Commits x and the capacitor history.
+    auto advance_interval = [&](double tc, double t_target) {
         while (tc < t_target - 1e-18 * std::max(1.0, t_target)) {
             double dt = t_target - tc;
             int cuts = 0;
@@ -576,10 +674,142 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
                 dt *= 0.5;
             }
         }
+    };
+
+    // A macro step samples every source only at its endpoint, so it is
+    // valid only when each independent source is linear across the whole
+    // stride -- otherwise a stimulus feature (a pulse edge inside the
+    // stride) would be silently integrated away even though the LTE test
+    // on the endpoint passes.  Checked *before* the Newton solve: source
+    // evaluation is cheap, a wasted macro solve is not.
+    auto sources_linear = [&](double t0, double t1, std::size_t s) {
+        for (const Device& d : ckt_.devices) {
+            if (d.kind != DeviceKind::VSource &&
+                d.kind != DeviceKind::ISource)
+                continue;
+            const double v0 = d.source.value_at(t0);
+            const double v1 = d.source.value_at(t1);
+            const double tol =
+                opt_.lte_tol *
+                std::max({1.0, std::fabs(v0), std::fabs(v1)});
+            for (std::size_t j = 1; j < s; ++j) {
+                const double tj =
+                    t0 + (t1 - t0) * static_cast<double>(j) /
+                             static_cast<double>(s);
+                const double lin = v0 + (v1 - v0) *
+                                            static_cast<double>(j) /
+                                            static_cast<double>(s);
+                if (std::fabs(d.source.value_at(tj) - lin) > tol)
+                    return false;
+            }
+        }
+        return true;
+    };
+
+    // Adaptive predictor state: the previous accepted grid solution and the
+    // spacing to it.  The first interval always runs fixed-grid (there is
+    // no history to predict from, and it carries the BE bootstrap).
+    std::vector<double> x_prev;
+    double h_prev = 0.0;
+    bool have_prev = false;
+    std::size_t stride = 1;
+    const std::size_t max_stride =
+        (opt_.adaptive && opt_.max_stride > 1)
+            ? static_cast<std::size_t>(opt_.max_stride)
+            : 1;
+
+    std::size_t k = 0;          // completed grid intervals
+    double t_k = spec.tstart;   // time of the last recorded grid sample
+    while (k < steps) {
+        std::size_t s = std::min(stride, steps - k);
+        double ratio = -1.0;  // LTE ratio of the accepted step, if known
+        bool macro_done = false;
+        std::vector<double> x_old = x;  // solution at t_k (predictor history)
+
+        // Multi-interval candidate steps, halved on NR failure or LTE
+        // rejection; s == 1 falls through to the fixed-grid path below.
+        while (s > 1 && have_prev) {
+            const double t_target =
+                spec.tstart + static_cast<double>(k + s) * spec.tstep;
+            const double dt = t_target - t_k;
+            if (!sources_linear(t_k, t_target, s)) {
+                s /= 2;
+                continue;
+            }
+            // Seed Newton with the linear predictor: on the quiescent
+            // stretches where large strides are attempted it is already
+            // near the solution, so the macro solve converges in a couple
+            // of iterations.
+            std::vector<double> x_try = x;
+            const double slope = dt / h_prev;
+            for (std::size_t i = 0; i < n; ++i)
+                x_try[i] += (x[i] - x_prev[i]) * slope;
+            if (newton(x_try, dt, t_target, /*dc=*/false, 1.0, 0.0,
+                       opt_.max_nr)) {
+                ratio = lte_ratio(x_prev, h_prev, x, x_try, dt);
+                if (ratio <= 1.0) {
+                    // Accepted: the LTE bound certifies the solution is
+                    // linear across the stride within tolerance, so the
+                    // interior grid samples are filled by interpolation.
+                    for (std::size_t j = 1; j < s; ++j) {
+                        const double tj = spec.tstart +
+                                          static_cast<double>(k + j) *
+                                              spec.tstep;
+                        const double frac = static_cast<double>(j) /
+                                            static_cast<double>(s);
+                        std::vector<double> row(n);
+                        for (std::size_t i = 0; i < n; ++i)
+                            row[i] = x[i] + frac * (x_try[i] - x[i]);
+                        wf.append(tj, row);
+                        ++stats_.grid_points_interpolated;
+                        if (observer && !observer(tj, wf)) {
+                            stats_.steps_saved += steps - (k + j);
+                            return wf;
+                        }
+                    }
+                    x = x_try;
+                    update_cap_history(x, dt);
+                    ++stats_.tran_steps;
+                    macro_done = true;
+                    break;
+                }
+                ++stats_.lte_rejections;
+            } else {
+                ++stats_.step_cuts;
+            }
+            s /= 2;
+        }
+
+        double t_target;
+        if (macro_done) {
+            t_target = spec.tstart + static_cast<double>(k + s) * spec.tstep;
+        } else {
+            s = 1;
+            t_target = spec.tstart + static_cast<double>(k + 1) * spec.tstep;
+            advance_interval(t_k, t_target);
+            // A-posteriori LTE of the fixed-grid step: lets the stride grow
+            // out of quiescence without speculative (wasted) macro solves.
+            if (opt_.adaptive && have_prev)
+                ratio = lte_ratio(x_prev, h_prev, x_old, x, t_target - t_k);
+        }
+
         record(t_target);
         if (observer && !observer(t_target, wf)) {
-            stats_.steps_saved += steps - k;
+            stats_.steps_saved += steps - (k + s);
             return wf;
+        }
+
+        // Predictor history and stride control for the next step.
+        x_prev = std::move(x_old);
+        h_prev = t_target - t_k;
+        have_prev = true;
+        t_k = t_target;
+        k += s;
+        if (opt_.adaptive) {
+            if (ratio >= 0.0 && ratio < 0.25)
+                stride = std::min(s * 2, max_stride);
+            else
+                stride = std::max<std::size_t>(s, 1);
         }
     }
     return wf;

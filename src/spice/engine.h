@@ -2,7 +2,8 @@
 //
 // The kernel analogue simulator.  The paper's AnaFAULT drives ELDO; this
 // engine plays that role: it accepts a netlist::Circuit, computes a DC
-// operating point and/or a transient response, and returns Waveforms.
+// operating point, a DC transfer sweep, a small-signal AC sweep, or a
+// transient response.
 //
 // Numerics
 // --------
@@ -11,14 +12,46 @@
 //  * Damped Newton-Raphson with per-iteration voltage limiting for the
 //    nonlinear MOS devices.
 //  * DC operating point: plain NR, then gmin stepping, then source stepping
-//    (in that order) until one converges.
-//  * Transient: backward-Euler or trapezoidal companion models, fixed
-//    user-grid steps with automatic internal step cutting when NR fails --
-//    the paper's experiment is a fixed "400 step transient fault
-//    simulation", which maps to fixed_grid mode.
+//    (in that order) until one converges.  A solve may be warm-started from
+//    a nearby solution (the previous level of a DC sweep, the nominal
+//    operating point of a fault screen); plain NR from the warm point is
+//    tried first and the cold ladder remains the fallback.
+//  * Transient: backward-Euler or trapezoidal companion models over the
+//    user sample grid t = tstart..tstop step tstep.  In fixed-grid mode
+//    (`adaptive = false`) every grid interval is integrated with one
+//    companion step, halved internally when NR fails -- the paper's
+//    experiment is a fixed "400 step transient fault simulation", which
+//    maps to this mode.  In adaptive mode the kernel controls the step:
+//    the local truncation error of each candidate step is estimated from
+//    the companion history (the solution is compared against a linear
+//    predictor extrapolated through the two previous accepted points --
+//    the predictor error is a divided-difference curvature estimate, the
+//    standard LTE proxy).  Steps whose LTE ratio exceeds 1 are rejected
+//    and halved; well-predicted steps let the stride grow geometrically up
+//    to `max_stride` grid intervals, so quiescent tails integrate in a
+//    handful of solves.  A stride is only attempted when every independent
+//    source is linear across it (sources are sampled at the stride
+//    endpoint, so a pulse edge inside a stride would otherwise be
+//    integrated away); around stimulus discontinuities the kernel falls
+//    back to the grid.  Strides are bounded *by the sample grid*: every
+//    accepted step lands exactly on a grid point and skipped grid samples
+//    are filled by linear interpolation (valid precisely because the LTE
+//    test bounds the deviation from linearity), so the returned Waveforms
+//    carry the same time axis as a fixed-grid run and per-point observers
+//    fire for every grid sample in order.
 //  * Every node carries gmin to ground; transient adds cmin so that nodes
 //    isolated by open-fault injection stay well-posed (exactly the
 //    situation AnaFAULT creates with 100 MOhm opens and split nodes).
+//
+// Observers
+// ---------
+// Every sweeping analysis accepts a per-point observer so a caller (the
+// batch fault-simulation engine) can stop the analysis the moment it has
+// learned what it needs -- ERASER-style execution-redundancy trimming
+// inside the kernel rather than around it:
+//   * tran:     StepObserver   -- per accepted user-grid sample
+//   * ac:       AcPointObserver -- per frequency point, mid-sweep
+//   * dc_sweep: DcSweepObserver -- per level, between warm-started solves
 
 #pragma once
 
@@ -48,6 +81,17 @@ struct SimOptions {
     int max_step_cuts = 10; ///< transient: halvings of the step on failure
     Method method = Method::Trapezoidal;
     bool uic = false;       ///< transient: skip DC OP, start from 0 / .ic
+
+    // -- adaptive time stepping ---------------------------------------------
+    /// LTE-controlled stride growth over the sample grid (see file header).
+    /// Off by default for the raw kernel; fault campaigns turn it on.
+    bool adaptive = false;
+    /// Relative LTE acceptance tolerance: a candidate step is accepted when
+    /// the predictor error on every node stays below
+    /// lte_tol * max(1 V, |v|); growth is attempted below a quarter of it.
+    double lte_tol = 5e-3;
+    /// Largest number of grid intervals one adaptive step may span.
+    int max_stride = 64;
 };
 
 /// Counters for performance reporting (the source-model vs resistor-model
@@ -56,28 +100,37 @@ struct SimStats {
     std::size_t matrix_size = 0;
     std::size_t nr_iterations = 0;
     std::size_t lu_factorizations = 0;
+    /// Companion steps actually integrated (one per accepted Newton solve;
+    /// an adaptive step spanning k grid intervals counts once).
     std::size_t tran_steps = 0;
     std::size_t step_cuts = 0;
     /// User-grid steps never integrated because a step observer stopped the
     /// transient early (the batch engine's ERASER-style trimmed redundancy).
     std::size_t steps_saved = 0;
+    /// Adaptive mode: grid samples filled by interpolation instead of a
+    /// solve (the LTE controller's savings), and candidate steps rejected
+    /// because the LTE estimate exceeded tolerance.
+    std::size_t grid_points_interpolated = 0;
+    std::size_t lte_rejections = 0;
+    /// AC sweep: frequency points solved, and points skipped because an
+    /// AcPointObserver stopped the sweep.
+    std::size_t ac_points = 0;
+    std::size_t ac_points_saved = 0;
+    /// DC: solves that converged directly from a warm start, and NR
+    /// iterations saved by warm starting relative to this simulator's most
+    /// recent cold solve of the same circuit topology.
+    std::size_t warm_start_solves = 0;
+    std::size_t nr_saved_warm = 0;
 };
 
 struct DcResult {
     bool converged = false;
+    /// NR iterations spent on this solve (all strategies attempted).
     int iterations = 0;
-    /// Strategy that finally converged: "nr", "gmin", "source".
+    /// Strategy that finally converged: "warm", "nr", "gmin", "source".
     std::string strategy;
     std::map<std::string, double> voltages;
 };
-
-/// DC transfer sweep: re-solve the operating point for each level of one
-/// source (fresh solve per point; circuits here are tiny).  Returns one
-/// DcResult per level, in order.
-std::vector<DcResult> dc_sweep(const netlist::Circuit& ckt,
-                               const std::string& source,
-                               const std::vector<double>& levels,
-                               const SimOptions& opt = {});
 
 /// Observer invoked after every accepted user-grid sample of a transient
 /// analysis: receives the sample time and the waveforms recorded so far
@@ -87,6 +140,31 @@ std::vector<DcResult> dc_sweep(const netlist::Circuit& ckt,
 /// use this to abort a faulty run at the first confirmed detection.
 using StepObserver = std::function<bool(double t, const Waveforms& wf)>;
 
+/// Observer invoked after every solved frequency point of an AC sweep:
+/// receives the point's frequency and the partial AcResult (the new point
+/// is the last one).  Returning false stops the sweep; the remaining
+/// points are counted in SimStats::ac_points_saved.  The AC fault campaign
+/// uses this to abort a faulty sweep at the first dB-tolerance violation.
+using AcPointObserver = std::function<bool(double f, const AcResult& partial)>;
+
+/// Observer invoked after every level of a DC transfer sweep: receives the
+/// level and its DcResult.  Returning false stops the sweep; dc_sweep
+/// returns the levels solved so far.
+using DcSweepObserver = std::function<bool(double level, const DcResult& r)>;
+
+/// DC transfer sweep: re-solve the operating point for each level of one
+/// source.  A single simulator is reused and every level after the first
+/// is warm-started from the previous level's solution (iterations saved
+/// are counted in SimStats::nr_saved_warm, readable via `stats`).  Returns
+/// one DcResult per level, in order; a stopping observer truncates the
+/// returned vector at the level it rejected.
+std::vector<DcResult> dc_sweep(const netlist::Circuit& ckt,
+                               const std::string& source,
+                               const std::vector<double>& levels,
+                               const SimOptions& opt = {},
+                               const DcSweepObserver& observer = {},
+                               SimStats* stats = nullptr);
+
 /// One-shot simulator bound to a circuit.  The circuit is copied: the
 /// simulator stays valid independently of the caller's object lifetime
 /// (fault campaigns hand in short-lived mutated circuits).
@@ -94,8 +172,17 @@ class Simulator {
 public:
     explicit Simulator(netlist::Circuit ckt, SimOptions opt = {});
 
-    /// DC operating point.
+    /// DC operating point (cold start).
     DcResult dc_op();
+
+    /// DC operating point warm-started from a nearby solution (node name ->
+    /// voltage; missing nodes start at 0).  Plain NR from the warm point is
+    /// tried first; on failure the cold strategy ladder runs unchanged.
+    DcResult dc_op(const std::map<std::string, double>& initial);
+
+    /// Overwrite the DC value of one independent source (the level knob of
+    /// a warm-started DC sweep).  Throws if `name` is not a V/I source.
+    void set_source_dc(const std::string& name, double value);
 
     /// Transient analysis.  Returns waveforms for every node (plus the
     /// requested traces), sampled on the user grid t = tstart..tstop step
@@ -113,6 +200,9 @@ public:
     /// sweep the frequency axis logarithmically.  Sources participate with
     /// their `ac_mag`.  Throws if the operating point cannot be found.
     AcResult ac(const AcSpec& spec);
+
+    /// AC analysis with a per-frequency-point observer (may be empty).
+    AcResult ac(const AcSpec& spec, const AcPointObserver& observer);
 
     /// Convenience: run the circuit's own .ac card.
     AcResult ac();
@@ -156,12 +246,26 @@ private:
     bool newton(std::vector<double>& x, double h, double t, bool dc,
                 double src_scale, double extra_gmin, int max_iter);
 
+    /// Shared DC solve: warm NR first when `warm` is non-null, then the
+    /// cold strategy ladder.
+    DcResult dc_op_impl(const std::vector<double>* warm);
+
+    /// Worst-node LTE ratio of a candidate step x_old -> x_new over dt,
+    /// against the linear predictor through (x_prev, x_old) spaced h_prev
+    /// apart.  <= 1 accepts; < 1/4 lets the stride grow.
+    double lte_ratio(const std::vector<double>& x_prev, double h_prev,
+                     const std::vector<double>& x_old,
+                     const std::vector<double>& x_new, double dt) const;
+
     /// Commit capacitor history after an accepted transient step.
     void update_cap_history(const std::vector<double>& x, double h);
 
-    const netlist::Circuit ckt_;  ///< owned copy (see constructor note)
+    netlist::Circuit ckt_;  ///< owned copy (see constructor note)
     SimOptions opt_;
     SimStats stats_;
+    /// NR iterations of the most recent cold DC solve; the baseline that
+    /// values warm-started solves (SimStats::nr_saved_warm).
+    std::size_t last_cold_nr_ = 0;
 
     std::vector<std::string> node_names_;           // index -> name
     std::map<std::string, std::size_t> node_index_;  // name -> index

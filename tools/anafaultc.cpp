@@ -14,6 +14,8 @@
 //     --resume           reuse finished faults from --store
 //     --no-early-abort   integrate every faulty run to tstop
 //     --no-collapse      skip the fault-collapsing pre-pass
+//     --no-adaptive      fixed-grid integration (no LTE stride control)
+//     --lte-tol <tol>    adaptive LTE acceptance tolerance (default 5e-3)
 //     --table            per-fault result table
 //     --plot             ASCII coverage plot
 //     --csv <file>       coverage curve CSV
@@ -37,7 +39,8 @@ namespace {
         "usage: anafaultc <deck.sp> <faults.flt> [--observe node]... "
         "[--supply vsrc] [--model resistor|source] [--v-tol V] [--t-tol s] "
         "[--threads n] [--store file] [--resume] [--no-early-abort] "
-        "[--no-collapse] [--table] [--plot] [--csv file]\n");
+        "[--no-collapse] [--no-adaptive] [--lte-tol tol] [--table] "
+        "[--plot] [--csv file]\n");
     std::exit(2);
 }
 
@@ -75,6 +78,15 @@ int main(int argc, char** argv) {
         else if (a == "--resume") opt.resume = true;
         else if (a == "--no-early-abort") opt.early_abort = false;
         else if (a == "--no-collapse") opt.collapse = false;
+        else if (a == "--no-adaptive") opt.sim.adaptive = false;
+        else if (a == "--lte-tol") {
+            opt.sim.lte_tol = std::atof(next());
+            if (!(opt.sim.lte_tol > 0.0)) {
+                std::fprintf(stderr,
+                             "anafaultc: --lte-tol needs a positive number\n");
+                return 2;
+            }
+        }
         else if (a == "--table") table = true;
         else if (a == "--plot") plot = true;
         else if (a == "--csv") csv_path = next();
