@@ -1,0 +1,117 @@
+// Kernel scaling on the N-stage ring oscillator: dense LU vs the sparse
+// incremental kernel vs sparse + modified-Newton bypass, across matrix
+// sizes.  The paper's circuits (tens of unknowns) sit where dense LU's
+// constant factors win; this bench shows where the O(n^3)-per-iteration
+// dense kernel hands over to the pattern-reused sparse refactorization,
+// and that the gap widens with N -- the asymptotic claim behind
+// ROADMAP's "larger circuits" north star, recorded machine-readably in
+// BENCH_kernel_scaling.json.
+
+#include "circuits/ringosc.h"
+#include "spice/engine.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace catlift;
+
+namespace {
+
+struct Sample {
+    int stages = 0;
+    std::size_t unknowns = 0;
+    std::string config;
+    double wall_s = 0.0;
+    std::size_t nr_iterations = 0;
+    std::size_t lu_factorizations = 0;
+    std::size_t bypass_solves = 0;
+    std::size_t sparse_full_factors = 0;
+    std::size_t sparse_refactors = 0;
+};
+
+Sample run_one(int stages, const char* config, std::size_t sparse_threshold,
+               bool bypass) {
+    circuits::RingOscOptions ro;
+    ro.stages = stages;
+    netlist::Circuit ckt = circuits::build_ring_oscillator(ro);
+    // Fixed 400-step grid over 1 us for every N: the workload scales in
+    // matrix size only, so per-sample differences are pure kernel cost.
+    const netlist::TranSpec ts{2.5e-9, 1e-6, 0.0};
+
+    spice::SimOptions opt;
+    opt.uic = true;
+    opt.sparse_threshold = sparse_threshold;
+    opt.bypass = bypass;
+
+    Sample s;
+    s.stages = stages;
+    s.config = config;
+    spice::Simulator sim(ckt, opt);
+    s.unknowns = sim.unknowns();
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.tran(ts);
+    s.wall_s = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    s.nr_iterations = sim.stats().nr_iterations;
+    s.lu_factorizations = sim.stats().lu_factorizations;
+    s.bypass_solves = sim.stats().bypass_solves;
+    s.sparse_full_factors = sim.stats().sparse_full_factors;
+    s.sparse_refactors = sim.stats().sparse_refactors;
+    return s;
+}
+
+} // namespace
+
+int main() {
+    std::printf("== kernel scaling: N-stage ring oscillator ==\n\n");
+
+    const std::vector<int> stage_counts = {11, 25, 51, 101, 201};
+    std::vector<Sample> samples;
+
+    // Warmup (allocator/page-cache) outside the measurements.
+    run_one(stage_counts.front(), "warmup", 1u << 30, false);
+
+    for (int n : stage_counts) {
+        samples.push_back(run_one(n, "dense", 1u << 30, false));
+        samples.push_back(run_one(n, "sparse", 0, false));
+        samples.push_back(run_one(n, "sparse+bypass", 0, true));
+    }
+
+    std::printf("  %-6s %-9s %-14s %10s %8s %9s %9s %10s\n", "N", "unknowns",
+                "config", "wall [s]", "nr", "factors", "bypass", "refactors");
+    double speedup_last = 0.0;
+    for (const Sample& s : samples) {
+        std::printf("  %-6d %-9zu %-14s %10.3f %8zu %9zu %9zu %10zu\n",
+                    s.stages, s.unknowns, s.config.c_str(), s.wall_s,
+                    s.nr_iterations, s.lu_factorizations, s.bypass_solves,
+                    s.sparse_refactors);
+        if (s.config == "dense") speedup_last = s.wall_s;
+        if (s.config == "sparse+bypass" && s.wall_s > 0.0)
+            std::printf("  %-6s -> sparse+bypass speedup vs dense: %.2fx\n",
+                        "", speedup_last / s.wall_s);
+    }
+
+    std::ofstream js("BENCH_kernel_scaling.json");
+    js << "{\n  \"bench\": \"kernel_scaling\",\n";
+    js << "  \"circuit\": \"ring_oscillator\",\n";
+    js << "  \"tran_steps\": 400,\n  \"samples\": [\n";
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const Sample& s = samples[i];
+        js << "    {\"stages\": " << s.stages << ", \"unknowns\": "
+           << s.unknowns << ", \"config\": \"" << s.config
+           << "\", \"wall_s\": " << s.wall_s << ", \"nr_iterations\": "
+           << s.nr_iterations << ", \"lu_factorizations\": "
+           << s.lu_factorizations << ", \"bypass_solves\": "
+           << s.bypass_solves << ", \"sparse_full_factors\": "
+           << s.sparse_full_factors << ", \"sparse_refactors\": "
+           << s.sparse_refactors << "}"
+           << (i + 1 < samples.size() ? "," : "") << "\n";
+    }
+    js << "  ]\n}\n";
+    std::printf("\n  wrote BENCH_kernel_scaling.json\n");
+    return 0;
+}

@@ -35,12 +35,17 @@ struct Sample {
 
 double run_once(const core::VcoExperiment& e, const lift::FaultList& faults,
                 unsigned threads, bool early_abort, bool collapse,
-                bool adaptive, Sample& out) {
+                bool adaptive, bool incremental, Sample& out) {
     anafault::CampaignOptions opt = e.config.campaign;
     opt.threads = threads;
     opt.early_abort = early_abort;
     opt.collapse = collapse;
     opt.sim.adaptive = adaptive;
+    // incremental=false reproduces the seed kernel's full rebuild +
+    // factorization on every Newton iteration (the PR-3 stamp-split /
+    // zero-allocation baseline).
+    opt.sim.incremental = incremental;
+    opt.sim.bypass = incremental && opt.sim.bypass;
     const auto t0 = std::chrono::steady_clock::now();
     const auto res = anafault::run_campaign(e.sim_circuit, faults, opt);
     out.wall_s = std::chrono::duration<double>(
@@ -70,18 +75,19 @@ int main() {
     // to whichever configuration happens to run first.
     {
         Sample warmup;
-        run_once(e, lift_res.faults, 1, false, false, false, warmup);
+        run_once(e, lift_res.faults, 1, false, false, false, true, warmup);
     }
 
     // Seed-equivalent serial loop: threads=1, no collapsing, fixed-grid
-    // integration, every run integrated to tstop -- the exact work profile
-    // of the seed's inner loop (same kernel; the inline scheduler path
-    // adds no threads).
+    // integration, every run integrated to tstop, and the kernel ablated
+    // to the seed's per-iteration full-rebuild work profile
+    // (incremental=false) -- so the batch rows measure the scheduler,
+    // early abort AND the incremental kernel against the true baseline.
     {
         Sample s;
         s.label = "seed-serial";
         s.threads = 1;
-        run_once(e, lift_res.faults, 1, false, false, false, s);
+        run_once(e, lift_res.faults, 1, false, false, false, false, s);
         samples.push_back(s);
     }
     const double t_seed = samples[0].wall_s;
@@ -98,7 +104,7 @@ int main() {
             s.early_abort = abort_on;
             s.collapse = true;
             s.adaptive = true;  // campaign default: LTE stride control
-            run_once(e, lift_res.faults, n, abort_on, true, true, s);
+            run_once(e, lift_res.faults, n, abort_on, true, true, true, s);
             samples.push_back(s);
         }
     }

@@ -91,6 +91,11 @@ std::uint64_t manifest_hash(const Circuit& ckt,
     o += opt.sim.adaptive ? "|adaptive" : "|fixedgrid";
     o += "|" + hexd(opt.sim.lte_tol);
     o += "|" + std::to_string(opt.sim.max_stride);
+    // Kernel selection changes waveform rounding (and the bypass mode may
+    // perturb within its tolerance): a store written under a different
+    // kernel configuration must never be resumed.
+    o += "|sparse:" + std::to_string(opt.sim.sparse_threshold);
+    o += opt.sim.bypass ? "|bypass:" + hexd(opt.sim.bypass_tol) : "|nobypass";
     // Engine shortcuts do not change verdicts, but a user toggling them
     // (e.g. --no-collapse to rule out a collapse bug) wants faults
     // actually re-simulated -- treat the store as foreign.
@@ -121,6 +126,8 @@ FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
         r.steps_saved = sim.stats().steps_saved;
         r.steps_integrated = sim.stats().tran_steps;
         r.steps_interpolated = sim.stats().grid_points_interpolated;
+        r.bypass_solves = sim.stats().bypass_solves;
+        r.sparse_refactors = sim.stats().sparse_refactors;
         r.simulated = true;
         r.detect_time = detector->detect_time();
     } catch (const Error& e) {
@@ -153,6 +160,8 @@ FaultSimResult fan_out(const FaultSimResult& rep, const JobMeta& meta) {
     c.steps_saved = 0;
     c.steps_integrated = 0;
     c.steps_interpolated = 0;
+    c.bypass_solves = 0;
+    c.sparse_refactors = 0;
     return c;
 }
 
@@ -174,6 +183,8 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         res.nominal_seconds = seconds_since(t0);
         res.batch.steps_integrated = sim.stats().tran_steps;
         res.batch.steps_interpolated = sim.stats().grid_points_interpolated;
+        res.batch.bypass_solves = sim.stats().bypass_solves;
+        res.batch.sparse_refactors = sim.stats().sparse_refactors;
     }
 
     res.results.resize(n);
@@ -294,6 +305,8 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         res.total_seconds += r.sim_seconds;
         res.batch.steps_integrated += r.steps_integrated;
         res.batch.steps_interpolated += r.steps_interpolated;
+        res.batch.bypass_solves += r.bypass_solves;
+        res.batch.sparse_refactors += r.sparse_refactors;
         if (r.steps_saved > 0) {
             ++res.batch.early_aborts;
             res.batch.steps_saved += r.steps_saved;

@@ -22,9 +22,11 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x42544143u;  // "CATB"
 // v2: steps_integrated + steps_interpolated appended to each record (the
-// adaptive transient kernel's counters).  A v1 store is treated as foreign
-// and restarted, like any other manifest mismatch.
-constexpr std::uint32_t kVersion = 2;
+// adaptive transient kernel's counters).
+// v3: bypass_solves + sparse_refactors appended (the incremental-kernel
+// counters).  Any older-version store is treated as foreign and
+// restarted, like any other manifest mismatch.
+constexpr std::uint32_t kVersion = 3;
 
 template <typename T>
 void put(std::string& buf, const T& v) {
@@ -75,6 +77,8 @@ std::string encode(const FaultSimResult& r) {
     put(p, static_cast<std::uint64_t>(r.steps_saved));
     put(p, static_cast<std::uint64_t>(r.steps_integrated));
     put(p, static_cast<std::uint64_t>(r.steps_interpolated));
+    put(p, static_cast<std::uint64_t>(r.bypass_solves));
+    put(p, static_cast<std::uint64_t>(r.sparse_refactors));
     put_str(p, r.description);
     put_str(p, r.error);
     return p;
@@ -86,11 +90,13 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     std::uint8_t simulated = 0, has_detect = 0;
     double detect = 0.0;
     std::uint64_t nr = 0, msize = 0, saved = 0, integrated = 0, interp = 0;
+    std::uint64_t bypass = 0, refactors = 0;
     if (!rd.get(id) || !rd.get(simulated) || !rd.get(has_detect) ||
         !rd.get(detect) || !rd.get(r.probability) || !rd.get(r.sim_seconds) ||
         !rd.get(nr) || !rd.get(msize) || !rd.get(saved) ||
-        !rd.get(integrated) || !rd.get(interp) ||
-        !rd.get_str(r.description) || !rd.get_str(r.error))
+        !rd.get(integrated) || !rd.get(interp) || !rd.get(bypass) ||
+        !rd.get(refactors) || !rd.get_str(r.description) ||
+        !rd.get_str(r.error))
         return false;
     r.fault_id = id;
     r.simulated = simulated != 0;
@@ -100,6 +106,8 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     r.steps_saved = static_cast<std::size_t>(saved);
     r.steps_integrated = static_cast<std::size_t>(integrated);
     r.steps_interpolated = static_cast<std::size_t>(interp);
+    r.bypass_solves = static_cast<std::size_t>(bypass);
+    r.sparse_refactors = static_cast<std::size_t>(refactors);
     return rd.pos == payload.size();
 }
 

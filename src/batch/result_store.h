@@ -46,6 +46,11 @@ struct FaultSimResult {
     /// controller filled by interpolation instead of a solve.
     std::size_t steps_integrated = 0;
     std::size_t steps_interpolated = 0;
+    /// Incremental-kernel counters: Newton solves that reused the previous
+    /// factorization (modified-Newton bypass) and sparse numeric
+    /// refactorizations on the reused pattern (0 on the dense path).
+    std::size_t bypass_solves = 0;
+    std::size_t sparse_refactors = 0;
 };
 
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;

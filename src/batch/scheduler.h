@@ -57,6 +57,11 @@ struct BatchStats {
     std::size_t steps_integrated = 0;  ///< companion steps actually solved
     std::size_t steps_interpolated = 0; ///< grid samples filled by the LTE
                                         ///< controller without a solve
+    // -- incremental kernel (stamp split / sparse / bypass) -----------------
+    std::size_t bypass_solves = 0;     ///< Newton solves that reused the
+                                       ///< previous factorization outright
+    std::size_t sparse_refactors = 0;  ///< pattern-reused numeric
+                                       ///< refactorizations (0 when dense)
     // -- AC campaign --------------------------------------------------------
     std::size_t freq_points_saved = 0; ///< sweep points skipped by dB abort
     // -- DC campaign / sweeps -----------------------------------------------

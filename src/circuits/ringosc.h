@@ -1,0 +1,42 @@
+// catlift/circuits/ringosc.h
+//
+// Parameterizable N-stage CMOS ring oscillator: the kernel-scaling
+// workload.  The paper's circuits top out at tens of unknowns, where
+// dense LU is unbeatable; the ring grows the MNA system arbitrarily
+// (one node per stage plus supply) while staying electrically
+// interesting -- every stage switches, so the Newton iteration count per
+// step stays realistic rather than collapsing to a linear-network
+// best case.  bench_kernel_scaling sweeps N to expose the asymptotic
+// separation between the dense and sparse kernels.
+//
+// Stage widths carry a small deterministic perturbation so the ring
+// breaks out of its metastable symmetric mode without needing a kick
+// source, and each stage sees an explicit load capacitor so the
+// oscillation period is set by design rather than by parasitic gate
+// capacitance alone.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+#include <string>
+
+namespace catlift::circuits {
+
+struct RingOscOptions {
+    int stages = 11;            ///< inverter count; must be odd and >= 3
+    double vdd = 5.0;           ///< supply [V]
+    double cload = 30e-15;      ///< per-stage load capacitor [F]
+    double supply_ramp = 20e-9; ///< VDD activation ramp [s]
+    bool with_sources = true;   ///< include the VDD source + .tran card
+};
+
+/// Build the N-stage ring.  Stage i drives node "r<i+1 mod N>" from node
+/// "r<i>"; the supply node is "vdd".  With `with_sources` the deck carries
+/// a ramped VDD and a .tran card sized to a few oscillation periods.
+netlist::Circuit build_ring_oscillator(const RingOscOptions& opt = {});
+
+/// Name of the i-th ring node ("r0" .. "r<N-1>").
+std::string ring_node(int i);
+
+} // namespace catlift::circuits

@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <set>
 #include <utility>
 
 namespace catlift::spice {
@@ -31,6 +30,44 @@ Simulator::Simulator(netlist::Circuit ckt, SimOptions opt)
             vsource_devs_.push_back(i);
     n_branches_ = vsource_devs_.size();
     stats_.matrix_size = n_nodes_ + n_branches_;
+
+    // Linear device instances with resolved node indices: the structural
+    // pass runs exactly once, so the Newton hot path never resolves a
+    // node name again.
+    std::size_t branch = 0;
+    for (std::size_t i = 0; i < ckt_.devices.size(); ++i) {
+        const Device& d = ckt_.devices[i];
+        switch (d.kind) {
+            case DeviceKind::Resistor: {
+                ResInstance r;
+                r.n1 = node_id(d.nodes[0]);
+                r.n2 = node_id(d.nodes[1]);
+                r.g = 1.0 / d.value;
+                res_.push_back(r);
+                break;
+            }
+            case DeviceKind::ISource: {
+                ISrcInstance s;
+                s.dev = i;
+                s.np = node_id(d.nodes[0]);
+                s.nm = node_id(d.nodes[1]);
+                isrc_.push_back(s);
+                break;
+            }
+            case DeviceKind::VSource: {
+                VSrcInstance s;
+                s.dev = i;
+                s.np = node_id(d.nodes[0]);
+                s.nm = node_id(d.nodes[1]);
+                s.row = n_nodes_ + branch;
+                vsrc_.push_back(s);
+                ++branch;
+                break;
+            }
+            default:
+                break;
+        }
+    }
 
     // MOS instances with resolved nodes.
     for (std::size_t i = 0; i < ckt_.devices.size(); ++i) {
@@ -58,8 +95,7 @@ Simulator::Simulator(netlist::Circuit ckt, SimOptions opt)
         caps_.push_back(c);
     }
     for (const MosInstance& m : mos_) {
-        const MosCaps mc =
-            mos1_caps(*m.model, m.w, m.l);
+        const MosCaps mc = mos1_caps(*m.model, m.w, m.l);
         caps_.push_back(CapInstance{m.g, m.s, mc.cgs, 0.0, 0.0});
         caps_.push_back(CapInstance{m.g, m.d, mc.cgd, 0.0, 0.0});
     }
@@ -68,6 +104,8 @@ Simulator::Simulator(netlist::Circuit ckt, SimOptions opt)
             caps_.push_back(
                 CapInstance{static_cast<int>(n), -1, opt_.cmin, 0.0, 0.0});
     }
+
+    build_kernel();
 }
 
 int Simulator::node_id(const std::string& name) const {
@@ -84,72 +122,155 @@ void Simulator::set_source_dc(const std::string& name, double value) {
     d.source = netlist::SourceSpec::make_dc(value);
 }
 
-void Simulator::assemble(const std::vector<double>& x, double h, double t,
-                         bool dc, double src_scale, double extra_gmin,
-                         Matrix& a, std::vector<double>& rhs) const {
-    a.clear();
-    std::fill(rhs.begin(), rhs.end(), 0.0);
+// ---------------------------------------------------------------------------
+// Kernel: one-time structural pass
 
-    auto stamp_g = [&](int n1, int n2, double g) {
-        if (n1 >= 0) a(static_cast<std::size_t>(n1), static_cast<std::size_t>(n1)) += g;
-        if (n2 >= 0) a(static_cast<std::size_t>(n2), static_cast<std::size_t>(n2)) += g;
-        if (n1 >= 0 && n2 >= 0) {
-            a(static_cast<std::size_t>(n1), static_cast<std::size_t>(n2)) -= g;
-            a(static_cast<std::size_t>(n2), static_cast<std::size_t>(n1)) -= g;
-        }
-    };
-    auto stamp_i = [&](int n_from, int n_to, double i) {
-        // Current i flows out of n_from into n_to (through the element).
-        if (n_from >= 0) rhs[static_cast<std::size_t>(n_from)] -= i;
-        if (n_to >= 0) rhs[static_cast<std::size_t>(n_to)] += i;
+int Simulator::add_site(int r, int c) {
+    if (r < 0 || c < 0) return -1;
+    sites_.emplace_back(r, c);
+    return static_cast<int>(sites_.size()) - 1;
+}
+
+void Simulator::build_kernel() {
+    const std::size_t n = n_nodes_ + n_branches_;
+
+    // Sites [0, n_nodes_) are the node diagonals (gmin), by construction.
+    sites_.clear();
+    for (std::size_t i = 0; i < n_nodes_; ++i)
+        add_site(static_cast<int>(i), static_cast<int>(i));
+    for (ResInstance& r : res_) {
+        r.s_11 = add_site(r.n1, r.n1);
+        r.s_22 = add_site(r.n2, r.n2);
+        r.s_12 = add_site(r.n1, r.n2);
+        r.s_21 = add_site(r.n2, r.n1);
+    }
+    for (VSrcInstance& s : vsrc_) {
+        const int row = static_cast<int>(s.row);
+        s.s_pb = add_site(s.np, row);
+        s.s_bp = add_site(row, s.np);
+        s.s_mb = add_site(s.nm, row);
+        s.s_bm = add_site(row, s.nm);
+    }
+    for (CapInstance& c : caps_) {
+        c.s_11 = add_site(c.n1, c.n1);
+        c.s_22 = add_site(c.n2, c.n2);
+        c.s_12 = add_site(c.n1, c.n2);
+        c.s_21 = add_site(c.n2, c.n1);
+    }
+    for (MosInstance& m : mos_) {
+        m.s_dd = add_site(m.d, m.d);
+        m.s_dg = add_site(m.d, m.g);
+        m.s_ds = add_site(m.d, m.s);
+        m.s_sd = add_site(m.s, m.d);
+        m.s_sg = add_site(m.s, m.g);
+        m.s_ss = add_site(m.s, m.s);
+    }
+
+    // Nonlinear-device terminal nodes: the bypass test watches these.
+    nl_nodes_.clear();
+    for (const MosInstance& m : mos_)
+        for (int nd : {m.d, m.g, m.s})
+            if (nd >= 0) nl_nodes_.push_back(nd);
+    std::sort(nl_nodes_.begin(), nl_nodes_.end());
+    nl_nodes_.erase(std::unique(nl_nodes_.begin(), nl_nodes_.end()),
+                    nl_nodes_.end());
+
+    // Backend selection and the site -> value-slot lookup table.
+    sparse_ = n > 0 && n >= opt_.sparse_threshold;
+    if (sparse_) {
+        slot_lut_ = slu_.analyze(n, sites_);
+        vals_size_ = slu_.nnz();
+        svals_static_.assign(vals_size_, 0.0);
+        svals_work_.assign(vals_size_, 0.0);
+    } else {
+        slot_lut_.resize(sites_.size());
+        for (std::size_t e = 0; e < sites_.size(); ++e)
+            slot_lut_[e] = sites_[e].first * static_cast<int>(n) +
+                           sites_[e].second;
+        vals_size_ = n * n;
+        a_static_.reset(n);
+        a_work_.reset(n);
+    }
+
+    rhs_base_.assign(n, 0.0);
+    rhs_mos_.assign(n, 0.0);
+    rhs_.assign(n, 0.0);
+    x_new_.assign(n, 0.0);
+    x_jac_.assign(n, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel: static / dynamic stamp split
+
+void Simulator::ensure_static(bool dc, double h, double extra_gmin) {
+    if (static_key_.matches(dc, h, extra_gmin, opt_.method)) return;
+
+    double* vs = sparse_ ? svals_static_.data() : a_static_.data();
+    std::fill(vs, vs + vals_size_, 0.0);
+    auto add = [&](int site, double v) {
+        if (site >= 0) vs[slot_lut_[static_cast<std::size_t>(site)]] += v;
     };
 
-    // gmin on every node.
+    // gmin on every node (diagonal sites are 0..n_nodes_-1).
     const double g_floor = opt_.gmin + extra_gmin;
-    for (std::size_t n = 0; n < n_nodes_; ++n) a(n, n) += g_floor;
+    for (std::size_t i = 0; i < n_nodes_; ++i)
+        add(static_cast<int>(i), g_floor);
 
-    std::size_t branch = 0;
-    for (const Device& d : ckt_.devices) {
-        switch (d.kind) {
-            case DeviceKind::Resistor: {
-                stamp_g(node_id(d.nodes[0]), node_id(d.nodes[1]),
-                        1.0 / d.value);
-                break;
-            }
-            case DeviceKind::Capacitor:
-                break;  // handled via caps_ below
-            case DeviceKind::ISource: {
-                const double i =
-                    src_scale *
-                    (dc ? d.source.dc_value() : d.source.value_at(t));
-                // SPICE convention: positive current flows from node+ through
-                // the source to node-.
-                stamp_i(node_id(d.nodes[0]), node_id(d.nodes[1]), i);
-                break;
-            }
-            case DeviceKind::VSource: {
-                const std::size_t br = n_nodes_ + branch;
-                const int np = node_id(d.nodes[0]);
-                const int nm = node_id(d.nodes[1]);
-                if (np >= 0) {
-                    a(static_cast<std::size_t>(np), br) += 1.0;
-                    a(br, static_cast<std::size_t>(np)) += 1.0;
-                }
-                if (nm >= 0) {
-                    a(static_cast<std::size_t>(nm), br) -= 1.0;
-                    a(br, static_cast<std::size_t>(nm)) -= 1.0;
-                }
-                rhs[br] = src_scale *
-                          (dc ? d.source.dc_value() : d.source.value_at(t));
-                ++branch;
-                break;
-            }
-            case DeviceKind::Mosfet:
-                break;  // below
+    for (const ResInstance& r : res_) {
+        add(r.s_11, r.g);
+        add(r.s_22, r.g);
+        add(r.s_12, -r.g);
+        add(r.s_21, -r.g);
+    }
+    for (const VSrcInstance& s : vsrc_) {
+        add(s.s_pb, 1.0);
+        add(s.s_bp, 1.0);
+        add(s.s_mb, -1.0);
+        add(s.s_bm, -1.0);
+    }
+    // Capacitor companion conductances (transient only): fixed for a given
+    // stepsize, so they live in the static part.  (The per-MOS gmin
+    // leakage stays in the dynamic stamp: interleaving it with each
+    // device's companion keeps the floating-point summation order -- and
+    // therefore every verdict of a borderline fault -- identical to the
+    // historical single-pass assembly.)
+    if (!dc) {
+        for (const CapInstance& c : caps_) {
+            const double geq = (opt_.method == Method::Trapezoidal)
+                                   ? 2.0 * c.c / h
+                                   : c.c / h;
+            add(c.s_11, geq);
+            add(c.s_22, geq);
+            add(c.s_12, -geq);
+            add(c.s_21, -geq);
         }
     }
 
-    // Capacitor companions (transient only).
+    static_key_.valid = true;
+    static_key_.dc = dc;
+    static_key_.h = h;
+    static_key_.extra_gmin = extra_gmin;
+    static_key_.method = opt_.method;
+    jac_valid_ = false;  // the old factorization sat on the old static part
+}
+
+void Simulator::build_rhs_base(bool dc, double h, double t,
+                               double src_scale) {
+    std::fill(rhs_base_.begin(), rhs_base_.end(), 0.0);
+    for (const ISrcInstance& s : isrc_) {
+        const Device& d = ckt_.devices[s.dev];
+        // SPICE convention: positive current flows from node+ through the
+        // source to node-.
+        const double i =
+            src_scale * (dc ? d.source.dc_value() : d.source.value_at(t));
+        if (s.np >= 0) rhs_base_[static_cast<std::size_t>(s.np)] -= i;
+        if (s.nm >= 0) rhs_base_[static_cast<std::size_t>(s.nm)] += i;
+    }
+    for (const VSrcInstance& s : vsrc_) {
+        const Device& d = ckt_.devices[s.dev];
+        rhs_base_[s.row] =
+            src_scale * (dc ? d.source.dc_value() : d.source.value_at(t));
+    }
     if (!dc) {
         for (const CapInstance& c : caps_) {
             double geq, ihist;
@@ -160,22 +281,38 @@ void Simulator::assemble(const std::vector<double>& x, double h, double t,
                 geq = c.c / h;
                 ihist = geq * c.v_prev;
             }
-            stamp_g(c.n1, c.n2, geq);
-            // Companion current source from n1 to n2 of value -ihist
-            // (i_cap = geq*v - ihist), i.e. ihist *into* n1.
-            stamp_i(c.n1, c.n2, -ihist);
+            // Companion current source: ihist *into* n1.
+            if (c.n1 >= 0) rhs_base_[static_cast<std::size_t>(c.n1)] += ihist;
+            if (c.n2 >= 0) rhs_base_[static_cast<std::size_t>(c.n2)] -= ihist;
         }
     }
+}
 
-    // MOSFETs: linearised companion at candidate x.
+void Simulator::stamp_dynamic(const std::vector<double>& x) {
+    double* vw = sparse_ ? svals_work_.data() : a_work_.data();
+    const double* vs = sparse_ ? svals_static_.data() : a_static_.data();
+    std::copy(vs, vs + vals_size_, vw);
+    std::fill(rhs_mos_.begin(), rhs_mos_.end(), 0.0);
+    // The companion currents are stamped straight into rhs_ (on top of the
+    // base) so the accumulation order matches the historical single-pass
+    // assembly bit for bit; rhs_mos_ keeps the MOS-only part for the
+    // bypass path to reuse.
+    rhs_ = rhs_base_;
+
+    auto add = [&](int site, double v) {
+        if (site >= 0) vw[slot_lut_[static_cast<std::size_t>(site)]] += v;
+    };
+
     for (const MosInstance& m : mos_) {
         const double sign = m.model->is_nmos ? 1.0 : -1.0;
-        const double vd = volt(x, m.d), vg = volt(x, m.g), vs = volt(x, m.s);
-        double vdn = sign * vd, vgn = sign * vg, vsn = sign * vs;
+        const double vd = volt(x, m.d), vg = volt(x, m.g), vs_ = volt(x, m.s);
+        double vdn = sign * vd, vgn = sign * vg, vsn = sign * vs_;
         int ed = m.d, es = m.s;
+        bool swapped = false;
         if (vdn < vsn) {
             std::swap(vdn, vsn);
             std::swap(ed, es);
+            swapped = true;
         }
         const Mos1Point p =
             mos1_eval_normalized(*m.model, m.w, m.l, vgn - vsn, vdn - vsn);
@@ -186,49 +323,120 @@ void Simulator::assemble(const std::vector<double>& x, double h, double t,
         const double vds_r = volt(x, ed) - v_es;
         const double ieq = i0 - p.gm * vgs_r - p.gds * vds_r;
 
+        // Stamp sites for the (effective drain, effective source) rows:
+        // when the device operates reversed, the drain-row values land on
+        // the source-row sites and vice versa.
+        const int c_dd = swapped ? m.s_ss : m.s_dd;
+        const int c_dg = swapped ? m.s_sg : m.s_dg;
+        const int c_ds = swapped ? m.s_sd : m.s_ds;
+        const int c_ss = swapped ? m.s_dd : m.s_ss;
+        const int c_sg = swapped ? m.s_dg : m.s_sg;
+        const int c_sd = swapped ? m.s_ds : m.s_sd;
+
         // i(ed) = gds*V(ed) + gm*V(g) - (gds+gm)*V(es) + ieq
         if (ed >= 0) {
-            a(static_cast<std::size_t>(ed), static_cast<std::size_t>(ed)) += p.gds;
-            if (m.g >= 0)
-                a(static_cast<std::size_t>(ed), static_cast<std::size_t>(m.g)) += p.gm;
-            if (es >= 0)
-                a(static_cast<std::size_t>(ed), static_cast<std::size_t>(es)) -=
-                    p.gds + p.gm;
-            rhs[static_cast<std::size_t>(ed)] -= ieq;
+            add(c_dd, p.gds);
+            add(c_dg, p.gm);
+            add(c_ds, -(p.gds + p.gm));
+            rhs_[static_cast<std::size_t>(ed)] -= ieq;
+            rhs_mos_[static_cast<std::size_t>(ed)] -= ieq;
         }
         if (es >= 0) {
-            a(static_cast<std::size_t>(es), static_cast<std::size_t>(es)) +=
-                p.gds + p.gm;
-            if (m.g >= 0)
-                a(static_cast<std::size_t>(es), static_cast<std::size_t>(m.g)) -= p.gm;
-            if (ed >= 0)
-                a(static_cast<std::size_t>(es), static_cast<std::size_t>(ed)) -= p.gds;
-            rhs[static_cast<std::size_t>(es)] += ieq;
+            add(c_ss, p.gds + p.gm);
+            add(c_sg, -p.gm);
+            add(c_sd, -p.gds);
+            rhs_[static_cast<std::size_t>(es)] += ieq;
+            rhs_mos_[static_cast<std::size_t>(es)] += ieq;
         }
         // Weak drain-source leakage keeps switched-off stacks well-posed.
-        stamp_g(m.d, m.s, opt_.gmin);
+        add(m.s_dd, opt_.gmin);
+        add(m.s_ss, opt_.gmin);
+        add(m.s_ds, -opt_.gmin);
+        add(m.s_sd, -opt_.gmin);
+    }
+
+    x_jac_ = x;
+    jac_key_ = static_key_;
+    // Not yet a valid bypass linearization: newton() marks it valid only
+    // once the stamped matrix has actually been factored, so a failed
+    // (singular) factorization or a stamp-only caller (the AC setup) can
+    // never leave the bypass pointing at a stale or absent factorization.
+    jac_valid_ = false;
+}
+
+bool Simulator::can_bypass(const std::vector<double>& x) const {
+    if (!opt_.bypass || !jac_valid_ || !static_key_.valid) return false;
+    if (!jac_key_.matches(static_key_.dc, static_key_.h,
+                          static_key_.extra_gmin, static_key_.method))
+        return false;
+    for (const int nd : nl_nodes_) {
+        const auto i = static_cast<std::size_t>(nd);
+        const double vj = x_jac_[i];
+        if (std::fabs(x[i] - vj) >
+            opt_.bypass_tol * std::max(1.0, std::fabs(vj)))
+            return false;
+    }
+    return true;
+}
+
+bool Simulator::factor_work() {
+    if (sparse_) {
+        const std::size_t before_full = slu_.full_factors();
+        if (!slu_.factor(svals_work_)) return false;
+        if (slu_.full_factors() > before_full)
+            ++stats_.sparse_full_factors;
+        else
+            ++stats_.sparse_refactors;
+    } else {
+        if (!lu_.factor(a_work_)) return false;
+    }
+    ++stats_.lu_factorizations;
+    return true;
+}
+
+void Simulator::solve_work() {
+    if (sparse_) {
+        x_new_ = rhs_;
+        slu_.solve(x_new_);
+    } else {
+        lu_.solve(rhs_, x_new_);
     }
 }
 
 bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
                        double src_scale, double extra_gmin, int max_iter) {
     const std::size_t n = n_nodes_ + n_branches_;
-    Matrix a(n);
-    std::vector<double> rhs(n);
-    LuSolver lu;
+    ensure_static(dc, h, extra_gmin);
+    build_rhs_base(dc, h, t, src_scale);
 
     for (int it = 0; it < max_iter; ++it) {
-        assemble(x, h, t, dc, src_scale, extra_gmin, a, rhs);
-        if (!lu.factor(a)) return false;
-        ++stats_.lu_factorizations;
-        const std::vector<double> xn = lu.solve(rhs);
+        if (!opt_.incremental) {
+            // Seed-kernel ablation: forget the static part and the
+            // factorization so every iteration pays the full rebuild.
+            static_key_.valid = false;
+            jac_valid_ = false;
+            ensure_static(dc, h, extra_gmin);
+            build_rhs_base(dc, h, t, src_scale);
+        }
+        if (can_bypass(x)) {
+            // Modified Newton: the device linearizations and the
+            // factorization are reused; only the rhs is fresh.
+            ++stats_.bypass_solves;
+            rhs_ = rhs_base_;
+            for (std::size_t i = 0; i < n; ++i) rhs_[i] += rhs_mos_[i];
+        } else {
+            stamp_dynamic(x);  // also rebuilds rhs_ from the base
+            if (!factor_work()) return false;
+            jac_valid_ = true;
+        }
+        solve_work();
         ++stats_.nr_iterations;
 
         // Damped update with voltage limiting on node unknowns.
         double max_rel = 0.0;
         bool limited = false;
         for (std::size_t i = 0; i < n; ++i) {
-            double dv = xn[i] - x[i];
+            double dv = x_new_[i] - x[i];
             if (i < n_nodes_ && std::fabs(dv) > opt_.dv_limit) {
                 dv = std::copysign(opt_.dv_limit, dv);
                 limited = true;
@@ -432,134 +640,84 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
     for (std::size_t i = 0; i < n_nodes_; ++i)
         x0[i] = op.voltages.at(node_names_[i]);
 
-    // Small-signal real part: resistors, MOS gm/gds at the OP, gmin, and
-    // the voltage-source branch pattern.  Complex part: jwC per capacitor.
-    Matrix g(n);
+    // Small-signal G: exactly the DC Jacobian at the operating point
+    // (resistors, source incidence, gmin, MOS gm/gds), produced by the
+    // same static + dynamic stamp split the Newton loop uses.
+    ensure_static(/*dc=*/true, 0.0, 0.0);
+    stamp_dynamic(x0);
+    const double* gv = sparse_ ? svals_work_.data() : a_work_.data();
+
+    // AC excitation: every source participates with its ac_mag.
     std::vector<std::complex<double>> rhs(n, 0.0);
-
-    auto stamp_g = [&](int n1, int n2, double gg) {
-        if (n1 >= 0) g(static_cast<std::size_t>(n1), static_cast<std::size_t>(n1)) += gg;
-        if (n2 >= 0) g(static_cast<std::size_t>(n2), static_cast<std::size_t>(n2)) += gg;
-        if (n1 >= 0 && n2 >= 0) {
-            g(static_cast<std::size_t>(n1), static_cast<std::size_t>(n2)) -= gg;
-            g(static_cast<std::size_t>(n2), static_cast<std::size_t>(n1)) -= gg;
-        }
-    };
-    for (std::size_t i = 0; i < n_nodes_; ++i) g(i, i) += opt_.gmin;
-
-    std::size_t branch = 0;
-    for (const Device& d : ckt_.devices) {
-        switch (d.kind) {
-            case DeviceKind::Resistor:
-                stamp_g(node_id(d.nodes[0]), node_id(d.nodes[1]),
-                        1.0 / d.value);
-                break;
-            case DeviceKind::ISource: {
-                const int np = node_id(d.nodes[0]);
-                const int nm = node_id(d.nodes[1]);
-                if (np >= 0) rhs[static_cast<std::size_t>(np)] -= d.source.ac_mag;
-                if (nm >= 0) rhs[static_cast<std::size_t>(nm)] += d.source.ac_mag;
-                break;
-            }
-            case DeviceKind::VSource: {
-                const std::size_t br = n_nodes_ + branch;
-                const int np = node_id(d.nodes[0]);
-                const int nm = node_id(d.nodes[1]);
-                if (np >= 0) {
-                    g(static_cast<std::size_t>(np), br) += 1.0;
-                    g(br, static_cast<std::size_t>(np)) += 1.0;
-                }
-                if (nm >= 0) {
-                    g(static_cast<std::size_t>(nm), br) -= 1.0;
-                    g(br, static_cast<std::size_t>(nm)) -= 1.0;
-                }
-                rhs[br] = d.source.ac_mag;
-                ++branch;
-                break;
-            }
-            default: break;
-        }
+    for (const ISrcInstance& s : isrc_) {
+        const double mag = ckt_.devices[s.dev].source.ac_mag;
+        if (s.np >= 0) rhs[static_cast<std::size_t>(s.np)] -= mag;
+        if (s.nm >= 0) rhs[static_cast<std::size_t>(s.nm)] += mag;
     }
-    // MOS small-signal transconductances at the operating point.
-    for (const MosInstance& m : mos_) {
-        const double sign = m.model->is_nmos ? 1.0 : -1.0;
-        double vdn = sign * volt(x0, m.d);
-        double vgn = sign * volt(x0, m.g);
-        double vsn = sign * volt(x0, m.s);
-        int ed = m.d, es = m.s;
-        if (vdn < vsn) {
-            std::swap(vdn, vsn);
-            std::swap(ed, es);
-        }
-        const Mos1Point p =
-            mos1_eval_normalized(*m.model, m.w, m.l, vgn - vsn, vdn - vsn);
-        if (ed >= 0) {
-            g(static_cast<std::size_t>(ed), static_cast<std::size_t>(ed)) += p.gds;
-            if (m.g >= 0)
-                g(static_cast<std::size_t>(ed), static_cast<std::size_t>(m.g)) += p.gm;
-            if (es >= 0)
-                g(static_cast<std::size_t>(ed), static_cast<std::size_t>(es)) -=
-                    p.gds + p.gm;
-        }
-        if (es >= 0) {
-            g(static_cast<std::size_t>(es), static_cast<std::size_t>(es)) +=
-                p.gds + p.gm;
-            if (m.g >= 0)
-                g(static_cast<std::size_t>(es), static_cast<std::size_t>(m.g)) -= p.gm;
-            if (ed >= 0)
-                g(static_cast<std::size_t>(es), static_cast<std::size_t>(ed)) -= p.gds;
-        }
-        stamp_g(m.d, m.s, opt_.gmin);
-    }
+    for (const VSrcInstance& s : vsrc_)
+        rhs[s.row] = ckt_.devices[s.dev].source.ac_mag;
 
     AcResult res;
     for (const std::string& nn : node_names_) res.add_node(nn);
 
-    // Sweep.  The G part is frequency-independent: it is stamped into the
-    // complex matrix once, and per point only the cells touched by a
-    // capacitor are reset before jwC is added (the loop used to rebuild
-    // all n^2 entries from scratch at every frequency).
+    // Complex backend mirrors the real one: same sites, same slots; the
+    // complex pattern analysis runs once, lazily, on the first sweep.
+    if (sparse_ && !ac_kernel_ready_) {
+        // analyze() is deterministic over the same site list, so the
+        // complex solver hands out the same slots as the real one; the
+        // check turns any future divergence into a loud failure instead
+        // of silently mis-stamped transfer functions.
+        const std::vector<int> cslots = cslu_.analyze(n, sites_);
+        require(cslots == slot_lut_,
+                "ac: complex sparse pattern diverged from the real one");
+        cvals_work_.assign(vals_size_, 0.0);
+        ac_kernel_ready_ = true;
+    }
+    if (!sparse_) ca_work_.reset(n);
+
+    std::complex<double>* cw =
+        sparse_ ? cvals_work_.data() : ca_work_.data();
+    auto addc = [&](int site, std::complex<double> v) {
+        if (site >= 0) cw[slot_lut_[static_cast<std::size_t>(site)]] += v;
+    };
+
+    // Sweep.  The G part is frequency-independent; per point the value
+    // array is refreshed from it and only jwC is added on the capacitor
+    // sites.  Above the sparse threshold every point after the first is a
+    // pattern-reused refactor instead of a fresh O(n^3) factorization.
     const double decades = std::log10(spec.fstop / spec.fstart);
     const int total = std::max(
         2, static_cast<int>(decades * spec.points_per_decade + 0.5) + 1);
-    CMatrix a(n);
-    for (std::size_t r = 0; r < n; ++r)
-        for (std::size_t c = 0; c < n; ++c)
-            a(r, c) = std::complex<double>(g(r, c), 0.0);
-    std::set<std::pair<std::size_t, std::size_t>> cap_cell_set;
-    for (const CapInstance& cp : caps_) {
-        const auto r1 = static_cast<std::size_t>(cp.n1);
-        const auto r2 = static_cast<std::size_t>(cp.n2);
-        if (cp.n1 >= 0) cap_cell_set.emplace(r1, r1);
-        if (cp.n2 >= 0) cap_cell_set.emplace(r2, r2);
-        if (cp.n1 >= 0 && cp.n2 >= 0) {
-            cap_cell_set.emplace(r1, r2);
-            cap_cell_set.emplace(r2, r1);
-        }
-    }
-    const std::vector<std::pair<std::size_t, std::size_t>> cap_cells(
-        cap_cell_set.begin(), cap_cell_set.end());
-
-    CLuSolver lu;
+    std::vector<std::complex<double>> sol(n);
     for (int k = 0; k < total; ++k) {
         const double f =
             spec.fstart * std::pow(10.0, decades * k / (total - 1));
         const double w = 2.0 * M_PI * f;
-        for (const auto& [r, c] : cap_cells)
-            a(r, c) = std::complex<double>(g(r, c), 0.0);
+        for (std::size_t i = 0; i < vals_size_; ++i)
+            cw[i] = std::complex<double>(gv[i], 0.0);
         for (const CapInstance& cp : caps_) {
             const std::complex<double> jwc(0.0, w * cp.c);
-            if (cp.n1 >= 0)
-                a(static_cast<std::size_t>(cp.n1), static_cast<std::size_t>(cp.n1)) += jwc;
-            if (cp.n2 >= 0)
-                a(static_cast<std::size_t>(cp.n2), static_cast<std::size_t>(cp.n2)) += jwc;
-            if (cp.n1 >= 0 && cp.n2 >= 0) {
-                a(static_cast<std::size_t>(cp.n1), static_cast<std::size_t>(cp.n2)) -= jwc;
-                a(static_cast<std::size_t>(cp.n2), static_cast<std::size_t>(cp.n1)) -= jwc;
-            }
+            addc(cp.s_11, jwc);
+            addc(cp.s_22, jwc);
+            addc(cp.s_12, -jwc);
+            addc(cp.s_21, -jwc);
         }
-        require(lu.factor(a), "ac: singular system at f=" + std::to_string(f));
-        const auto sol = lu.solve(rhs);
+        if (sparse_) {
+            const std::size_t before_full = cslu_.full_factors();
+            require(cslu_.factor(cvals_work_),
+                    "ac: singular system at f=" + std::to_string(f));
+            if (cslu_.full_factors() > before_full)
+                ++stats_.sparse_full_factors;
+            else
+                ++stats_.sparse_refactors;
+            sol = rhs;
+            cslu_.solve(sol);
+        } else {
+            require(clu_.factor(ca_work_),
+                    "ac: singular system at f=" + std::to_string(f));
+            clu_.solve(rhs, sol);
+        }
+        ++stats_.lu_factorizations;
         res.append(f, std::vector<std::complex<double>>(
                           sol.begin(),
                           sol.begin() + static_cast<long>(n_nodes_)));
@@ -623,9 +781,8 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
         wf.add_trace("i(" + ckt_.devices[vsource_devs_[b]].name + ")");
 
     auto record = [&](double t) {
-        std::vector<double> row(n_nodes_ + n_branches_);
-        for (std::size_t i = 0; i < n_nodes_ + n_branches_; ++i) row[i] = x[i];
-        wf.append(t, row);
+        row_buf_.assign(x.begin(), x.end());
+        wf.append(t, row_buf_);
     };
 
     record(spec.tstart);
@@ -653,11 +810,11 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
             for (;;) {
                 if (first_substep && user_method == Method::Trapezoidal)
                     opt_.method = Method::BackwardEuler;
-                std::vector<double> x_try = x;
-                const bool ok = newton(x_try, dt, tc + dt, /*dc=*/false, 1.0,
+                x_try_ = x;
+                const bool ok = newton(x_try_, dt, tc + dt, /*dc=*/false, 1.0,
                                        0.0, opt_.max_nr);
                 if (ok) {
-                    x = x_try;
+                    x = x_try_;
                     update_cap_history(x, dt);
                     opt_.method = user_method;
                     first_substep = false;
@@ -740,13 +897,13 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
             // stretches where large strides are attempted it is already
             // near the solution, so the macro solve converges in a couple
             // of iterations.
-            std::vector<double> x_try = x;
+            x_try_ = x;
             const double slope = dt / h_prev;
             for (std::size_t i = 0; i < n; ++i)
-                x_try[i] += (x[i] - x_prev[i]) * slope;
-            if (newton(x_try, dt, t_target, /*dc=*/false, 1.0, 0.0,
+                x_try_[i] += (x[i] - x_prev[i]) * slope;
+            if (newton(x_try_, dt, t_target, /*dc=*/false, 1.0, 0.0,
                        opt_.max_nr)) {
-                ratio = lte_ratio(x_prev, h_prev, x, x_try, dt);
+                ratio = lte_ratio(x_prev, h_prev, x, x_try_, dt);
                 if (ratio <= 1.0) {
                     // Accepted: the LTE bound certifies the solution is
                     // linear across the stride within tolerance, so the
@@ -757,17 +914,17 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
                                               spec.tstep;
                         const double frac = static_cast<double>(j) /
                                             static_cast<double>(s);
-                        std::vector<double> row(n);
+                        row_buf_.resize(n);
                         for (std::size_t i = 0; i < n; ++i)
-                            row[i] = x[i] + frac * (x_try[i] - x[i]);
-                        wf.append(tj, row);
+                            row_buf_[i] = x[i] + frac * (x_try_[i] - x[i]);
+                        wf.append(tj, row_buf_);
                         ++stats_.grid_points_interpolated;
                         if (observer && !observer(tj, wf)) {
                             stats_.steps_saved += steps - (k + j);
                             return wf;
                         }
                     }
-                    x = x_try;
+                    x = x_try_;
                     update_cap_history(x, dt);
                     ++stats_.tran_steps;
                     macro_done = true;

@@ -43,6 +43,31 @@
 //    isolated by open-fault injection stay well-posed (exactly the
 //    situation AnaFAULT creates with 100 MOhm opens and split nodes).
 //
+// Kernel architecture (stamp split / sparse / bypass)
+// ---------------------------------------------------
+// The Jacobian is split once, structurally, at construction:
+//  * static part  -- resistors, source incidence, gmin and the capacitor
+//    companion conductances.  Rebuilt only when the companion stepsize,
+//    integration method or stepping scalars change, never per Newton
+//    iteration.
+//  * dynamic part -- the MOS linearised companions.  Written per Newton
+//    iteration through precomputed stamp-pointer lists on top of a memcpy
+//    of the static values; no device-loop node lookups in the hot path.
+// The linear solve runs on one of two backends behind the same stamp
+// slots: dense LU (matrix.h) below SimOptions::sparse_threshold unknowns,
+// sparse LU (sparse.h) above it -- one-time Markowitz ordering, every
+// later factorization a pattern-reused numeric refactor.  The AC sweep
+// shares the machinery with complex values: the G pattern is stamped
+// once, per frequency only the capacitor cells change, and above the
+// threshold each point is a sparse refactor instead of a dense O(n^3)
+// factorization.  All Newton workspaces (matrix values, rhs, solution,
+// solver) are Simulator-owned and preallocated: the hot path performs no
+// heap allocation.  A modified-Newton bypass reuses the previous
+// factorization outright when every MOS terminal voltage moved less than
+// bypass_tol since the Jacobian was stamped (SimStats::bypass_solves),
+// which collapses quiescent transient tails to two triangular solves per
+// step.
+//
 // Observers
 // ---------
 // Every sweeping analysis accepts a per-point observer so a caller (the
@@ -58,6 +83,7 @@
 #include "netlist/netlist.h"
 #include "spice/ac.h"
 #include "spice/matrix.h"
+#include "spice/sparse.h"
 #include "spice/waveform.h"
 
 #include <functional>
@@ -92,6 +118,28 @@ struct SimOptions {
     double lte_tol = 5e-3;
     /// Largest number of grid intervals one adaptive step may span.
     int max_stride = 64;
+
+    // -- kernel selection ---------------------------------------------------
+    /// Unknown count at or above which the sparse kernel replaces dense
+    /// LU.  0 forces sparse everywhere (tests use this); a huge value
+    /// forces dense.  The default keeps the paper's tens-of-nodes
+    /// circuits on the dense path, where its constant factors win.
+    std::size_t sparse_threshold = 64;
+    /// Ablation switch for benches: false rebuilds the complete Jacobian
+    /// (static part included) on every Newton iteration, reproducing the
+    /// seed kernel's work profile so speedups are measured against it
+    /// within one run.  Always leave true in production.
+    bool incremental = true;
+    /// Modified-Newton Jacobian bypass: when every MOS terminal voltage
+    /// moved less than bypass_tol * max(1 V, |v|) since the Jacobian was
+    /// stamped (and the companion stepsize is unchanged), skip the device
+    /// re-evaluation and reuse the previous factorization -- the solve is
+    /// two triangular substitutions.  The converged solution is by
+    /// construction within bypass_tol of the linearization point, so
+    /// detection verdicts are unchanged at the default tolerance (pinned
+    /// by the full-VCO-campaign identity test in tests/kernel_test.cpp).
+    bool bypass = true;
+    double bypass_tol = 1e-7;
 };
 
 /// Counters for performance reporting (the source-model vs resistor-model
@@ -121,6 +169,13 @@ struct SimStats {
     /// recent cold solve of the same circuit topology.
     std::size_t warm_start_solves = 0;
     std::size_t nr_saved_warm = 0;
+    /// Newton solves that reused the previous factorization outright
+    /// (modified-Newton bypass, SimOptions::bypass).
+    std::size_t bypass_solves = 0;
+    /// Sparse kernel: full Markowitz factorizations (ordering + pivoting)
+    /// vs numeric refactorizations that replayed the recorded pattern.
+    std::size_t sparse_full_factors = 0;
+    std::size_t sparse_refactors = 0;
 };
 
 struct DcResult {
@@ -219,12 +274,47 @@ private:
         int d, g, s;            // node indices (-1 = ground)
         double w, l;
         const netlist::MosModel* model;
+        // Stamp sites (indices into sites_/slot_lut_; -1 = grounded pair):
+        // the 3x3 conductance block minus the gate row, which never
+        // receives current.
+        int s_dd = -1, s_dg = -1, s_ds = -1;
+        int s_sd = -1, s_sg = -1, s_ss = -1;
     };
     struct CapInstance {
         int n1, n2;     // node indices (-1 = ground)
         double c;
         double v_prev = 0.0;  // branch voltage at previous accepted step
         double i_prev = 0.0;  // branch current at previous accepted step
+        int s_11 = -1, s_22 = -1, s_12 = -1, s_21 = -1;  // geq / jwC sites
+    };
+    struct ResInstance {
+        int n1, n2;
+        double g;
+        int s_11 = -1, s_22 = -1, s_12 = -1, s_21 = -1;
+    };
+    struct ISrcInstance {
+        std::size_t dev;
+        int np, nm;
+    };
+    struct VSrcInstance {
+        std::size_t dev;
+        int np, nm;
+        std::size_t row;  // branch row index (n_nodes_ + branch)
+        int s_pb = -1, s_bp = -1, s_mb = -1, s_bm = -1;  // +/-1 incidence
+    };
+
+    /// Key of the cached static stamp: everything the static value array
+    /// depends on besides topology.
+    struct StaticKey {
+        bool valid = false;
+        bool dc = false;
+        double h = 0.0;
+        double extra_gmin = 0.0;
+        Method method = Method::Trapezoidal;
+        bool matches(bool dc_, double h_, double eg, Method m) const {
+            return valid && dc == dc_ && h == h_ && extra_gmin == eg &&
+                   method == m;
+        }
     };
 
     int node_id(const std::string& name) const;  // -1 for ground
@@ -232,14 +322,32 @@ private:
         return node < 0 ? 0.0 : x[static_cast<std::size_t>(node)];
     }
 
-    /// Assemble MNA at candidate solution x.  `h` <= 0 means DC (caps open);
-    /// otherwise the transient companion for the active method is stamped.
-    /// `src_scale` scales every independent source (source stepping),
-    /// `extra_gmin` is added on top of opt_.gmin (gmin stepping),
-    /// `t` is the transient time for source evaluation (DC uses dc_value).
-    void assemble(const std::vector<double>& x, double h, double t, bool dc,
-                  double src_scale, double extra_gmin, Matrix& a,
-                  std::vector<double>& rhs) const;
+    /// Register a stamp site (row, col); returns its site index, or -1 if
+    /// either index is negative (grounded terminal).
+    int add_site(int r, int c);
+    /// One-time structural pass: resolve every device's stamp sites, pick
+    /// the dense/sparse backend, and build the slot lookup table.
+    void build_kernel();
+
+    /// Rebuild the static value array (resistors, source incidence, gmin,
+    /// capacitor geq at stepsize h) if the key changed since the last
+    /// build.  Invalidates the bypass linearization on rebuild.
+    void ensure_static(bool dc, double h, double extra_gmin);
+    /// Per-solve right-hand side base: independent sources at (t,
+    /// src_scale) and capacitor companion history currents.
+    void build_rhs_base(bool dc, double h, double t, double src_scale);
+    /// Per-iteration dynamic stamp: memcpy static -> work values, then the
+    /// MOS companions at candidate x (matrix part into the work array, the
+    /// companion currents into rhs_mos_).  Records x as the bypass
+    /// linearization point.
+    void stamp_dynamic(const std::vector<double>& x);
+    /// True when the bypass conditions hold at candidate x (see
+    /// SimOptions::bypass).
+    bool can_bypass(const std::vector<double>& x) const;
+    /// Factor the work values on the active backend.
+    bool factor_work();
+    /// Solve the factored system for rhs_ into x_new_.
+    void solve_work();
 
     /// Newton loop at fixed (h, t).  Returns true on convergence; x is
     /// updated in place.
@@ -274,6 +382,36 @@ private:
     std::vector<std::size_t> vsource_devs_;          // device idx per branch
     std::vector<MosInstance> mos_;
     mutable std::vector<CapInstance> caps_;  // history mutated across steps
+    std::vector<ResInstance> res_;
+    std::vector<ISrcInstance> isrc_;
+    std::vector<VSrcInstance> vsrc_;
+
+    // -- kernel (stamp split + backends), built once by build_kernel() ------
+    bool sparse_ = false;              ///< backend: sparse above threshold
+    std::vector<std::pair<int, int>> sites_;  ///< stamp positions (r, c)
+    std::vector<int> slot_lut_;        ///< site -> value-array slot
+    std::size_t vals_size_ = 0;        ///< dense: n*n; sparse: pattern nnz
+    std::vector<int> nl_nodes_;        ///< MOS terminal nodes (bypass check)
+
+    Matrix a_static_, a_work_;         ///< dense backend value arrays
+    LuSolver lu_;
+    std::vector<double> svals_static_, svals_work_;  ///< sparse backend
+    SparseLu<double> slu_;
+
+    StaticKey static_key_;             ///< what the static array was built for
+    bool jac_valid_ = false;           ///< bypass linearization available
+    StaticKey jac_key_;                ///< static key the Jacobian sits on
+    std::vector<double> x_jac_;        ///< linearization point
+    std::vector<double> rhs_base_;     ///< per-solve source + cap rhs
+    std::vector<double> rhs_mos_;      ///< MOS companion currents at x_jac_
+    std::vector<double> rhs_, x_new_, x_try_, row_buf_;  ///< hot-path buffers
+
+    // Complex (AC) backend state, built lazily on the first ac() call.
+    bool ac_kernel_ready_ = false;
+    CMatrix ca_work_;
+    CLuSolver clu_;
+    std::vector<std::complex<double>> cvals_work_;
+    SparseLu<std::complex<double>> cslu_;
 };
 
 } // namespace catlift::spice

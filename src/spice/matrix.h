@@ -3,8 +3,13 @@
 // Dense linear algebra for the MNA system, generic over the scalar so the
 // same LU serves the real transient/DC path and the complex AC path.
 // Fault-simulation circuits in this flow are tens of nodes (the paper's
-// VCO builds a ~40x40 system), so dense LU with partial pivoting beats any
-// sparse machinery on both robustness and constant factors.
+// VCO builds a ~40x40 system), so dense LU with partial pivoting beats
+// sparse machinery on both robustness and constant factors at that size;
+// spice/sparse.h takes over above SimOptions::sparse_threshold.
+//
+// Everything here is allocation-free after warm-up: factor() reuses the
+// LU buffer's capacity and solve() has an in-place overload, so the Newton
+// hot path of the engine never touches the heap.
 
 #pragma once
 
@@ -33,6 +38,17 @@ public:
 
     void clear() { std::fill(a_.begin(), a_.end(), T{}); }
 
+    /// Resize to n x n (reusing capacity) and zero every entry.
+    void reset(std::size_t n) {
+        n_ = n;
+        a_.assign(n * n, T{});
+    }
+
+    /// Raw row-major storage (n*n values); the engine's stamp-pointer
+    /// lists index straight into it.
+    T* data() { return a_.data(); }
+    const T* data() const { return a_.data(); }
+
 private:
     std::size_t n_ = 0;
     std::vector<T> a_;
@@ -46,9 +62,10 @@ public:
     /// beyond `pivot_floor`.
     bool factor(const BasicMatrix<T>& a, double pivot_floor = 1e-18) {
         n_ = a.size();
-        lu_.assign(n_ * n_, T{});
-        for (std::size_t r = 0; r < n_; ++r)
-            for (std::size_t c = 0; c < n_; ++c) lu_[r * n_ + c] = a(r, c);
+        // Copy (not assign): reuses the buffer's capacity, so repeated
+        // factorizations of the same size never reallocate.
+        lu_.resize(n_ * n_);
+        std::copy(a.data(), a.data() + n_ * n_, lu_.begin());
         perm_.resize(n_);
         for (std::size_t i = 0; i < n_; ++i) perm_[i] = i;
         ok_ = false;
@@ -85,9 +102,18 @@ public:
 
     /// Solve for one right-hand side; factor() must have succeeded.
     std::vector<T> solve(const std::vector<T>& b) const {
+        std::vector<T> x(b.size());
+        solve(b, x);
+        return x;
+    }
+
+    /// In-place solve: writes the solution into `x` (sized to n, reusing
+    /// capacity).  `x` and `b` may be the same vector only when the
+    /// permutation is identity, so the engine keeps them distinct.
+    void solve(const std::vector<T>& b, std::vector<T>& x) const {
         require(ok_, "LuSolver::solve called without a successful factor()");
         require(b.size() == n_, "LuSolver::solve: rhs size mismatch");
-        std::vector<T> x(n_);
+        x.resize(n_);
         for (std::size_t r = 0; r < n_; ++r) {
             T s = b[perm_[r]];
             for (std::size_t c = 0; c < r; ++c) s -= lu_[r * n_ + c] * x[c];
@@ -99,7 +125,6 @@ public:
                 s -= lu_[ri * n_ + c] * x[c];
             x[ri] = s / lu_[ri * n_ + ri];
         }
-        return x;
     }
 
     std::size_t factor_count() const { return factor_count_; }

@@ -1,0 +1,381 @@
+// catlift/spice/sparse.h
+//
+// Sparse LU for the MNA system, generic over the scalar (double for the
+// DC/transient path, complex<double> for the AC sweep).  The design is the
+// classic circuit-simulator split pioneered by Sparse 1.3 / KLU:
+//
+//   * analyze()      -- one-time: dedup the stamp positions into a CSC
+//                       pattern and hand every stamp site a value slot.
+//   * full factor    -- first numeric factorization: right-looking
+//                       elimination with Markowitz ordering under threshold
+//                       partial pivoting.  Records the row/column pivot
+//                       sequence and the complete fill pattern of L and U.
+//   * refactor       -- every later factorization of the *same pattern*
+//                       replays the recorded pivot order left-looking over
+//                       the fixed fill pattern: no searching, no ordering,
+//                       no allocation -- just the O(flops) arithmetic.
+//                       A pivot falling below the floor (the values drifted
+//                       far from the ones that chose the ordering) falls
+//                       back to a fresh full factorization transparently.
+//
+// MNA matrices carry structural zero diagonals on every voltage-source
+// branch row, so the ordering must pivot; Markowitz keeps the fill small
+// while the tau-threshold keeps the pivots sound.  The engine drives this
+// through engine.cpp's stamp-pointer lists: the Newton hot path memcpys
+// the static value array, adds the per-iteration device stamps, and calls
+// factor() -- which lands in the cheap refactor path every time after the
+// first solve of a given topology.
+
+#pragma once
+
+#include "geom/base.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace catlift::spice {
+
+template <typename T>
+class SparseLu {
+public:
+    /// Define the n x n pattern from stamp positions (duplicates allowed
+    /// and expected -- every device terminal pair stamps independently).
+    /// Returns one value-slot index per input entry; duplicate positions
+    /// share a slot.  Value arrays passed to factor() hold nnz() values in
+    /// the slot order defined here.  Invalidates any previous
+    /// factorization.
+    std::vector<int> analyze(std::size_t n,
+                             const std::vector<std::pair<int, int>>& entries) {
+        require(n > 0, "SparseLu::analyze: empty system");
+        n_ = n;
+        have_pattern_ = false;
+        have_factor_ = false;
+
+        // Dedup into column-major order.
+        std::vector<std::pair<int, int>> uniq = entries;  // (col, row)
+        for (auto& e : uniq) std::swap(e.first, e.second);
+        std::sort(uniq.begin(), uniq.end());
+        uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+
+        col_ptr_.assign(n_ + 1, 0);
+        row_ind_.clear();
+        row_ind_.reserve(uniq.size());
+        std::map<std::pair<int, int>, int> slot_of;
+        for (const auto& [c, r] : uniq) {
+            require(r >= 0 && c >= 0 && static_cast<std::size_t>(r) < n_ &&
+                        static_cast<std::size_t>(c) < n_,
+                    "SparseLu::analyze: entry out of range");
+            slot_of[{c, r}] = static_cast<int>(row_ind_.size());
+            row_ind_.push_back(r);
+            ++col_ptr_[static_cast<std::size_t>(c) + 1];
+        }
+        for (std::size_t c = 0; c < n_; ++c) col_ptr_[c + 1] += col_ptr_[c];
+
+        std::vector<int> slots;
+        slots.reserve(entries.size());
+        for (const auto& [r, c] : entries) slots.push_back(slot_of.at({c, r}));
+        have_pattern_ = true;
+        return slots;
+    }
+
+    std::size_t size() const { return n_; }
+    std::size_t nnz() const { return row_ind_.size(); }
+
+    /// Numeric factorization of `vals` (slot order from analyze()).
+    /// Reuses the recorded pivot order and fill pattern when one exists;
+    /// falls back to a full Markowitz factorization the first time or when
+    /// a reused pivot degrades below `pivot_floor`.  Returns false only if
+    /// the matrix is singular beyond the floor.
+    bool factor(const std::vector<T>& vals, double pivot_floor = 1e-18) {
+        require(have_pattern_, "SparseLu::factor before analyze()");
+        require(vals.size() == nnz(), "SparseLu::factor: value count mismatch");
+        if (have_factor_ && refactor(vals, pivot_floor)) {
+            ++refactors_;
+            return true;
+        }
+        have_factor_ = false;
+        if (!full_factor(vals, pivot_floor)) return false;
+        have_factor_ = true;
+        ++full_factors_;
+        return true;
+    }
+
+    /// In-place solve Ax=b (b becomes x); factor() must have succeeded.
+    void solve(std::vector<T>& b) const {
+        require(have_factor_, "SparseLu::solve without a successful factor()");
+        require(b.size() == n_, "SparseLu::solve: rhs size mismatch");
+        scratch_.resize(n_);
+        // Forward substitution, L unit-diagonal, column-oriented.
+        for (std::size_t k = 0; k < n_; ++k)
+            scratch_[k] = b[static_cast<std::size_t>(pr_[k])];
+        for (std::size_t k = 0; k < n_; ++k) {
+            const T yk = scratch_[k];
+            if (yk == T{}) continue;
+            for (int p = l_ptr_[k]; p < l_ptr_[k + 1]; ++p)
+                scratch_[static_cast<std::size_t>(l_row_[p])] -= yk * l_val_[p];
+        }
+        // Back substitution, column-oriented.
+        for (std::size_t j = n_; j-- > 0;) {
+            const T xj = scratch_[j] / diag_[j];
+            scratch_[j] = xj;
+            if (xj == T{}) continue;
+            for (int p = u_ptr_[j]; p < u_ptr_[j + 1]; ++p)
+                scratch_[static_cast<std::size_t>(u_row_[p])] -= xj * u_val_[p];
+        }
+        for (std::size_t j = 0; j < n_; ++j)
+            b[static_cast<std::size_t>(pc_[j])] = scratch_[j];
+    }
+
+    /// Convenience for tests: out-of-place solve.
+    std::vector<T> solve_copy(const std::vector<T>& b) const {
+        std::vector<T> x = b;
+        solve(x);
+        return x;
+    }
+
+    /// Full (ordering + pivoting) factorizations performed.
+    std::size_t full_factors() const { return full_factors_; }
+    /// Numeric refactorizations that reused the recorded pattern.
+    std::size_t refactors() const { return refactors_; }
+    /// Nonzeros in L + U (fill included); 0 before the first factor.
+    std::size_t factor_nnz() const {
+        return l_row_.size() + u_row_.size() + (have_factor_ ? n_ : 0);
+    }
+
+private:
+    static double mag(const T& v) { return std::abs(v); }
+
+    /// Right-looking Markowitz elimination with threshold partial
+    /// pivoting.  Records pr_/pc_ and the L/U fill pattern + values.
+    bool full_factor(const std::vector<T>& vals, double pivot_floor) {
+        constexpr double kTau = 1e-3;  // pivot threshold vs column max
+
+        // Dynamic rows: col -> value maps (fill inserts are cheap).
+        std::vector<std::map<int, T>> rows(n_);
+        std::vector<int> row_cnt(n_, 0), col_cnt(n_, 0);
+        for (std::size_t c = 0; c < n_; ++c)
+            for (int p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p) {
+                rows[static_cast<std::size_t>(row_ind_[p])][static_cast<int>(
+                    c)] = vals[static_cast<std::size_t>(p)];
+                ++row_cnt[static_cast<std::size_t>(row_ind_[p])];
+                ++col_cnt[c];
+            }
+
+        pr_.assign(n_, -1);
+        pc_.assign(n_, -1);
+        std::vector<char> row_done(n_, 0), col_done(n_, 0);
+        // Raw factor entries in original (row, col) ids; remapped to pivot
+        // step space once every row/column has its step.
+        std::vector<std::vector<std::pair<int, T>>> u_raw(n_);  // step -> (col, v)
+        std::vector<std::vector<std::pair<int, T>>> l_raw(n_);  // step -> (row, f)
+        std::vector<double> col_max(n_);
+
+        for (std::size_t k = 0; k < n_; ++k) {
+            // Column maxima over the active submatrix, then the Markowitz
+            // search among threshold-admissible entries.
+            std::fill(col_max.begin(), col_max.end(), 0.0);
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (row_done[i]) continue;
+                for (const auto& [c, v] : rows[i])
+                    col_max[static_cast<std::size_t>(c)] =
+                        std::max(col_max[static_cast<std::size_t>(c)], mag(v));
+            }
+            long best_cost = -1;
+            double best_mag = 0.0;
+            int best_r = -1, best_c = -1;
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (row_done[i]) continue;
+                for (const auto& [c, v] : rows[i]) {
+                    const double m = mag(v);
+                    if (m < pivot_floor ||
+                        m < kTau * col_max[static_cast<std::size_t>(c)])
+                        continue;
+                    const long cost =
+                        static_cast<long>(row_cnt[i] - 1) *
+                        static_cast<long>(col_cnt[static_cast<std::size_t>(c)] -
+                                          1);
+                    if (best_cost < 0 || cost < best_cost ||
+                        (cost == best_cost && m > best_mag)) {
+                        best_cost = cost;
+                        best_mag = m;
+                        best_r = static_cast<int>(i);
+                        best_c = c;
+                    }
+                }
+            }
+            if (best_r < 0) return false;  // singular beyond the floor
+            pr_[k] = best_r;
+            pc_[k] = best_c;
+            row_done[static_cast<std::size_t>(best_r)] = 1;
+            col_done[static_cast<std::size_t>(best_c)] = 1;
+
+            auto& prow = rows[static_cast<std::size_t>(best_r)];
+            const T d = prow.at(best_c);
+            u_raw[k].emplace_back(best_c, d);
+            for (const auto& [c, v] : prow) {
+                if (c == best_c) continue;
+                u_raw[k].emplace_back(c, v);
+            }
+            for (const auto& [c, v] : prow) {
+                (void)v;
+                --col_cnt[static_cast<std::size_t>(c)];
+            }
+
+            // Eliminate the pivot column from every other active row.
+            for (std::size_t i = 0; i < n_; ++i) {
+                if (row_done[i]) continue;
+                auto it = rows[i].find(best_c);
+                if (it == rows[i].end()) continue;
+                const T f = it->second / d;
+                rows[i].erase(it);
+                --row_cnt[i];
+                --col_cnt[static_cast<std::size_t>(best_c)];
+                l_raw[k].emplace_back(static_cast<int>(i), f);
+                for (const auto& [c, v] : prow) {
+                    if (c == best_c) continue;
+                    auto [jt, fresh] = rows[i].emplace(c, T{});
+                    if (fresh) {
+                        ++row_cnt[i];
+                        ++col_cnt[static_cast<std::size_t>(c)];
+                    }
+                    jt->second -= f * v;
+                }
+            }
+        }
+
+        // Remap to pivot-step space and pack column-wise CSC storage.
+        std::vector<int> col_step(n_), row_step(n_);
+        for (std::size_t k = 0; k < n_; ++k) {
+            col_step[static_cast<std::size_t>(pc_[k])] = static_cast<int>(k);
+            row_step[static_cast<std::size_t>(pr_[k])] = static_cast<int>(k);
+        }
+        diag_.assign(n_, T{});
+        std::vector<std::vector<std::pair<int, T>>> u_cols(n_), l_cols(n_);
+        for (std::size_t k = 0; k < n_; ++k) {
+            for (const auto& [c, v] : u_raw[k]) {
+                const int j = col_step[static_cast<std::size_t>(c)];
+                if (j == static_cast<int>(k))
+                    diag_[k] = v;
+                else
+                    u_cols[static_cast<std::size_t>(j)].emplace_back(
+                        static_cast<int>(k), v);
+            }
+            for (const auto& [r, f] : l_raw[k])
+                l_cols[k].emplace_back(row_step[static_cast<std::size_t>(r)],
+                                       f);
+        }
+        pack(u_cols, u_ptr_, u_row_, u_val_, /*sort_rows=*/true);
+        pack(l_cols, l_ptr_, l_row_, l_val_, /*sort_rows=*/false);
+
+        // Scatter positions of the original pattern in pivot-step space,
+        // precomputed for the refactor loop.
+        scatter_step_.resize(nnz());
+        csc_col_step_.resize(n_);
+        for (std::size_t c = 0; c < n_; ++c) {
+            csc_col_step_[static_cast<std::size_t>(
+                col_step[c])] = static_cast<int>(c);
+            for (int p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p)
+                scatter_step_[static_cast<std::size_t>(p)] =
+                    row_step[static_cast<std::size_t>(row_ind_[p])];
+        }
+        work_.assign(n_, T{});
+        return true;
+    }
+
+    /// Left-looking numeric replay over the recorded pattern and pivot
+    /// order.  No searching, no fill discovery, no allocation.
+    bool refactor(const std::vector<T>& vals, double pivot_floor) {
+        for (std::size_t j = 0; j < n_; ++j) {
+            // Scatter original column pc_[j] into pivot-step space.
+            const auto c = static_cast<std::size_t>(csc_col_step_[j]);
+            for (int p = col_ptr_[c]; p < col_ptr_[c + 1]; ++p)
+                work_[static_cast<std::size_t>(scatter_step_[p])] =
+                    vals[static_cast<std::size_t>(p)];
+            // Apply updates from earlier columns (U pattern is ascending).
+            for (int p = u_ptr_[j]; p < u_ptr_[j + 1]; ++p) {
+                const auto i = static_cast<std::size_t>(u_row_[p]);
+                const T u = work_[i];
+                u_val_[p] = u;
+                work_[i] = T{};
+                if (u == T{}) continue;
+                for (int q = l_ptr_[i]; q < l_ptr_[i + 1]; ++q)
+                    work_[static_cast<std::size_t>(l_row_[q])] -=
+                        u * l_val_[q];
+            }
+            const T d = work_[j];
+            work_[j] = T{};
+            if (mag(d) < pivot_floor) {
+                // Clear the remaining touched entries before bailing out.
+                for (int p = l_ptr_[j]; p < l_ptr_[j + 1]; ++p)
+                    work_[static_cast<std::size_t>(l_row_[p])] = T{};
+                return false;
+            }
+            diag_[j] = d;
+            for (int p = l_ptr_[j]; p < l_ptr_[j + 1]; ++p) {
+                const auto r = static_cast<std::size_t>(l_row_[p]);
+                l_val_[p] = work_[r] / d;
+                work_[r] = T{};
+            }
+        }
+        return true;
+    }
+
+    static void pack(std::vector<std::vector<std::pair<int, T>>>& cols,
+                     std::vector<int>& ptr, std::vector<int>& row,
+                     std::vector<T>& val, bool sort_rows) {
+        const std::size_t n = cols.size();
+        ptr.assign(n + 1, 0);
+        std::size_t total = 0;
+        for (std::size_t j = 0; j < n; ++j) total += cols[j].size();
+        row.clear();
+        val.clear();
+        row.reserve(total);
+        val.reserve(total);
+        for (std::size_t j = 0; j < n; ++j) {
+            if (sort_rows)
+                std::sort(cols[j].begin(), cols[j].end(),
+                          [](const auto& a, const auto& b) {
+                              return a.first < b.first;
+                          });
+            for (const auto& [r, v] : cols[j]) {
+                row.push_back(r);
+                val.push_back(v);
+            }
+            ptr[j + 1] = static_cast<int>(row.size());
+        }
+    }
+
+    std::size_t n_ = 0;
+    bool have_pattern_ = false;
+    bool have_factor_ = false;
+
+    // Original pattern, CSC.
+    std::vector<int> col_ptr_, row_ind_;
+
+    // Pivot order: pr_[k]/pc_[k] = original row/column eliminated at step k.
+    std::vector<int> pr_, pc_;
+    // csc_col_step_[j] = original column handled at step j;
+    // scatter_step_[p] = pivot-step row of original CSC position p.
+    std::vector<int> csc_col_step_, scatter_step_;
+
+    // Factor storage in pivot-step space, column-wise.  U rows ascending
+    // (required by the left-looking replay); L row order free but fixed.
+    std::vector<int> u_ptr_, u_row_, l_ptr_, l_row_;
+    std::vector<T> u_val_, l_val_, diag_;
+
+    std::vector<T> work_;           // refactor scatter workspace
+    mutable std::vector<T> scratch_;  // solve workspace
+
+    std::size_t full_factors_ = 0;
+    std::size_t refactors_ = 0;
+};
+
+using SparseSolver = SparseLu<double>;
+using CSparseSolver = SparseLu<std::complex<double>>;
+
+} // namespace catlift::spice

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 
 using namespace catlift;
 using namespace catlift::anafault;
@@ -492,4 +493,57 @@ TEST(Campaign, FreshRunIgnoresStaleStore) {
     const auto res2 = run_campaign(c, fl, numerics);
     EXPECT_EQ(res2.batch.resumed, 0u);
     std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// The VCO campaign's "collapsed: 0" (BENCH_parallel_speedup.json)
+//
+// Investigated: the layout extractor already merges every bridge between
+// the same net pair (across layers) into one fault, so the 64-fault VCO
+// list genuinely contains 64 distinct electrical effects -- collapsing
+// has nothing to fold, and "collapsed: 0" is correct behaviour, not a
+// signature-canonicalization bug.  The first test pins that property of
+// the extraction; the second proves collapse *does* fire on this very
+// campaign the moment two equivalent faults exist.
+
+TEST(Collapse, VcoCampaignFaultsAreAllDistinctEffects) {
+    const core::VcoExperiment e = core::make_vco_experiment();
+    const auto lift_res =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    std::set<std::string> sigs;
+    for (const auto& f : lift_res.faults.faults)
+        sigs.insert(batch::effect_signature(f));
+    EXPECT_EQ(sigs.size(), lift_res.faults.size());
+    EXPECT_EQ(batch::collapse(lift_res.faults.faults).size(),
+              lift_res.faults.size());
+}
+
+TEST(Campaign, VcoConstructedEquivalentFaultsCollapse) {
+    // Clone one extracted bridge as a different-layer mechanism between
+    // the same nets: electrically identical, so the campaign must
+    // simulate the class once and fan the verdict out.
+    const core::VcoExperiment e = core::make_vco_experiment();
+    auto lift_res =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    lift::FaultList faults = lift_res.faults;
+    ASSERT_FALSE(faults.faults.empty());
+    lift::Fault dup = faults.faults.front();
+    dup.id = 9001;
+    dup.mechanism = "metal1_short";  // same nets, different layer/mechanism
+    faults.faults.push_back(dup);
+
+    const auto res = run_campaign(e.sim_circuit, faults, e.config.campaign);
+    EXPECT_EQ(res.batch.collapsed, 1u);
+    EXPECT_EQ(res.batch.classes, faults.size() - 1);
+    EXPECT_EQ(res.batch.scheduled, faults.size() - 1);
+
+    const auto& rep = res.results.front();
+    const auto& fan = res.results.back();
+    EXPECT_EQ(fan.fault_id, 9001);
+    EXPECT_EQ(rep.detect_time.has_value(), fan.detect_time.has_value());
+    if (rep.detect_time) {
+        EXPECT_EQ(*rep.detect_time, *fan.detect_time);
+    }
+    // Kernel cost stays attributed to the representative alone.
+    EXPECT_EQ(fan.sim_seconds, 0.0);
 }

@@ -1,0 +1,234 @@
+// SparseLu tests: randomized equivalence against the dense BasicLu
+// reference (real and complex), pattern-reused refactorization, pivoting
+// on structurally zero diagonals (the MNA voltage-source branch shape),
+// singular detection on both the full-factor and refactor paths, and the
+// in-place dense solve overload.
+
+#include "spice/matrix.h"
+#include "spice/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+using catlift::spice::BasicLu;
+using catlift::spice::BasicMatrix;
+using catlift::spice::SparseLu;
+
+namespace {
+
+// Deterministic xorshift-style generator (no <random> dependency drift).
+struct Rng {
+    std::uint64_t s = 0x9e3779b97f4a7c15ull;
+    double uniform() {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        return static_cast<double>(s >> 11) /
+               static_cast<double>(1ull << 53);
+    }
+    double signed_uniform() { return 2.0 * uniform() - 1.0; }
+};
+
+/// Random sparse pattern with a guaranteed diagonal (well-posed) plus
+/// `extra` off-diagonal entries; duplicates included on purpose to
+/// exercise slot dedup.
+std::vector<std::pair<int, int>> random_pattern(Rng& rng, int n, int extra) {
+    std::vector<std::pair<int, int>> entries;
+    for (int i = 0; i < n; ++i) entries.push_back({i, i});
+    for (int e = 0; e < extra; ++e) {
+        const int r = static_cast<int>(rng.uniform() * n);
+        const int c = static_cast<int>(rng.uniform() * n);
+        entries.push_back({std::min(r, n - 1), std::min(c, n - 1)});
+    }
+    return entries;
+}
+
+} // namespace
+
+TEST(SparseLu, MatchesDenseOnRandomSystems) {
+    Rng rng;
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 4 + trial % 13;
+        auto entries = random_pattern(rng, n, 3 * n);
+        SparseLu<double> slu;
+        const auto slots = slu.analyze(static_cast<std::size_t>(n), entries);
+        ASSERT_EQ(slots.size(), entries.size());
+
+        std::vector<double> vals(slu.nnz(), 0.0);
+        BasicMatrix<double> a(static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const double v = rng.signed_uniform();
+            const auto [r, c] = entries[e];
+            vals[static_cast<std::size_t>(slots[e])] += v;
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+        }
+        // Diagonal dominance => well-conditioned reference.
+        for (int i = 0; i < n; ++i) {
+            vals[static_cast<std::size_t>(slots[static_cast<std::size_t>(
+                i)])] += 4.0;
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 4.0;
+        }
+
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (auto& v : b) v = 10.0 * rng.signed_uniform();
+
+        ASSERT_TRUE(slu.factor(vals));
+        BasicLu<double> dlu;
+        ASSERT_TRUE(dlu.factor(a));
+        const auto xd = dlu.solve(b);
+        const auto xs = slu.solve_copy(b);
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(xs[static_cast<std::size_t>(i)],
+                        xd[static_cast<std::size_t>(i)], 1e-9)
+                << "trial " << trial << " i " << i;
+    }
+}
+
+TEST(SparseLu, RefactorReusesPatternAndMatchesDense) {
+    Rng rng;
+    const int n = 12;
+    auto entries = random_pattern(rng, n, 4 * n);
+    SparseLu<double> slu;
+    const auto slots = slu.analyze(static_cast<std::size_t>(n), entries);
+
+    for (int round = 0; round < 10; ++round) {
+        std::vector<double> vals(slu.nnz(), 0.0);
+        BasicMatrix<double> a(static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const double v = rng.signed_uniform();
+            const auto [r, c] = entries[e];
+            vals[static_cast<std::size_t>(slots[e])] += v;
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+        }
+        for (int i = 0; i < n; ++i) {
+            vals[static_cast<std::size_t>(slots[static_cast<std::size_t>(
+                i)])] += 5.0;
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 5.0;
+        }
+        ASSERT_TRUE(slu.factor(vals));
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (auto& v : b) v = rng.signed_uniform();
+        BasicLu<double> dlu;
+        ASSERT_TRUE(dlu.factor(a));
+        const auto xd = dlu.solve(b);
+        const auto xs = slu.solve_copy(b);
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(xs[static_cast<std::size_t>(i)],
+                        xd[static_cast<std::size_t>(i)], 1e-9);
+    }
+    // One full factorization, every later one a pattern-reused refactor.
+    EXPECT_EQ(slu.full_factors(), 1u);
+    EXPECT_EQ(slu.refactors(), 9u);
+}
+
+TEST(SparseLu, ComplexMatchesDense) {
+    Rng rng;
+    using C = std::complex<double>;
+    for (int trial = 0; trial < 10; ++trial) {
+        const int n = 6 + trial;
+        auto entries = random_pattern(rng, n, 3 * n);
+        SparseLu<C> slu;
+        const auto slots = slu.analyze(static_cast<std::size_t>(n), entries);
+        std::vector<C> vals(slu.nnz(), C{});
+        BasicMatrix<C> a(static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const C v(rng.signed_uniform(), rng.signed_uniform());
+            const auto [r, c] = entries[e];
+            vals[static_cast<std::size_t>(slots[e])] += v;
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+        }
+        for (int i = 0; i < n; ++i) {
+            vals[static_cast<std::size_t>(slots[static_cast<std::size_t>(
+                i)])] += C(5.0, 1.0);
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) +=
+                C(5.0, 1.0);
+        }
+        std::vector<C> b(static_cast<std::size_t>(n));
+        for (auto& v : b) v = C(rng.signed_uniform(), rng.signed_uniform());
+        ASSERT_TRUE(slu.factor(vals));
+        BasicLu<C> dlu;
+        ASSERT_TRUE(dlu.factor(a));
+        const auto xd = dlu.solve(b);
+        const auto xs = slu.solve_copy(b);
+        for (int i = 0; i < n; ++i)
+            EXPECT_LT(std::abs(xs[static_cast<std::size_t>(i)] -
+                               xd[static_cast<std::size_t>(i)]),
+                      1e-9);
+    }
+}
+
+TEST(SparseLu, PivotsAcrossZeroDiagonal) {
+    // The MNA voltage-source shape: a structurally zero diagonal on the
+    // branch row.  [g 1; 1 0] x = [0; v] -> x = [v, -g v].
+    SparseLu<double> slu;
+    const auto slots = slu.analyze(
+        2, {{0, 0}, {0, 1}, {1, 0}});
+    std::vector<double> vals(slu.nnz(), 0.0);
+    vals[static_cast<std::size_t>(slots[0])] = 1e-3;  // g
+    vals[static_cast<std::size_t>(slots[1])] = 1.0;
+    vals[static_cast<std::size_t>(slots[2])] = 1.0;
+    ASSERT_TRUE(slu.factor(vals));
+    const auto x = slu.solve_copy({0.0, 5.0});
+    EXPECT_NEAR(x[0], 5.0, 1e-12);
+    EXPECT_NEAR(x[1], -5e-3, 1e-12);
+}
+
+TEST(SparseLu, SingularDetectedFullAndRefactor) {
+    SparseLu<double> slu;
+    const auto slots =
+        slu.analyze(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+    // Rank-1 matrix: full factorization must reject it.
+    std::vector<double> vals(slu.nnz(), 0.0);
+    vals[static_cast<std::size_t>(slots[0])] = 1.0;
+    vals[static_cast<std::size_t>(slots[1])] = 2.0;
+    vals[static_cast<std::size_t>(slots[2])] = 2.0;
+    vals[static_cast<std::size_t>(slots[3])] = 4.0;
+    EXPECT_FALSE(slu.factor(vals));
+
+    // A good matrix factors; the same pattern degraded to singular must be
+    // rejected on the refactor path too (and not poison later factors).
+    vals = {1.0, 2.0, 2.0, 5.0};
+    ASSERT_TRUE(slu.factor(vals));
+    vals = {1.0, 2.0, 2.0, 4.0};
+    EXPECT_FALSE(slu.factor(vals));
+    vals = {3.0, 1.0, 1.0, 2.0};
+    ASSERT_TRUE(slu.factor(vals));
+    const auto x = slu.solve_copy({5.0, 5.0});
+    EXPECT_NEAR(3.0 * x[0] + 1.0 * x[1], 5.0, 1e-12);
+    EXPECT_NEAR(1.0 * x[0] + 2.0 * x[1], 5.0, 1e-12);
+}
+
+TEST(SparseLu, PivotFloorRespected) {
+    // Values above the floor factor fine; dropping the whole matrix under
+    // the floor must fail rather than divide by ~0.
+    SparseLu<double> slu;
+    const auto slots = slu.analyze(2, {{0, 0}, {1, 1}});
+    std::vector<double> vals(slu.nnz(), 0.0);
+    vals[static_cast<std::size_t>(slots[0])] = 1e-12;
+    vals[static_cast<std::size_t>(slots[1])] = 1e-12;
+    EXPECT_TRUE(slu.factor(vals, 1e-15));
+    EXPECT_FALSE(slu.factor(vals, 1e-9));
+}
+
+TEST(DenseLu, InPlaceSolveMatchesReturningOverload) {
+    BasicMatrix<double> a(3);
+    a(0, 0) = 2;
+    a(0, 1) = 1;
+    a(1, 0) = 1;
+    a(1, 1) = 3;
+    a(1, 2) = 1;
+    a(2, 2) = 4;
+    BasicLu<double> lu;
+    ASSERT_TRUE(lu.factor(a));
+    const std::vector<double> b = {5.0, 10.0, 8.0};
+    const auto x1 = lu.solve(b);
+    std::vector<double> x2;
+    lu.solve(b, x2);
+    ASSERT_EQ(x2.size(), 3u);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_DOUBLE_EQ(x1[static_cast<std::size_t>(i)],
+                         x2[static_cast<std::size_t>(i)]);
+}

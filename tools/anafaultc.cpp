@@ -16,6 +16,10 @@
 //     --no-collapse      skip the fault-collapsing pre-pass
 //     --no-adaptive      fixed-grid integration (no LTE stride control)
 //     --lte-tol <tol>    adaptive LTE acceptance tolerance (default 5e-3)
+//     --no-sparse        force the dense kernel at every size
+//     --sparse           force the sparse kernel at every size
+//     --no-bypass        disable the modified-Newton Jacobian bypass
+//     --bypass-tol <tol> bypass movement tolerance (default 1e-7)
 //     --table            per-fault result table
 //     --plot             ASCII coverage plot
 //     --csv <file>       coverage curve CSV
@@ -39,7 +43,8 @@ namespace {
         "usage: anafaultc <deck.sp> <faults.flt> [--observe node]... "
         "[--supply vsrc] [--model resistor|source] [--v-tol V] [--t-tol s] "
         "[--threads n] [--store file] [--resume] [--no-early-abort] "
-        "[--no-collapse] [--no-adaptive] [--lte-tol tol] [--table] "
+        "[--no-collapse] [--no-adaptive] [--lte-tol tol] [--no-sparse] "
+        "[--sparse] [--no-bypass] [--bypass-tol tol] [--table] "
         "[--plot] [--csv file]\n");
     std::exit(2);
 }
@@ -84,6 +89,19 @@ int main(int argc, char** argv) {
             if (!(opt.sim.lte_tol > 0.0)) {
                 std::fprintf(stderr,
                              "anafaultc: --lte-tol needs a positive number\n");
+                return 2;
+            }
+        }
+        else if (a == "--no-sparse")
+            opt.sim.sparse_threshold = static_cast<std::size_t>(-1);
+        else if (a == "--sparse") opt.sim.sparse_threshold = 0;
+        else if (a == "--no-bypass") opt.sim.bypass = false;
+        else if (a == "--bypass-tol") {
+            opt.sim.bypass_tol = std::atof(next());
+            if (!(opt.sim.bypass_tol > 0.0)) {
+                std::fprintf(
+                    stderr,
+                    "anafaultc: --bypass-tol needs a positive number\n");
                 return 2;
             }
         }

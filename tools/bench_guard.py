@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Bench regression guard.
+
+Compares freshly produced BENCH_*.json files against the baselines
+committed at the repository root and fails (exit 1) on any regression
+beyond a tolerance band.  Two kinds of checks with separate bands:
+
+  * counters (step/iteration/abort/verdict counts) are deterministic for
+    a given commit on a given libm: a drift beyond the counter band in
+    EITHER direction means the engine's behaviour changed and the
+    baseline was not re-recorded.  The band (default 25%) absorbs
+    cross-toolchain rounding differences only.
+  * wall-clock is machine-dependent, so absolute times are never
+    compared; instead intra-run speedup RATIOS (batch vs seed-serial,
+    sparse+bypass vs dense per ring size) are guarded against regression
+    only -- getting faster passes.  The ratio band is wider (default
+    40%) because even intra-run ratios shift with core count and cache
+    size across runner hardware.
+
+Usage: bench_guard.py <baseline_dir> <fresh_dir> [counter_tol] [ratio_tol]
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+FAILURES = []
+
+
+def check_counter(name, base, fresh, tol):
+    if base == fresh:
+        return
+    ref = max(abs(base), 1.0)
+    drift = abs(fresh - base) / ref
+    status = "FAIL" if drift > tol else "ok"
+    print(f"  [{status}] {name}: baseline {base} fresh {fresh} "
+          f"(drift {drift:.1%})")
+    if drift > tol:
+        FAILURES.append(name)
+
+
+def check_ratio(name, base, fresh, tol):
+    """Guard a speedup ratio against regression (smaller = worse)."""
+    if fresh >= base * (1.0 - tol):
+        print(f"  [ok] {name}: baseline {base:.2f}x fresh {fresh:.2f}x")
+        return
+    print(f"  [FAIL] {name}: baseline {base:.2f}x fresh {fresh:.2f}x "
+          f"(regressed beyond {tol:.0%})")
+    FAILURES.append(name)
+
+
+def by_key(samples, *keys):
+    return {tuple(s[k] for k in keys): s for s in samples}
+
+
+def guard_parallel_speedup(base, fresh, ctol, rtol):
+    check_counter("parallel_speedup.faults", base["faults"], fresh["faults"],
+                  0.0)
+    b = by_key(base["samples"], "label")
+    f = by_key(fresh["samples"], "label")
+    for key, bs in b.items():
+        fs = f.get(key)
+        if fs is None:
+            print(f"  [FAIL] parallel_speedup sample {key} missing")
+            FAILURES.append(f"missing:{key}")
+            continue
+        label = key[0]
+        for c in ("early_aborts", "steps_saved", "collapsed"):
+            check_counter(f"parallel_speedup.{label}.{c}", bs[c], fs[c], ctol)
+        if label != "seed-serial":
+            check_ratio(f"parallel_speedup.{label}.speedup_vs_seed",
+                        bs["speedup_vs_seed"], fs["speedup_vs_seed"], rtol)
+
+
+def guard_adaptive_tran(base, fresh, ctol, rtol):
+    del rtol  # no wall ratios in this file; counters only
+    b = by_key(base["tran"], "label")
+    f = by_key(fresh["tran"], "label")
+    for key, bs in b.items():
+        fs = f.get(key)
+        if fs is None:
+            print(f"  [FAIL] adaptive_tran sample {key} missing")
+            FAILURES.append(f"missing:{key}")
+            continue
+        label = key[0]
+        for c in ("steps_integrated", "steps_interpolated", "steps_saved",
+                  "detected"):
+            check_counter(f"adaptive_tran.{label}.{c}", bs[c], fs[c], ctol)
+    for key, bs in by_key(base["ac"]["samples"], "label").items():
+        fs = by_key(fresh["ac"]["samples"], "label").get(key)
+        if fs is None:
+            print(f"  [FAIL] adaptive_tran ac sample {key} missing")
+            FAILURES.append(f"missing:{key}")
+            continue
+        for c in ("freq_points_saved", "early_aborts", "detected"):
+            check_counter(f"adaptive_tran.{key[0]}.{c}", bs[c], fs[c], ctol)
+
+
+def guard_kernel_scaling(base, fresh, ctol, rtol):
+    b = by_key(base["samples"], "stages", "config")
+    f = by_key(fresh["samples"], "stages", "config")
+    for key, bs in b.items():
+        fs = f.get(key)
+        if fs is None:
+            print(f"  [FAIL] kernel_scaling sample {key} missing")
+            FAILURES.append(f"missing:{key}")
+            continue
+        stages, config = key
+        for c in ("unknowns", "nr_iterations", "lu_factorizations"):
+            check_counter(f"kernel_scaling.N{stages}.{config}.{c}", bs[c],
+                          fs[c], ctol)
+    # The asymptotic claim itself: sparse+bypass vs dense per ring size.
+    for stages in sorted({k[0] for k in b}):
+        try:
+            br = b[(stages, "dense")]["wall_s"] / \
+                max(b[(stages, "sparse+bypass")]["wall_s"], 1e-9)
+            fr = f[(stages, "dense")]["wall_s"] / \
+                max(f[(stages, "sparse+bypass")]["wall_s"], 1e-9)
+        except KeyError:
+            continue
+        check_ratio(f"kernel_scaling.N{stages}.sparse_bypass_speedup",
+                    br, fr, rtol)
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    base_dir, fresh_dir = sys.argv[1], sys.argv[2]
+    ctol = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    rtol = float(sys.argv[4]) if len(sys.argv) > 4 else 0.40
+
+    guards = {
+        "BENCH_parallel_speedup.json": guard_parallel_speedup,
+        "BENCH_adaptive_tran.json": guard_adaptive_tran,
+        "BENCH_kernel_scaling.json": guard_kernel_scaling,
+    }
+    for name, guard in guards.items():
+        try:
+            base = load(f"{base_dir}/{name}")
+        except FileNotFoundError:
+            print(f"[skip] no committed baseline for {name}")
+            continue
+        try:
+            fresh = load(f"{fresh_dir}/{name}")
+        except FileNotFoundError:
+            print(f"[FAIL] fresh run missing {name}")
+            FAILURES.append(f"missing-file:{name}")
+            continue
+        print(f"== {name} (counters {ctol:.0%}, ratios {rtol:.0%}) ==")
+        guard(base, fresh, ctol, rtol)
+
+    if FAILURES:
+        print(f"\nbench guard: {len(FAILURES)} regression(s):")
+        for f in FAILURES:
+            print(f"  - {f}")
+        return 1
+    print("\nbench guard: all within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
