@@ -194,7 +194,9 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
     // already finished.
     std::unique_ptr<batch::ResultStore> store;
     if (!opt.result_store.empty()) {
-        const std::uint64_t manifest = manifest_hash(ckt, metas, ts, opt);
+        const std::uint64_t manifest =
+            opt.manifest_override ? *opt.manifest_override
+                                  : manifest_hash(ckt, metas, ts, opt);
         if (!opt.resume) {
             std::error_code ec;
             std::filesystem::remove(opt.result_store, ec);
@@ -316,10 +318,7 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
     return res;
 }
 
-} // namespace
-
-CampaignResult run_campaign(const Circuit& ckt, const lift::FaultList& faults,
-                            const CampaignOptions& opt) {
+std::vector<JobMeta> fault_metas(const lift::FaultList& faults) {
     std::vector<JobMeta> metas;
     metas.reserve(faults.size());
     for (const lift::Fault& f : faults.faults) {
@@ -330,12 +329,26 @@ CampaignResult run_campaign(const Circuit& ckt, const lift::FaultList& faults,
         m.signature = batch::effect_signature(f);
         metas.push_back(std::move(m));
     }
+    return metas;
+}
+
+} // namespace
+
+CampaignResult run_campaign(const Circuit& ckt, const lift::FaultList& faults,
+                            const CampaignOptions& opt) {
     return run_generic(
-        ckt, std::move(metas),
+        ckt, fault_metas(faults),
         [&](std::size_t i) {
             return inject(ckt, faults.faults[i], opt.injection);
         },
         opt);
+}
+
+std::uint64_t campaign_manifest(const Circuit& ckt,
+                                const lift::FaultList& faults,
+                                const CampaignOptions& opt) {
+    return manifest_hash(ckt, fault_metas(faults), resolve_tran(ckt, opt),
+                         opt);
 }
 
 CampaignResult run_parametric_campaign(

@@ -50,6 +50,12 @@ struct CampaignOptions {
     /// crashed) run of the *same* campaign; without this flag an existing
     /// store is restarted.
     bool resume = false;
+    /// Bind the result store to this manifest instead of the campaign's
+    /// own hash.  Set only by the incremental cross-revision engine, which
+    /// runs a *subset* campaign against the full revision's store (the
+    /// carried records must survive the subset run and the merged store
+    /// must identify as the full revision campaign).
+    std::optional<std::uint64_t> manifest_override;
 
     CampaignOptions() {
         sim.uic = true;       // paper: start at supply activation
@@ -100,6 +106,17 @@ struct CampaignResult {
 CampaignResult run_campaign(const netlist::Circuit& ckt,
                             const lift::FaultList& faults,
                             const CampaignOptions& opt = {});
+
+/// Manifest hash of the campaign (ckt, faults, opt) would run: circuit
+/// text, per-fault identity, analysis grid and every verdict-determining
+/// numeric/kernel knob.  A result store is resumable against a campaign
+/// iff the manifests match; the incremental engine likewise only carries
+/// baseline verdicts whose store manifest reproduces this hash for the
+/// baseline fault list.  Threads, store path/resume and manifest_override
+/// itself are deliberately excluded (they do not change verdicts).
+std::uint64_t campaign_manifest(const netlist::Circuit& ckt,
+                                const lift::FaultList& faults,
+                                const CampaignOptions& opt = {});
 
 /// Run a parametric (soft) fault set through the same cycle.
 CampaignResult run_parametric_campaign(

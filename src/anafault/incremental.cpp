@@ -1,0 +1,172 @@
+#include "anafault/incremental.h"
+
+#include "batch/result_store.h"
+
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace catlift::anafault {
+
+using netlist::Circuit;
+
+namespace {
+
+/// Baseline verdicts keyed by electrical signature.  The store records
+/// carry fault ids, the baseline fault list maps ids to signatures; the
+/// first record per id wins, mirroring the resume path of run_campaign.
+std::map<std::string, const batch::FaultSimResult*> baseline_by_signature(
+    const lift::FaultList& baseline, const batch::StoreSnapshot& snap) {
+    std::map<int, const batch::FaultSimResult*> by_id;
+    for (const batch::FaultSimResult& r : snap.records)
+        by_id.emplace(r.fault_id, &r);
+    std::map<std::string, const batch::FaultSimResult*> by_sig;
+    for (const lift::Fault& f : baseline.faults) {
+        const auto it = by_id.find(f.id);
+        if (it != by_id.end())
+            by_sig[lift::electrical_signature(f)] = it->second;
+    }
+    return by_sig;
+}
+
+/// Rebind a baseline record to the revision fault it is carried for: the
+/// identity (id, description, probability) becomes the revision's, the
+/// verdict and its original kernel cost stay with the record.
+batch::FaultSimResult carry(const batch::FaultSimResult& baseline_record,
+                            const lift::Fault& f) {
+    batch::FaultSimResult r = baseline_record;
+    r.fault_id = f.id;
+    r.description = f.describe();
+    r.probability = f.probability;
+    r.carried = true;
+    return r;
+}
+
+} // namespace
+
+IncrementalResult run_incremental_campaign(const Circuit& ckt,
+                                           const lift::FaultList& baseline,
+                                           const lift::FaultList& revision,
+                                           const IncrementalOptions& opt) {
+    IncrementalResult res;
+    require(!(opt.campaign.resume && opt.campaign.result_store.empty()),
+            "incremental campaign: resume needs a merged result store path");
+
+    // Classify the revision against the baseline.  The diff's carried
+    // pair list is the single source of truth for the carry/resimulate
+    // split: everything not in it (added, probability-changed) is
+    // resimulated.
+    const lift::FaultListDiff diff =
+        lift::diff_faultlists(baseline, revision, opt.rel_tol);
+    res.inc.removed = diff.only_a.size();
+    res.inc.added = diff.only_b.size();
+    res.inc.probability_changed = diff.probability_changed.size();
+    std::set<std::string> carried_sigs;
+    for (const auto& [a, b] : diff.carried)
+        carried_sigs.insert(lift::electrical_signature(b));
+
+    // The baseline store is only trusted when its manifest proves it was
+    // written by this circuit + baseline fault list + knob set.
+    std::map<std::string, const batch::FaultSimResult*> by_sig;
+    const std::optional<batch::StoreSnapshot> snap =
+        batch::load_store(opt.baseline_store);
+    if (!snap) {
+        res.inc.carry_block_reason = opt.baseline_store.empty()
+                                         ? "no baseline store given"
+                                         : "baseline store missing or not a "
+                                           "current-version store";
+    } else if (snap->manifest !=
+               campaign_manifest(ckt, baseline, opt.campaign)) {
+        res.inc.carry_block_reason =
+            "baseline store manifest does not match this circuit / baseline "
+            "fault list / numeric+kernel knobs";
+    } else {
+        res.inc.baseline_manifest_matched = true;
+        by_sig = baseline_by_signature(baseline, *snap);
+    }
+
+    // Split the revision: carried verdicts vs the subset to simulate.
+    std::map<int, batch::FaultSimResult> carried_by_id;
+    lift::FaultList subset;
+    subset.circuit = revision.circuit;
+    for (const lift::Fault& f : revision.faults) {
+        const std::string sig = lift::electrical_signature(f);
+        const batch::FaultSimResult* rec = nullptr;
+        if (carried_sigs.count(sig)) {
+            const auto it = by_sig.find(sig);
+            if (it != by_sig.end()) rec = it->second;
+        }
+        if (rec)
+            carried_by_id.emplace(f.id, carry(*rec, f));
+        else
+            subset.faults.push_back(f);
+    }
+    res.inc.carried = carried_by_id.size();
+    res.inc.resimulated = subset.faults.size();
+
+    // Merged store: bound to the *revision* manifest so it resumes -- and
+    // serves as the next revision's baseline -- as if a cold full campaign
+    // had written it.  Carried records are persisted before any kernel
+    // work so a crash mid-run never costs them.
+    CampaignOptions copt = opt.campaign;
+    if (!copt.result_store.empty()) {
+        const std::uint64_t manifest =
+            campaign_manifest(ckt, revision, opt.campaign);
+        if (!opt.campaign.resume) {
+            std::error_code ec;
+            std::filesystem::remove(copt.result_store, ec);
+        }
+        {
+            batch::ResultStore store(copt.result_store, manifest);
+            std::set<int> present;
+            for (const batch::FaultSimResult& r : store.loaded())
+                present.insert(r.fault_id);
+            for (const auto& [id, r] : carried_by_id)
+                if (!present.count(id)) store.append(r);
+        }
+        // The subset campaign reopens the merged store under the revision
+        // manifest: its own finished records resume, carried ids (not in
+        // the subset) pass through untouched.
+        copt.resume = true;
+        copt.manifest_override = manifest;
+    }
+
+    CampaignResult sub = run_campaign(ckt, subset, copt);
+
+    // Merge in revision order.  Nominal run, kernel-cost aggregates and
+    // batch counters describe the work this run actually performed.
+    std::map<int, const FaultSimResult*> sub_by_id;
+    for (const FaultSimResult& r : sub.results) sub_by_id.emplace(r.fault_id, &r);
+    std::vector<FaultSimResult> merged;
+    merged.reserve(revision.size());
+    for (const lift::Fault& f : revision.faults) {
+        const auto carried_it = carried_by_id.find(f.id);
+        if (carried_it != carried_by_id.end()) {
+            merged.push_back(carried_it->second);
+            continue;
+        }
+        const auto it = sub_by_id.find(f.id);
+        require(it != sub_by_id.end(),
+                "incremental campaign: missing result for fault " +
+                    std::to_string(f.id));
+        merged.push_back(*it->second);
+    }
+    res.campaign = std::move(sub);
+    res.campaign.results = std::move(merged);
+    return res;
+}
+
+std::string incremental_summary(const IncrementalResult& res) {
+    std::ostringstream os;
+    os << "incremental: carried " << res.inc.carried << "/"
+       << res.campaign.results.size() << ", resimulated "
+       << res.inc.resimulated << " (added " << res.inc.added << ", changed "
+       << res.inc.probability_changed << "), removed " << res.inc.removed;
+    if (!res.inc.carry_block_reason.empty())
+        os << " [carry disabled: " << res.inc.carry_block_reason << "]";
+    os << "\n";
+    return os.str();
+}
+
+} // namespace catlift::anafault

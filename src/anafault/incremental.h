@@ -1,0 +1,86 @@
+// catlift/anafault/incremental.h
+//
+// Incremental cross-revision campaign engine.  The paper's workflow is
+// iterative: a layout is revised, LIFT re-extracts the fault list, and the
+// campaign is re-run -- yet most faults of the new revision have exactly
+// the electrical signature they had before, so their verdicts are already
+// known.  This layer diffs the two fault lists (lift::diff_faultlists),
+// carries verdicts for signature-identical faults straight out of the
+// baseline result store, and simulates only the added / probability-changed
+// remainder, emitting a merged store that is byte-equivalent (in verdicts)
+// to a cold full campaign on the revision -- and that serves as the
+// baseline store of the *next* revision.
+//
+// Carry-over safety: a baseline verdict is only reused when the baseline
+// store's manifest reproduces campaign_manifest(ckt, baseline_faults, opt)
+// -- i.e. the store was written by this exact circuit, fault list, analysis
+// grid and numeric/kernel knob set.  Any mismatch (edited deck, different
+// tolerances, another kernel configuration, foreign/older store) disables
+// carrying entirely and the full revision list is resimulated.
+
+#pragma once
+
+#include "anafault/campaign.h"
+
+#include <cstddef>
+#include <string>
+
+namespace catlift::anafault {
+
+struct IncrementalOptions {
+    /// Campaign configuration for the revision.  `result_store` names the
+    /// *merged* store to emit ("" keeps the merge in memory only);
+    /// `resume` additionally reuses records a previous -- possibly
+    /// crashed -- incremental run already wrote into the merged store.
+    CampaignOptions campaign;
+    /// Result store of the baseline campaign (read-only; never modified).
+    std::string baseline_store;
+    /// Relative probability tolerance of the fault-list diff: a fault
+    /// whose probability moved by more than this fraction is resimulated
+    /// even though its electrical signature is unchanged.
+    double rel_tol = 0.05;
+};
+
+/// Per-class provenance counters of one incremental run.
+struct IncrementalStats {
+    std::size_t carried = 0;      ///< verdicts reused from the baseline
+    /// Revision faults the carry pass could not cover -- run as the
+    /// subset campaign (a resume against an already-complete merged
+    /// store may satisfy them without kernel work: campaign.batch's
+    /// scheduled/resumed counters report that split).
+    std::size_t resimulated = 0;
+    std::size_t added = 0;        ///< signatures new in the revision
+    std::size_t removed = 0;      ///< baseline signatures gone in the revision
+    std::size_t probability_changed = 0;  ///< same signature, probability
+                                          ///< moved beyond rel_tol
+    /// True when the baseline store's manifest matched the baseline
+    /// campaign (the precondition for carrying anything).
+    bool baseline_manifest_matched = false;
+    /// Why carrying was disabled ("" when it was allowed).
+    std::string carry_block_reason;
+};
+
+struct IncrementalResult {
+    /// Merged outcome in revision fault-list order; verdicts identical to
+    /// a cold full campaign on the revision.  total_seconds / batch
+    /// counters cover only the kernel work this run actually performed.
+    CampaignResult campaign;
+    IncrementalStats inc;
+};
+
+/// Run the revision campaign incrementally against a baseline.
+/// `baseline` must be the fault list the baseline store was written for.
+/// The nominal transient always runs, even when every fault carries: the
+/// merged CampaignResult keeps the full contract (nominal waveforms,
+/// coverage curves) of a cold run, and one nominal per revision is the
+/// irreducible sanity baseline.  Throws catlift::Error on inconsistent
+/// configuration (e.g. resume requested without a merged store path).
+IncrementalResult run_incremental_campaign(const netlist::Circuit& ckt,
+                                           const lift::FaultList& baseline,
+                                           const lift::FaultList& revision,
+                                           const IncrementalOptions& opt);
+
+/// One-line counter summary ("carried 52/64, resimulated 12, ...").
+std::string incremental_summary(const IncrementalResult& res);
+
+} // namespace catlift::anafault

@@ -24,9 +24,11 @@ constexpr std::uint32_t kMagic = 0x42544143u;  // "CATB"
 // v2: steps_integrated + steps_interpolated appended to each record (the
 // adaptive transient kernel's counters).
 // v3: bypass_solves + sparse_refactors appended (the incremental-kernel
-// counters).  Any older-version store is treated as foreign and
-// restarted, like any other manifest mismatch.
-constexpr std::uint32_t kVersion = 3;
+// counters).
+// v4: carried appended (cross-revision carry-over provenance).  Any
+// older-version store is treated as foreign and restarted, like any other
+// manifest mismatch.
+constexpr std::uint32_t kVersion = 4;
 
 template <typename T>
 void put(std::string& buf, const T& v) {
@@ -79,6 +81,7 @@ std::string encode(const FaultSimResult& r) {
     put(p, static_cast<std::uint64_t>(r.steps_interpolated));
     put(p, static_cast<std::uint64_t>(r.bypass_solves));
     put(p, static_cast<std::uint64_t>(r.sparse_refactors));
+    put(p, static_cast<std::uint8_t>(r.carried ? 1 : 0));
     put_str(p, r.description);
     put_str(p, r.error);
     return p;
@@ -87,7 +90,7 @@ std::string encode(const FaultSimResult& r) {
 bool decode(const std::string& payload, FaultSimResult& r) {
     Reader rd{payload};
     std::int32_t id = 0;
-    std::uint8_t simulated = 0, has_detect = 0;
+    std::uint8_t simulated = 0, has_detect = 0, carried = 0;
     double detect = 0.0;
     std::uint64_t nr = 0, msize = 0, saved = 0, integrated = 0, interp = 0;
     std::uint64_t bypass = 0, refactors = 0;
@@ -95,8 +98,8 @@ bool decode(const std::string& payload, FaultSimResult& r) {
         !rd.get(detect) || !rd.get(r.probability) || !rd.get(r.sim_seconds) ||
         !rd.get(nr) || !rd.get(msize) || !rd.get(saved) ||
         !rd.get(integrated) || !rd.get(interp) || !rd.get(bypass) ||
-        !rd.get(refactors) || !rd.get_str(r.description) ||
-        !rd.get_str(r.error))
+        !rd.get(refactors) || !rd.get(carried) ||
+        !rd.get_str(r.description) || !rd.get_str(r.error))
         return false;
     r.fault_id = id;
     r.simulated = simulated != 0;
@@ -108,7 +111,65 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     r.steps_interpolated = static_cast<std::size_t>(interp);
     r.bypass_solves = static_cast<std::size_t>(bypass);
     r.sparse_refactors = static_cast<std::size_t>(refactors);
+    r.carried = carried != 0;
     return rd.pos == payload.size();
+}
+
+/// Scan a store image: header + every intact record.  Returns the byte
+/// offset just past the last good record (0 when the header is absent,
+/// foreign or of another version) -- the single decoding path shared by
+/// the appendable store and the read-only snapshot so both stop at a torn
+/// tail identically.  When `expected_manifest` is given and the header
+/// names a different campaign, the scan stops after the header: the
+/// caller is about to restart the file, so decoding a possibly huge
+/// foreign record log would be pure waste.
+struct ScanResult {
+    bool header_ok = false;
+    std::uint64_t manifest = 0;
+    std::size_t good_end = 0;
+    std::vector<FaultSimResult> records;
+};
+
+ScanResult scan_store(const std::string& bytes,
+                      std::optional<std::uint64_t> expected_manifest =
+                          std::nullopt) {
+    ScanResult out;
+    Reader rd{bytes};
+    std::uint32_t magic = 0, version = 0;
+    std::uint64_t stored_manifest = 0;
+    if (!rd.get(magic) || !rd.get(version) || !rd.get(stored_manifest) ||
+        magic != kMagic || version != kVersion)
+        return out;
+    out.header_ok = true;
+    out.manifest = stored_manifest;
+    out.good_end = rd.pos;
+    if (expected_manifest && stored_manifest != *expected_manifest)
+        return out;
+    for (;;) {
+        std::uint32_t len = 0;
+        if (!rd.get(len)) break;
+        if (bytes.size() - rd.pos < len + sizeof(std::uint64_t)) break;
+        const std::string payload = bytes.substr(rd.pos, len);
+        rd.pos += len;
+        std::uint64_t check = 0;
+        if (!rd.get(check)) break;
+        if (check != fnv1a(payload)) break;
+        FaultSimResult r;
+        if (!decode(payload, r)) break;
+        out.records.push_back(std::move(r));
+        out.good_end = rd.pos;
+    }
+    return out;
+}
+
+std::string read_file_bytes(const std::string& path) {
+    std::string bytes;
+    std::ifstream in(path, std::ios::binary);
+    if (in.good()) {
+        bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    return bytes;
 }
 
 } // namespace
@@ -117,53 +178,18 @@ ResultStore::ResultStore(std::string path, std::uint64_t manifest)
     : path_(std::move(path)), manifest_(manifest) {
     require(!path_.empty(), "result store: empty path");
 
-    // Read whatever is already on disk.
-    std::string bytes;
-    {
-        std::ifstream in(path_, std::ios::binary);
-        if (in.good()) {
-            bytes.assign(std::istreambuf_iterator<char>(in),
-                         std::istreambuf_iterator<char>());
-        }
-    }
+    const std::string bytes = read_file_bytes(path_);
+    ScanResult scan = scan_store(bytes, manifest_);
 
-    std::size_t good_end = 0;  // byte offset of the last intact record end
-    bool header_ok = false;
-    {
-        Reader rd{bytes};
-        std::uint32_t magic = 0, version = 0;
-        std::uint64_t stored_manifest = 0;
-        if (rd.get(magic) && rd.get(version) && rd.get(stored_manifest) &&
-            magic == kMagic && version == kVersion &&
-            stored_manifest == manifest_) {
-            header_ok = true;
-            good_end = rd.pos;
-            for (;;) {
-                std::uint32_t len = 0;
-                if (!rd.get(len)) break;
-                if (bytes.size() - rd.pos < len + sizeof(std::uint64_t)) break;
-                const std::string payload = bytes.substr(rd.pos, len);
-                rd.pos += len;
-                std::uint64_t check = 0;
-                if (!rd.get(check)) break;
-                if (check != fnv1a(payload)) break;
-                FaultSimResult r;
-                if (!decode(payload, r)) break;
-                loaded_.push_back(std::move(r));
-                good_end = rd.pos;
-            }
-        }
-    }
-
-    if (header_ok) {
+    if (scan.header_ok && scan.manifest == manifest_) {
+        loaded_ = std::move(scan.records);
         // Trim any partial tail, then continue appending after it.
-        if (good_end < bytes.size())
-            std::filesystem::resize_file(path_, good_end);
+        if (scan.good_end < bytes.size())
+            std::filesystem::resize_file(path_, scan.good_end);
         out_.open(path_, std::ios::binary | std::ios::app);
         require(out_.good(), "result store: cannot append to " + path_);
     } else {
         // Fresh or foreign store: restart with our manifest.
-        loaded_.clear();
         out_.open(path_, std::ios::binary | std::ios::trunc);
         require(out_.good(), "result store: cannot write " + path_);
         std::string hdr;
@@ -187,6 +213,16 @@ void ResultStore::append(const FaultSimResult& r) {
     out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
     out_.flush();
     require(out_.good(), "result store: append failed: " + path_);
+}
+
+std::optional<StoreSnapshot> load_store(const std::string& path) {
+    if (path.empty()) return std::nullopt;
+    ScanResult scan = scan_store(read_file_bytes(path));
+    if (!scan.header_ok) return std::nullopt;
+    StoreSnapshot snap;
+    snap.manifest = scan.manifest;
+    snap.records = std::move(scan.records);
+    return snap;
 }
 
 } // namespace catlift::batch

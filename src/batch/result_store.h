@@ -51,6 +51,10 @@ struct FaultSimResult {
     /// refactorizations on the reused pattern (0 on the dense path).
     std::size_t bypass_solves = 0;
     std::size_t sparse_refactors = 0;
+    /// Provenance: the verdict was carried from a baseline store by the
+    /// incremental cross-revision engine instead of being simulated in the
+    /// campaign that wrote this record (v4 stores persist the flag).
+    bool carried = false;
 };
 
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
@@ -87,5 +91,20 @@ private:
     std::ofstream out_;
     std::mutex mu_;
 };
+
+/// Read-only view of a store file: the manifest it was written under plus
+/// every intact record.  Unlike opening a ResultStore, loading a snapshot
+/// never truncates, restarts or locks the file -- the incremental engine
+/// uses it to read a *baseline* store whose manifest intentionally differs
+/// from the campaign about to run.
+struct StoreSnapshot {
+    std::uint64_t manifest = 0;
+    std::vector<FaultSimResult> records;
+};
+
+/// Load a snapshot of the store at `path`.  Returns std::nullopt when the
+/// file is missing, unreadable, or not a current-version store; a trailing
+/// torn record is ignored exactly as ResultStore's loader would.
+std::optional<StoreSnapshot> load_store(const std::string& path);
 
 } // namespace catlift::batch

@@ -1,0 +1,98 @@
+#include "layout/revise.h"
+
+#include <algorithm>
+
+namespace catlift::layout {
+
+using geom::Coord;
+using geom::Rect;
+
+namespace {
+
+/// Vertical centre distance of the stacked redundant-contact pair emitted
+/// by cellgen (emit_contacts): the second cut sits 8 um above the first.
+constexpr Coord kContactStackOffset = 8 * 1000;
+
+std::vector<std::size_t> shapes_with(const Layout& lo, Layer layer,
+                                     const std::string& owner) {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < lo.shapes.size(); ++i)
+        if (lo.shapes[i].layer == layer && lo.shapes[i].owner == owner)
+            out.push_back(i);
+    return out;
+}
+
+} // namespace
+
+Layout revise_layout(const Layout& lo, const RevisionSpec& spec) {
+    Layout out = lo;
+
+    for (const auto& [net, delta] : spec.widen_tracks) {
+        require(delta > 0, "revise: widen delta must be positive (net " +
+                               net + ")");
+        const auto ids = shapes_with(out, Layer::Metal2, "route:" + net);
+        require(!ids.empty(), "revise: no routing track for net " + net);
+        for (std::size_t i : ids) out.shapes[i].rect.hi.y += delta;
+    }
+
+    for (const auto& [owner, dx] : spec.shift_contacts) {
+        const auto ids = shapes_with(out, Layer::Contact, owner);
+        require(!ids.empty(), "revise: no contacts for terminal " + owner);
+        for (std::size_t i : ids) {
+            out.shapes[i].rect.lo.x += dx;
+            out.shapes[i].rect.hi.x += dx;
+        }
+    }
+
+    for (const std::string& owner : spec.make_redundant) {
+        const auto ids = shapes_with(out, Layer::Contact, owner);
+        require(ids.size() == 1,
+                "revise: make_redundant needs exactly one contact for " +
+                    owner);
+        Rect second = out.shapes[ids[0]].rect;
+        second.lo.y += kContactStackOffset;
+        second.hi.y += kContactStackOffset;
+        out.add(Layer::Contact, second, owner);
+    }
+
+    for (const std::string& owner : spec.make_single) {
+        auto ids = shapes_with(out, Layer::Contact, owner);
+        require(ids.size() >= 2,
+                "revise: make_single needs a redundant contact pair for " +
+                    owner);
+        // Keep the lowest cut (the one inside every pad variant), drop the
+        // rest back to front so indices stay valid.
+        std::sort(ids.begin(), ids.end(), [&](std::size_t a, std::size_t b) {
+            return out.shapes[a].rect.lo.y < out.shapes[b].rect.lo.y;
+        });
+        std::sort(ids.begin() + 1, ids.end(), std::greater<>());
+        for (std::size_t k = 1; k < ids.size(); ++k)
+            out.shapes.erase(out.shapes.begin() +
+                             static_cast<std::ptrdiff_t>(ids[k]));
+    }
+
+    return out;
+}
+
+RevisionSpec vco_revision_spec() {
+    RevisionSpec spec;
+    // Widen the charge-rail track: its spacing to the neighbouring track
+    // above (net "7") shrinks 7 um -> 5 um, so the 5-7 bridge probability
+    // and net 5's own open probabilities move well beyond the 5% diff
+    // tolerance, while the 5-6 pair below is untouched.
+    spec.widen_tracks = {{"5", 2000}};
+    // Slide M7's single drain contact sideways inside its landing pad: a
+    // pure carried-class edit (cluster size and all span projections along
+    // the vertical routing axes are unchanged).
+    spec.shift_contacts = {{"M7:d", 300}};
+    // M11's gate gains a second cut (its stuck-open drops below the keep
+    // threshold -> removed); M13's gate pair is stripped to one cut (a new
+    // stuck-open enters the list -> added; a poly contact, whose defect
+    // density keeps a single-cut kill above the threshold -- diffusion
+    // contacts would fall below it).
+    spec.make_redundant = {"M11:g"};
+    spec.make_single = {"M13:g"};
+    return spec;
+}
+
+} // namespace catlift::layout

@@ -1,0 +1,58 @@
+// catlift/layout/revise.h
+//
+// Deterministic layout-revision perturber.  Real design iterations nudge
+// geometry -- a wire is widened to cut its resistance, a contact slides to
+// clear a DRC flag, a terminal gains or loses a redundant cut -- and every
+// such edit shifts the extracted fault list a little while leaving most of
+// it untouched.  This module applies exactly those edit classes to a
+// generated layout so tests and benches can exercise realistic
+// cross-revision fault-list diffs (carried / probability-changed / added /
+// removed) without a second hand-drawn layout.
+//
+// All edits are deterministic functions of the input layout and the spec:
+// revising the same layout twice yields byte-identical output.
+
+#pragma once
+
+#include "layout/layout.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace catlift::layout {
+
+/// One batch of revision edits, applied in the field order below.
+struct RevisionSpec {
+    /// Widen the metal2 routing track of a net upward (toward the next
+    /// track) by delta nm: its spacing to the neighbour above shrinks, so
+    /// the bridge probability of that net pair grows, and the track's own
+    /// short-axis width grows, shrinking its open probabilities.  Shapes
+    /// matched by owner "route:<net>".
+    std::vector<std::pair<std::string, geom::Coord>> widen_tracks;
+    /// Slide the contact cuts of a device terminal ("M7:d") horizontally
+    /// by dx nm (within the landing pad).  Cluster size and connectivity
+    /// are unchanged, so the fault list is too -- the carried class.
+    std::vector<std::pair<std::string, geom::Coord>> shift_contacts;
+    /// Give a single-contact terminal a second stacked cut (the cellgen
+    /// redundant-pair geometry): the cut cluster can no longer be killed
+    /// by a small spot defect, removing its stuck-open fault.
+    std::vector<std::string> make_redundant;
+    /// Drop all but the lowest cut of a terminal's contact stack: a
+    /// redundant terminal becomes single-contact, adding a stuck-open
+    /// fault the baseline list did not have.
+    std::vector<std::string> make_single;
+};
+
+/// Apply the spec to a copy of `lo`.  Throws catlift::Error when an edit
+/// matches no shape (a typo'd net or terminal tag must not silently
+/// produce an unrevised layout).
+Layout revise_layout(const Layout& lo, const RevisionSpec& spec);
+
+/// The canonical VCO revision used by tests and benches: widen the charge
+/// rail's track (net "5"), slide M7's single drain contact, make M11's
+/// gate contact redundant (removes its stuck-open), and strip M13's gate
+/// contact pair to a single cut (adds a stuck-open).
+RevisionSpec vco_revision_spec();
+
+} // namespace catlift::layout

@@ -85,9 +85,7 @@ std::size_t FaultList::opens() const {
 // ---------------------------------------------------------------------------
 // Diff
 
-namespace {
-
-std::string electrical_key(const Fault& f) {
+std::string electrical_signature(const Fault& f) {
     std::string k = std::string(to_string(f.kind)) + "|";
     switch (f.kind) {
         case FaultKind::LocalShort:
@@ -108,18 +106,16 @@ std::string electrical_key(const Fault& f) {
     return k;
 }
 
-} // namespace
-
 FaultListDiff diff_faultlists(const FaultList& a, const FaultList& b,
                               double rel_tol) {
     FaultListDiff d;
     std::map<std::string, const Fault*> bk;
-    for (const Fault& f : b.faults) bk[electrical_key(f)] = &f;
+    for (const Fault& f : b.faults) bk[electrical_signature(f)] = &f;
     std::map<std::string, const Fault*> ak;
-    for (const Fault& f : a.faults) ak[electrical_key(f)] = &f;
+    for (const Fault& f : a.faults) ak[electrical_signature(f)] = &f;
 
     for (const Fault& f : a.faults) {
-        auto it = bk.find(electrical_key(f));
+        auto it = bk.find(electrical_signature(f));
         if (it == bk.end()) {
             d.only_a.push_back(f);
         } else {
@@ -127,10 +123,12 @@ FaultListDiff diff_faultlists(const FaultList& a, const FaultList& b,
             const double ref = std::max(std::abs(pa), std::abs(pb));
             if (ref > 0 && std::abs(pa - pb) / ref > rel_tol)
                 d.probability_changed.emplace_back(f, *it->second);
+            else
+                d.carried.emplace_back(f, *it->second);
         }
     }
     for (const Fault& f : b.faults)
-        if (!ak.count(electrical_key(f))) d.only_b.push_back(f);
+        if (!ak.count(electrical_signature(f))) d.only_b.push_back(f);
     return d;
 }
 

@@ -84,16 +84,33 @@ struct FaultList {
     std::size_t opens() const;
 };
 
+/// Canonical per-fault signature: kind + nets/terminals, ignoring id,
+/// mechanism label and probability.  Two faults with equal signatures
+/// inject the same circuit mutation from the same fault class, so their
+/// simulation verdicts are interchangeable.  This is the key the
+/// cross-revision diff and the incremental campaign engine agree on.
+/// Deliberately *stricter* than batch::effect_signature (which folds a
+/// stuck-open into its equivalent single-terminal line open and sorts
+/// terminal groups): a fault the extractor reclassifies across revisions
+/// is resimulated rather than carried -- conservative, never wrong.
+std::string electrical_signature(const Fault& f);
+
 /// Difference between two fault lists (keyed by electrical signature:
 /// kind + nets/terminals, ignoring id and mechanism label).  Used to
 /// compare fault-list generations (L2RFM vs GLRFM, threshold sweeps,
-/// layout revisions).
+/// layout revisions).  When one list holds several faults with the same
+/// signature, the last one wins the pairing (deterministic; extracted
+/// lists are signature-unique by construction).
 struct FaultListDiff {
     std::vector<Fault> only_a;
     std::vector<Fault> only_b;
     /// Faults present in both whose probability moved by more than
     /// `rel_tol` (pairs: a-version, b-version).
     std::vector<std::pair<Fault, Fault>> probability_changed;
+    /// Faults present in both whose probability is unchanged within
+    /// `rel_tol` (pairs: a-version, b-version) -- the ones whose baseline
+    /// verdict an incremental campaign may carry over.
+    std::vector<std::pair<Fault, Fault>> carried;
 };
 
 FaultListDiff diff_faultlists(const FaultList& a, const FaultList& b,

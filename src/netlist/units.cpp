@@ -5,37 +5,64 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <iomanip>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 namespace catlift::netlist {
 
 namespace {
 
-// Returns multiplier for the suffix starting at `s`, or 0 if not a suffix.
-double suffix_multiplier(std::string_view s) {
-    if (s.empty()) return 1.0;
-    // Case-insensitive comparison on the first characters.
-    auto lower = [](char c) {
-        return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-    };
+bool is_alpha(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+
+char lower(char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+/// Letters that may *lead* a dimension-unit tail ("V", "A", "s", "ohm",
+/// "Hz", and after a multiplier also "F" as in "10uF").  Anything else
+/// starting the tail -- "10x5", "3q", "3mq" -- is garbage, not a unit,
+/// and must be rejected rather than silently parsed as a neutral
+/// multiplier.  A *leading* "F" never reaches this set (it is femto, as
+/// SPICE has always read it).
+bool is_unit_letter(char c) {
+    switch (lower(c)) {
+        case 'v':  // volt
+        case 'a':  // ampere
+        case 's':  // second / siemens
+        case 'o':  // ohm
+        case 'h':  // henry / hertz
+        case 'f':  // farad (after a multiplier; leading 'f' is femto)
+        case 'm':  // meter, as in "W=2um" (leading 'm' is milli)
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// Multiplier of the engineering suffix starting the string, and how many
+/// characters it consumed; consumed == 0 when the first character is not
+/// a multiplier letter.
+std::pair<double, std::size_t> suffix_multiplier(std::string_view s) {
+    if (s.empty()) return {1.0, 0};
     const char c0 = lower(s[0]);
     // "meg" must be checked before "m".
     if (s.size() >= 3 && c0 == 'm' && lower(s[1]) == 'e' && lower(s[2]) == 'g')
-        return 1e6;
+        return {1e6, 3};
     switch (c0) {
-        case 'f': return 1e-15;
-        case 'p': return 1e-12;
-        case 'n': return 1e-9;
-        case 'u': return 1e-6;
-        case 'm': return 1e-3;
-        case 'k': return 1e3;
-        case 'g': return 1e9;
-        case 't': return 1e12;
-        default: break;
+        case 'f': return {1e-15, 1};
+        case 'p': return {1e-12, 1};
+        case 'n': return {1e-9, 1};
+        case 'u': return {1e-6, 1};
+        case 'm': return {1e-3, 1};
+        case 'k': return {1e3, 1};
+        case 'g': return {1e9, 1};
+        case 't': return {1e12, 1};
+        default: return {1.0, 0};
     }
-    // Unknown alpha suffix (e.g. unit letters like "V", "F") -> neutral.
-    if (std::isalpha(static_cast<unsigned char>(s[0]))) return 1.0;
-    return 0.0;  // trailing garbage that is not alphabetic
 }
 
 } // namespace
@@ -47,11 +74,33 @@ double parse_value(std::string_view text) {
     const double base = std::strtod(buf.c_str(), &end);
     if (end == buf.c_str())
         throw Error("parse_value: not a number: '" + buf + "'");
+    // strtod is more liberal than a SPICE value field: it accepts "inf",
+    // "nan" and hex floats ("0x1p4"), none of which belong in a netlist.
+    if (!std::isfinite(base))
+        throw Error("parse_value: non-finite value: '" + buf + "'");
+    for (const char* p = buf.c_str(); p != end; ++p)
+        if (*p == 'x' || *p == 'X')
+            throw Error("parse_value: hex literal rejected: '" + buf + "'");
+
     std::string_view rest(end);
-    const double mult = suffix_multiplier(rest);
-    if (mult == 0.0)
-        throw Error("parse_value: bad suffix on '" + buf + "'");
-    return base * mult;
+    const auto [mult, consumed] = suffix_multiplier(rest);
+    std::string_view tail = rest.substr(consumed);
+    // Whatever follows the (optional) multiplier must be a purely
+    // alphabetic unit annotation starting with a known unit letter.
+    // "10uF", "5V", "1mohm" pass; "10x5", "3q", "3mq", "10k9" do not.
+    if (!tail.empty()) {
+        if (!is_unit_letter(tail[0]))
+            throw Error("parse_value: bad suffix on '" + buf + "'");
+        for (char c : tail)
+            if (!is_alpha(c))
+                throw Error("parse_value: bad suffix on '" + buf + "'");
+    }
+    // The multiplier can push a finite mantissa over the double range
+    // ("2e305meg"); the scaled value must be finite too.
+    const double scaled = base * mult;
+    if (!std::isfinite(scaled))
+        throw Error("parse_value: non-finite value: '" + buf + "'");
+    return scaled;
 }
 
 bool is_value(std::string_view text) {
@@ -64,7 +113,9 @@ bool is_value(std::string_view text) {
 }
 
 std::string format_value(double v) {
-    if (v == 0.0) return "0";
+    if (v == 0.0) return std::signbit(v) ? "-0" : "0";
+    if (!std::isfinite(v))
+        throw Error("format_value: non-finite value");
     struct Suffix {
         double scale;
         const char* tag;
@@ -73,16 +124,38 @@ std::string format_value(double v) {
         {1e12, "t"}, {1e9, "g"},  {1e6, "meg"}, {1e3, "k"},   {1.0, ""},
         {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},  {1e-12, "p"}, {1e-15, "f"},
     };
+    // Emit the shortest engineering form that parses back to exactly `v`
+    // (scaling divides by a power of ten, which is not always exactly
+    // invertible, and the old fixed 6-digit precision silently rounded) --
+    // falling back to plain max_digits10 scientific, which round-trips by
+    // definition.
     const double mag = std::fabs(v);
+    auto try_precision = [&](double scaled, const char* tag) -> std::string {
+        for (int prec = 6; prec <= std::numeric_limits<double>::max_digits10;
+             ++prec) {
+            std::ostringstream os;
+            os << std::setprecision(prec) << scaled << tag;
+            std::string s = os.str();
+            // A rounded-up intermediate can overflow past DBL_MAX and be
+            // rejected as non-finite; treat that like any other mismatch.
+            try {
+                if (parse_value(s) == v) return s;
+            } catch (const Error&) {
+            }
+        }
+        return {};
+    };
     for (const auto& s : table) {
         if (mag >= s.scale * 0.9999999) {
-            std::ostringstream os;
-            os << v / s.scale << s.tag;
-            return os.str();
+            std::string out = try_precision(v / s.scale, s.tag);
+            if (!out.empty()) return out;
+            break;
         }
     }
+    std::string out = try_precision(v, "");
+    if (!out.empty()) return out;
     std::ostringstream os;
-    os << v;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
     return os.str();
 }
 

@@ -359,6 +359,7 @@ TEST(ResultStore, RoundTripsRecords) {
     r.nr_iterations = 1234;
     r.matrix_size = 17;
     r.steps_saved = 42;
+    r.carried = true;  // cross-revision provenance survives the round-trip
     FaultSimResult failed;
     failed.fault_id = 8;
     failed.description = "#8 OPEN";
@@ -381,8 +382,10 @@ TEST(ResultStore, RoundTripsRecords) {
     EXPECT_EQ(a.nr_iterations, 1234u);
     EXPECT_EQ(a.matrix_size, 17u);
     EXPECT_EQ(a.steps_saved, 42u);
+    EXPECT_TRUE(a.carried);
     const auto& b = store.loaded()[1];
     EXPECT_FALSE(b.simulated);
+    EXPECT_FALSE(b.carried);
     EXPECT_FALSE(b.detect_time.has_value());
     EXPECT_EQ(b.error, failed.error);
     std::filesystem::remove(path);
@@ -428,6 +431,65 @@ TEST(ResultStore, TruncatedTailLosesAtMostOneRecord) {
     batch::ResultStore store(path, 9);
     ASSERT_EQ(store.loaded().size(), 3u);
     EXPECT_EQ(store.loaded()[2].fault_id, 4);
+    std::filesystem::remove(path);
+}
+
+TEST(ResultStore, TruncationAtEveryByteOffsetOfTheFinalRecord) {
+    // A record torn anywhere mid-write -- length field, payload, checksum,
+    // even inside the header -- must cost at most that record: the loader
+    // never crashes, never double-counts, and the trimmed store accepts
+    // appends again.  Exhaustive over every byte offset of the last record.
+    const std::string path = temp_store_path("torn");
+    std::filesystem::remove(path);
+    std::vector<std::uintmax_t> size_after;  // after header, then per record
+    {
+        batch::ResultStore store(path, 0xFEEDu);
+        size_after.push_back(std::filesystem::file_size(path));
+        for (int i = 1; i <= 3; ++i) {
+            FaultSimResult r;
+            r.fault_id = i;
+            r.description = "fault " + std::to_string(i);
+            r.error = i == 2 ? "solver diverged" : "";
+            r.detect_time = 1e-6 * i;
+            store.append(r);
+            size_after.push_back(std::filesystem::file_size(path));
+        }
+    }
+    // Keep the intact image; restore + truncate per offset.
+    std::string full;
+    {
+        std::ifstream in(path, std::ios::binary);
+        full.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+    }
+    ASSERT_EQ(full.size(), size_after.back());
+
+    for (std::uintmax_t off = 0; off < full.size(); ++off) {
+        {
+            std::ofstream out(path, std::ios::binary | std::ios::trunc);
+            out.write(full.data(), static_cast<std::streamsize>(off));
+        }
+        // How many records are complete within `off` bytes?
+        std::size_t want = 0;
+        while (want + 1 < size_after.size() && size_after[want + 1] <= off)
+            ++want;
+        const bool header_intact = off >= size_after.front();
+
+        batch::ResultStore store(path, 0xFEEDu);
+        SCOPED_TRACE("offset " + std::to_string(off));
+        ASSERT_EQ(store.loaded().size(), header_intact ? want : 0u);
+        for (std::size_t k = 0; k < store.loaded().size(); ++k)
+            EXPECT_EQ(store.loaded()[k].fault_id, static_cast<int>(k) + 1);
+
+        // The trimmed store accepts a new record and reloads cleanly.
+        FaultSimResult r;
+        r.fault_id = 99;
+        store.append(r);
+        batch::ResultStore reopened(path, 0xFEEDu);
+        ASSERT_EQ(reopened.loaded().size(),
+                  (header_intact ? want : 0u) + 1u);
+        EXPECT_EQ(reopened.loaded().back().fault_id, 99);
+    }
     std::filesystem::remove(path);
 }
 

@@ -91,6 +91,44 @@ TEST_P(NetlistFuzz, DeckRoundTripIsEquivalent) {
     EXPECT_EQ(write_spice(b), write_spice(parse_spice(write_spice(b))));
 }
 
+TEST_P(NetlistFuzz, WrittenDeckIsNumericallyIdentical) {
+    // A written deck must parse back to the *exact* doubles it was built
+    // from -- the old 6-digit default precision silently rounded values on
+    // the way out, so campaign manifests (hashes of the written deck)
+    // could collide across distinct numerics.  Full-mantissa values:
+    Rng rng(GetParam() * 0x9E3779B9u + 7);
+    Circuit a;
+    a.title = "exact";
+    a.add_model(circuits::standard_nmos());
+    auto awkward = [&](double lo_exp, double hi_exp) {
+        const double e = lo_exp + (hi_exp - lo_exp) * rng.uniform();
+        return rng.uniform() * std::pow(10.0, e);
+    };
+    a.add_vsource("V1", "n0", "0", SourceSpec::make_dc(awkward(-1, 1)));
+    for (int i = 0; i < 8; ++i)
+        a.add_resistor("R" + std::to_string(i), "n" + std::to_string(i),
+                       "n" + std::to_string(i + 1), awkward(1, 7));
+    for (int i = 0; i < 8; ++i)
+        a.add_capacitor("C" + std::to_string(i), "n" + std::to_string(i),
+                        "0", awkward(-14, -9));
+    a.add_mosfet("M1", "n1", "n2", "0", "0", "nm", awkward(-6, -4),
+                 2e-6);
+    a.tran = TranSpec{awkward(-9, -7), awkward(-6, -4), 0.0};
+
+    const Circuit b = parse_spice(write_spice(a));
+    ASSERT_EQ(b.devices.size(), a.devices.size());
+    for (std::size_t i = 0; i < a.devices.size(); ++i) {
+        SCOPED_TRACE(a.devices[i].name);
+        EXPECT_EQ(b.devices[i].value, a.devices[i].value);
+        EXPECT_EQ(b.devices[i].w, a.devices[i].w);
+        EXPECT_EQ(b.devices[i].l, a.devices[i].l);
+        EXPECT_EQ(b.devices[i].source.dc, a.devices[i].source.dc);
+    }
+    ASSERT_TRUE(b.tran.has_value());
+    EXPECT_EQ(b.tran->tstep, a.tran->tstep);
+    EXPECT_EQ(b.tran->tstop, a.tran->tstop);
+}
+
 TEST_P(NetlistFuzz, DcOpIsReproducible) {
     const Circuit a = random_circuit(GetParam());
     spice::Simulator s1(a), s2(a);

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
 using catlift::netlist::format_value;
 using catlift::netlist::is_value;
 using catlift::netlist::parse_value;
@@ -48,6 +52,48 @@ TEST(Units, Rejections) {
     EXPECT_TRUE(is_value("1k"));
 }
 
+TEST(Units, RejectsNonFiniteAndHexLiterals) {
+    // strtod is more liberal than a SPICE value field; none of these may
+    // sneak into a netlist as a number.
+    EXPECT_THROW(parse_value("inf"), catlift::Error);
+    EXPECT_THROW(parse_value("-inf"), catlift::Error);
+    EXPECT_THROW(parse_value("infinity"), catlift::Error);
+    EXPECT_THROW(parse_value("nan"), catlift::Error);
+    EXPECT_THROW(parse_value("NaN"), catlift::Error);
+    EXPECT_THROW(parse_value("0x10"), catlift::Error);
+    EXPECT_THROW(parse_value("0X1p4"), catlift::Error);
+    EXPECT_THROW(parse_value("1e999"), catlift::Error);  // overflows to inf
+    // A finite mantissa pushed over the range by the multiplier.
+    EXPECT_THROW(parse_value("2e305meg"), catlift::Error);
+    EXPECT_THROW(parse_value("-3e306k"), catlift::Error);
+    EXPECT_FALSE(is_value("2e305meg"));
+}
+
+TEST(Units, RejectsGarbageSuffixes) {
+    // Alphabetic garbage after the number used to be treated as a neutral
+    // unit annotation; only known unit letters (and multiplier + letters)
+    // qualify.
+    EXPECT_THROW(parse_value("10x5"), catlift::Error);
+    EXPECT_THROW(parse_value("3q"), catlift::Error);
+    EXPECT_THROW(parse_value("10k9"), catlift::Error);  // digit after mult
+    EXPECT_THROW(parse_value("5v2"), catlift::Error);   // digit in unit tail
+    EXPECT_THROW(parse_value("2z"), catlift::Error);
+    // Garbage hiding behind a multiplier letter is no better.
+    EXPECT_THROW(parse_value("3mq"), catlift::Error);
+    EXPECT_THROW(parse_value("10kx"), catlift::Error);
+    EXPECT_THROW(parse_value("4.7kq"), catlift::Error);
+    EXPECT_FALSE(is_value("10x5"));
+    // The legitimate forms keep working.
+    EXPECT_DOUBLE_EQ(parse_value("10uF"), 10e-6);
+    EXPECT_DOUBLE_EQ(parse_value("5Hz"), 5.0);
+    EXPECT_DOUBLE_EQ(parse_value("2A"), 2.0);
+    EXPECT_DOUBLE_EQ(parse_value("1s"), 1.0);
+    EXPECT_DOUBLE_EQ(parse_value("1mohm"), 1e-3);
+    EXPECT_DOUBLE_EQ(parse_value("2.2kHz"), 2200.0);
+    EXPECT_DOUBLE_EQ(parse_value("2um"), 2e-6);  // W/L meter notation
+    EXPECT_DOUBLE_EQ(parse_value("3mm"), 3e-3);
+}
+
 TEST(Units, FormatRoundTrip) {
     for (double v : {1e-15, 2e-12, 3.3e-9, 4.7e-6, 1e-3, 0.5, 1.0, 42.0,
                      4700.0, 1e6, 2.5e9, 1e12}) {
@@ -57,6 +103,42 @@ TEST(Units, FormatRoundTrip) {
     EXPECT_EQ(format_value(0.0), "0");
 }
 
+TEST(Units, FormatRoundTripIsBitExact) {
+    // format_value used to write at the default 6-digit precision, so a
+    // written netlist was not numerically identical to its source.  Now
+    // write -> parse must reproduce the exact double, including values
+    // with full mantissas.
+    for (double v : {1.0 / 3.0, 3.141592653589793e-9, 2.2250738585072014e-3,
+                     1.0000000000000002, 6.62607015e-34, 1.7976931348623157e308,
+                     4.9406564584124654e-324, -7.123456789012345e-7}) {
+        const std::string s = format_value(v);
+        EXPECT_EQ(parse_value(s), v) << s;
+    }
+    // Deterministic fuzz over the full double range (xorshift64*).
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    auto next = [&]() {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545F4914F6CDD1Dull;
+    };
+    int tested = 0;
+    while (tested < 2000) {
+        double v;
+        const std::uint64_t bits = next();
+        static_assert(sizeof bits == sizeof v);
+        std::memcpy(&v, &bits, sizeof v);
+        if (!std::isfinite(v)) continue;
+        ++tested;
+        const std::string s = format_value(v);
+        EXPECT_EQ(parse_value(s), v) << s;
+    }
+}
+
 TEST(Units, FormatNegative) {
-    EXPECT_NEAR(parse_value(format_value(-2e-12)), -2e-12, 1e-21);
+    EXPECT_EQ(parse_value(format_value(-2e-12)), -2e-12);
+    // Negative zero keeps its sign bit through the round-trip.
+    EXPECT_EQ(format_value(-0.0), "-0");
+    EXPECT_TRUE(std::signbit(parse_value(format_value(-0.0))));
+    EXPECT_FALSE(std::signbit(parse_value(format_value(0.0))));
 }

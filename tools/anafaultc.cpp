@@ -12,6 +12,14 @@
 //     --threads <n>      parallel workers (default 1)
 //     --store <file>     append-only result store (crash-resumable log)
 //     --resume           reuse finished faults from --store
+//     --baseline-store <file>   result store of a previous layout revision
+//     --baseline-faults <file>  fault list that baseline store was run for;
+//                               with --baseline-store, the campaign runs
+//                               incrementally: signature-identical faults
+//                               carry their baseline verdicts, only the
+//                               added/changed remainder is simulated, and
+//                               --store receives the merged (full) log
+//     --diff-tol <frac>  probability tolerance of the revision diff (0.05)
 //     --no-early-abort   integrate every faulty run to tstop
 //     --no-collapse      skip the fault-collapsing pre-pass
 //     --no-adaptive      fixed-grid integration (no LTE stride control)
@@ -25,6 +33,7 @@
 //     --csv <file>       coverage curve CSV
 
 #include "anafault/campaign.h"
+#include "anafault/incremental.h"
 #include "anafault/report.h"
 #include "lift/fault.h"
 #include "netlist/parser.h"
@@ -42,11 +51,19 @@ namespace {
         stderr,
         "usage: anafaultc <deck.sp> <faults.flt> [--observe node]... "
         "[--supply vsrc] [--model resistor|source] [--v-tol V] [--t-tol s] "
-        "[--threads n] [--store file] [--resume] [--no-early-abort] "
+        "[--threads n] [--store file] [--resume] "
+        "[--baseline-store file --baseline-faults file] [--diff-tol frac] "
+        "[--no-early-abort] "
         "[--no-collapse] [--no-adaptive] [--lte-tol tol] [--no-sparse] "
         "[--sparse] [--no-bypass] [--bypass-tol tol] [--table] "
         "[--plot] [--csv file]\n");
     std::exit(2);
+}
+
+catlift::lift::FaultList read_faults_file(const std::string& path) {
+    std::ifstream f(path);
+    if (!f.good()) throw catlift::Error("cannot open fault list " + path);
+    return catlift::lift::read_faultlist(f);
 }
 
 } // namespace
@@ -54,6 +71,8 @@ namespace {
 int main(int argc, char** argv) {
     using namespace catlift;
     std::string deck_path, flt_path, csv_path;
+    std::string baseline_store, baseline_flt_path;
+    double diff_tol = 0.05;
     anafault::CampaignOptions opt;
     opt.detection.observed.clear();
     bool table = false, plot = false;
@@ -81,6 +100,17 @@ int main(int argc, char** argv) {
             opt.threads = static_cast<unsigned>(std::atoi(next()));
         else if (a == "--store") opt.result_store = next();
         else if (a == "--resume") opt.resume = true;
+        else if (a == "--baseline-store") baseline_store = next();
+        else if (a == "--baseline-faults") baseline_flt_path = next();
+        else if (a == "--diff-tol") {
+            diff_tol = std::atof(next());
+            if (!(diff_tol >= 0.0)) {
+                std::fprintf(
+                    stderr,
+                    "anafaultc: --diff-tol needs a non-negative number\n");
+                return 2;
+            }
+        }
         else if (a == "--no-early-abort") opt.early_abort = false;
         else if (a == "--no-collapse") opt.collapse = false;
         else if (a == "--no-adaptive") opt.sim.adaptive = false;
@@ -118,12 +148,16 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "anafaultc: --resume needs --store <file>\n");
         return 2;
     }
+    if (baseline_store.empty() != baseline_flt_path.empty()) {
+        std::fprintf(stderr,
+                     "anafaultc: --baseline-store and --baseline-faults "
+                     "must be given together\n");
+        return 2;
+    }
 
     try {
         const netlist::Circuit ckt = netlist::parse_spice_file(deck_path);
-        std::ifstream ff(flt_path);
-        if (!ff.good()) throw Error("cannot open fault list " + flt_path);
-        const lift::FaultList faults = lift::read_faultlist(ff);
+        const lift::FaultList faults = read_faults_file(flt_path);
 
         if (opt.detection.observed.empty())
             opt.detection.observed = ckt.save_nodes;
@@ -131,7 +165,19 @@ int main(int argc, char** argv) {
             throw Error("no observed nodes: pass --observe or add .save to "
                         "the deck");
 
-        const auto res = anafault::run_campaign(ckt, faults, opt);
+        anafault::CampaignResult res;
+        if (!baseline_store.empty()) {
+            anafault::IncrementalOptions iopt;
+            iopt.campaign = opt;
+            iopt.baseline_store = baseline_store;
+            iopt.rel_tol = diff_tol;
+            auto inc = anafault::run_incremental_campaign(
+                ckt, read_faults_file(baseline_flt_path), faults, iopt);
+            std::printf("%s", anafault::incremental_summary(inc).c_str());
+            res = std::move(inc.campaign);
+        } else {
+            res = anafault::run_campaign(ckt, faults, opt);
+        }
         std::printf("%s", anafault::campaign_summary(res).c_str());
         if (plot)
             std::printf("\n%s",

@@ -127,6 +127,20 @@ def guard_kernel_scaling(base, fresh, ctol, rtol):
                     br, fr, rtol)
 
 
+def guard_incremental_campaign(base, fresh, ctol, rtol):
+    # Per-class provenance counters of the cross-revision engine: a drift
+    # means the revision perturber, the extraction or the diff changed.
+    for c in ("baseline_faults", "revision_faults", "carried", "resimulated",
+              "added", "removed", "probability_changed", "detected"):
+        check_counter(f"incremental_campaign.{c}", base[c], fresh[c], ctol)
+    if not fresh.get("verdicts_identical", False):
+        print("  [FAIL] incremental_campaign.verdicts_identical is false")
+        FAILURES.append("incremental_campaign.verdicts_identical")
+    # The headline claim: warm incremental run vs cold full re-run.
+    check_ratio("incremental_campaign.speedup_vs_cold",
+                base["speedup_vs_cold"], fresh["speedup_vs_cold"], rtol)
+
+
 def main():
     if len(sys.argv) < 3:
         print(__doc__)
@@ -139,6 +153,7 @@ def main():
         "BENCH_parallel_speedup.json": guard_parallel_speedup,
         "BENCH_adaptive_tran.json": guard_adaptive_tran,
         "BENCH_kernel_scaling.json": guard_kernel_scaling,
+        "BENCH_incremental_campaign.json": guard_incremental_campaign,
     }
     for name, guard in guards.items():
         try:
