@@ -1,16 +1,32 @@
 #include "anafault/ac_campaign.h"
 
+#include "anafault/campaign.h"
 #include "anafault/comparator.h"
 #include "batch/collapse.h"
 #include "batch/scheduler.h"
+#include "netlist/writer.h"
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <map>
+#include <memory>
 
 namespace catlift::anafault {
 
 using netlist::Circuit;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+} // namespace
 
 std::size_t AcCampaignResult::detected() const {
     return static_cast<std::size_t>(
@@ -24,13 +40,83 @@ double AcCampaignResult::coverage() const {
            static_cast<double>(results.size());
 }
 
+std::uint64_t ac_campaign_manifest(const Circuit& ckt,
+                                   const lift::FaultList& faults,
+                                   const AcCampaignOptions& opt) {
+    std::uint64_t h =
+        chain_fault_manifest(batch::fnv1a(netlist::write_spice(ckt)), faults);
+    std::string o = "ac";
+    const auto field = [&o](const std::string& v) {
+        o += '|';
+        o += v;
+    };
+    field(to_string(opt.injection.model));
+    field(manifest_double(opt.injection.short_resistance));
+    field(manifest_double(opt.injection.open_resistance));
+    field(manifest_double(opt.sweep.fstart));
+    field(manifest_double(opt.sweep.fstop));
+    field(std::to_string(opt.sweep.points_per_decade));
+    field(manifest_double(opt.db_tol));
+    for (const std::string& n : opt.observed) field(n);
+    o += sim_knob_signature(opt.sim);
+    o += opt.share_symbolic ? "|sharesym" : "|nosharesym";
+    o += opt.collapse ? "|collapse" : "|nocollapse";
+    o += opt.early_abort ? "|abort" : "|noabort";
+    return batch::fnv1a(o, h);
+}
+
+batch::FaultSimResult ac_to_record(const AcFaultResult& r) {
+    batch::FaultSimResult rec;
+    rec.fault_id = r.fault_id;
+    rec.description = r.description;
+    rec.probability = r.probability;
+    rec.simulated = r.simulated;
+    rec.error = r.error;
+    if (r.detected) rec.detect_time = r.detect_freq.value_or(0.0);
+    rec.metric = r.max_deviation_db;
+    rec.steps_saved = r.points_saved;
+    rec.sim_seconds = r.sim_seconds;
+    rec.nr_iterations = r.nr_iterations;
+    rec.symbolic_cache_hits = r.symbolic_cache_hits;
+    rec.ordering_seconds = r.ordering_seconds;
+    rec.numeric_seconds = r.numeric_seconds;
+    rec.carried = r.carried;
+    return rec;
+}
+
+AcFaultResult ac_from_record(const batch::FaultSimResult& rec) {
+    AcFaultResult r;
+    r.fault_id = rec.fault_id;
+    r.description = rec.description;
+    r.probability = rec.probability;
+    r.simulated = rec.simulated;
+    r.error = rec.error;
+    r.detected = rec.detect_time.has_value();
+    if (rec.detect_time) r.detect_freq = rec.detect_time;
+    r.max_deviation_db = rec.metric;
+    r.points_saved = rec.steps_saved;
+    r.sim_seconds = rec.sim_seconds;
+    r.nr_iterations = rec.nr_iterations;
+    r.symbolic_cache_hits = rec.symbolic_cache_hits;
+    r.ordering_seconds = rec.ordering_seconds;
+    r.numeric_seconds = rec.numeric_seconds;
+    r.carried = rec.carried;
+    return r;
+}
+
 AcCampaignResult run_ac_campaign(const Circuit& ckt,
                                  const lift::FaultList& faults,
                                  const AcCampaignOptions& opt) {
     AcCampaignResult res;
+    spice::SimOptions fault_sim = opt.sim;
     {
         spice::Simulator sim(ckt, opt.sim);
         res.nominal = sim.ac(opt.sweep);
+        res.batch.ordering_seconds = sim.stats().ordering_seconds;
+        res.batch.numeric_seconds = sim.stats().numeric_seconds;
+        // The nominal sweep's kernel carries the campaign-shared symbolic
+        // analysis (null on the dense path).
+        if (opt.share_symbolic) fault_sim.symbolic_cache = sim.symbolic_cache();
     }
     for (const std::string& node : opt.observed)
         require(res.nominal.has(node),
@@ -39,27 +125,71 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
     const std::size_t n_faults = faults.size();
     res.results.resize(n_faults);
     res.batch.threads = std::max(1u, opt.threads);
+    std::vector<char> done(n_faults, 0);
+
+    // Result store: records of a previous run of this exact campaign.
+    std::unique_ptr<batch::ResultStore> store;
+    if (!opt.result_store.empty()) {
+        const std::uint64_t manifest =
+            opt.manifest_override ? *opt.manifest_override
+                                  : ac_campaign_manifest(ckt, faults, opt);
+        if (!opt.resume) {
+            std::error_code ec;
+            std::filesystem::remove(opt.result_store, ec);
+        }
+        store = std::make_unique<batch::ResultStore>(opt.result_store,
+                                                     manifest);
+        std::map<int, std::size_t> by_id;
+        for (std::size_t i = 0; i < n_faults; ++i)
+            by_id[faults.faults[i].id] = i;
+        for (const batch::FaultSimResult& rec : store->loaded()) {
+            const auto it = by_id.find(rec.fault_id);
+            if (it == by_id.end() || done[it->second]) continue;
+            res.results[it->second] = ac_from_record(rec);
+            done[it->second] = 1;
+            ++res.batch.resumed;
+        }
+    }
+    const std::vector<char> resumed_here = done;
 
     const std::vector<batch::CollapsedClass> classes =
         opt.collapse ? batch::collapse(faults.faults)
                      : batch::singleton_classes(n_faults);
-    const std::vector<batch::Job> jobs = batch::class_jobs(
+    res.batch.classes = classes.size();
+    std::vector<batch::Job> jobs = batch::class_jobs(
         classes,
         [&](std::size_t m) { return faults.faults[m].probability; });
+    std::erase_if(jobs, [&](const batch::Job& j) {
+        const auto& members = classes[j.index].members;
+        return std::all_of(members.begin(), members.end(),
+                           [&](std::size_t m) { return done[m] != 0; });
+    });
 
-    const std::vector<char> is_rep =
-        batch::representative_mask(classes, n_faults);
-    std::atomic<std::size_t> points_saved{0}, aborted{0};
-    const batch::SchedulerStats sstats = batch::run_classes(
-        batch::Scheduler(opt.threads), classes, jobs, res.results,
-        [&](std::size_t rep) {
+    std::atomic<std::size_t> kernel_runs{0};
+    auto run_class = [&](std::size_t c) {
+        const std::vector<std::size_t>& members = classes[c].members;
+        const AcFaultResult* verdict = nullptr;
+        for (std::size_t m : members)
+            if (done[m]) {
+                verdict = &res.results[m];
+                break;
+            }
+        if (!verdict) {
+            const std::size_t rep =
+                *std::find_if(members.begin(), members.end(),
+                              [&](std::size_t m) { return !done[m]; });
             const lift::Fault& f = faults.faults[rep];
             AcFaultResult r;
+            r.fault_id = f.id;
+            r.description = f.describe();
+            r.probability = f.probability;
+            const auto t0 = std::chrono::steady_clock::now();
             try {
                 const Circuit faulty = inject(ckt, f, opt.injection);
+                kernel_runs.fetch_add(1, std::memory_order_relaxed);
                 AcStreamingDetector detector(res.nominal, opt.observed,
                                              opt.db_tol);
-                spice::Simulator sim(faulty, opt.sim);
+                spice::Simulator sim(faulty, fault_sim);
                 const spice::AcPointObserver observer =
                     [&](double, const spice::AcResult& partial) {
                         return !(detector.feed(partial) && opt.early_abort);
@@ -70,31 +200,56 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
                 r.detect_freq = detector.detect_freq();
                 r.max_deviation_db = detector.max_deviation_db();
                 r.points_saved = sim.stats().ac_points_saved;
-                if (r.points_saved > 0) {
-                    aborted.fetch_add(1, std::memory_order_relaxed);
-                    points_saved.fetch_add(r.points_saved,
-                                           std::memory_order_relaxed);
-                }
+                r.nr_iterations = sim.stats().nr_iterations;
+                r.symbolic_cache_hits = sim.stats().symbolic_cache_hits;
+                r.ordering_seconds = sim.stats().ordering_seconds;
+                r.numeric_seconds = sim.stats().numeric_seconds;
             } catch (const Error& e) {
                 r.simulated = false;
                 r.error = e.what();
             }
-            return r;
-        },
-        [&](const AcFaultResult& verdict, std::size_t m) {
-            AcFaultResult copy = verdict;
+            r.sim_seconds = seconds_since(t0);
+            res.results[rep] = std::move(r);
+            done[rep] = 1;
+            if (store) store->append(ac_to_record(res.results[rep]));
+            verdict = &res.results[rep];
+        }
+        for (std::size_t m : members) {
+            if (done[m]) continue;
+            AcFaultResult copy = *verdict;
             copy.fault_id = faults.faults[m].id;
             copy.description = faults.faults[m].describe();
+            copy.probability = faults.faults[m].probability;
             // Kernel savings stay attributed to the class representative.
-            if (!is_rep[m]) copy.points_saved = 0;
-            return copy;
-        });
-    res.batch.classes = classes.size();
+            copy.points_saved = 0;
+            copy.sim_seconds = 0.0;
+            copy.nr_iterations = 0;
+            copy.symbolic_cache_hits = 0;
+            copy.ordering_seconds = 0.0;
+            copy.numeric_seconds = 0.0;
+            res.results[m] = std::move(copy);
+            done[m] = 1;
+            if (store) store->append(ac_to_record(res.results[m]));
+        }
+    };
+
+    const batch::Scheduler scheduler(opt.threads);
+    const batch::SchedulerStats sstats = scheduler.run(jobs, run_class);
     res.batch.collapsed = n_faults - classes.size();
-    res.batch.scheduled = sstats.executed;
+    res.batch.scheduled = kernel_runs.load();
     res.batch.steals = sstats.steals;
-    res.batch.early_aborts = aborted.load();
-    res.batch.freq_points_saved = points_saved.load();
+
+    for (std::size_t i = 0; i < n_faults; ++i) {
+        if (resumed_here[i]) continue;
+        const AcFaultResult& r = res.results[i];
+        if (r.points_saved > 0) {
+            ++res.batch.early_aborts;
+            res.batch.freq_points_saved += r.points_saved;
+        }
+        res.batch.symbolic_cache_hits += r.symbolic_cache_hits;
+        res.batch.ordering_seconds += r.ordering_seconds;
+        res.batch.numeric_seconds += r.numeric_seconds;
+    }
     return res;
 }
 

@@ -14,15 +14,26 @@
 // campaign's ERASER-style abort.  Verdict and first-violation frequency
 // are identical either way; only max_deviation_db is then reported up to
 // the abort point.
+//
+// Like the transient campaign, the runner persists per-fault records into
+// a crash-resumable result store (batch/result_store.h) bound to
+// ac_campaign_manifest(), and shares the nominal kernel's symbolic
+// analysis with every faulty variant; that makes it a drop-in backend for
+// the incremental cross-revision engine (anafault/incremental.h).  In a
+// store record detect_time carries the detection *frequency* [Hz] and
+// metric the worst dB deviation; the solve strategy of a resumed record
+// is not persisted.
 
 #pragma once
 
 #include "anafault/fault_models.h"
+#include "batch/result_store.h"
 #include "batch/scheduler.h"
 #include "lift/fault.h"
 #include "netlist/netlist.h"
 #include "spice/engine.h"
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,11 +53,23 @@ struct AcCampaignOptions {
     /// Stop each faulty sweep at its first dB-tolerance violation instead
     /// of computing every frequency point (verdicts are unchanged).
     bool early_abort = true;
+    /// Share the nominal kernel's symbolic analysis (elimination order)
+    /// with every faulty sweep; see CampaignOptions::share_symbolic.
+    bool share_symbolic = true;
+    /// Path of the append-only result store ("" disables persistence).
+    std::string result_store;
+    /// Reuse results already in `result_store` from a previous (possibly
+    /// crashed) run of the *same* campaign.
+    bool resume = false;
+    /// Bind the result store to this manifest instead of the campaign's
+    /// own hash (set only by the incremental cross-revision engine).
+    std::optional<std::uint64_t> manifest_override;
 };
 
 struct AcFaultResult {
     int fault_id = 0;
     std::string description;
+    double probability = 0.0;
     bool simulated = false;
     std::string error;
     bool detected = false;
@@ -54,6 +77,13 @@ struct AcFaultResult {
                                          ///< points (up to the abort, if any)
     std::optional<double> detect_freq;   ///< frequency of first violation
     std::size_t points_saved = 0;        ///< sweep points skipped by abort
+    double sim_seconds = 0.0;            ///< kernel wall time of the sweep
+    std::size_t nr_iterations = 0;       ///< NR cost of the operating point
+    std::size_t symbolic_cache_hits = 0; ///< kernel adopted the shared order
+    double ordering_seconds = 0.0;       ///< sparse one-time analysis time
+    double numeric_seconds = 0.0;        ///< sparse refactor time
+    /// Verdict carried from a baseline store by the incremental engine.
+    bool carried = false;
 };
 
 struct AcCampaignResult {
@@ -69,5 +99,18 @@ struct AcCampaignResult {
 AcCampaignResult run_ac_campaign(const netlist::Circuit& ckt,
                                  const lift::FaultList& faults,
                                  const AcCampaignOptions& opt = {});
+
+/// Manifest hash of the AC campaign (ckt, faults, opt): circuit text,
+/// per-fault identity, sweep axis, detection knobs and every
+/// verdict-determining numeric/kernel knob.  Same contract as
+/// campaign_manifest() for the transient runner.
+std::uint64_t ac_campaign_manifest(const netlist::Circuit& ckt,
+                                   const lift::FaultList& faults,
+                                   const AcCampaignOptions& opt = {});
+
+/// Store-record round trip for one AC fault verdict (the incremental
+/// engine carries these across layout revisions).
+batch::FaultSimResult ac_to_record(const AcFaultResult& r);
+AcFaultResult ac_from_record(const batch::FaultSimResult& rec);
 
 } // namespace catlift::anafault

@@ -51,6 +51,56 @@ std::string hexd(double v) {
     return buf;
 }
 
+} // namespace
+
+std::string manifest_double(double v) { return hexd(v); }
+
+std::uint64_t chain_fault_manifest(std::uint64_t h,
+                                   const lift::FaultList& faults) {
+    for (const lift::Fault& f : faults.faults) {
+        // Delimited: without separators, distinct identity tuples could
+        // chain to the same bytes.
+        h = batch::fnv1a(std::to_string(f.id) + "|" + f.describe() + "|" +
+                             hexd(f.probability) + "|" +
+                             batch::effect_signature(f) + "\n",
+                         h);
+    }
+    return h;
+}
+
+std::string sim_knob_signature(const spice::SimOptions& sim) {
+    std::string o;
+    o += sim.method == spice::Method::Trapezoidal ? "|trap" : "|be";
+    o += sim.uic ? "|uic" : "|op";
+    // Every solver knob alters waveforms (and hence verdicts) -- a store
+    // written under different numerics must never be resumed.
+    o += "|" + hexd(sim.gmin) + "|" + hexd(sim.cmin);
+    o += "|" + hexd(sim.abstol) + "|" + hexd(sim.vntol);
+    o += "|" + hexd(sim.reltol) + "|" + hexd(sim.dv_limit);
+    o += "|" + std::to_string(sim.max_nr);
+    o += "|" + std::to_string(sim.max_step_cuts);
+    // Adaptive stepping changes the waveforms (within LTE tolerance, but
+    // changed is changed): a store written under the other stepping mode
+    // or a different LTE knob must not be resumed.
+    o += sim.adaptive ? "|adaptive" : "|fixedgrid";
+    o += "|" + hexd(sim.lte_tol);
+    o += "|" + std::to_string(sim.max_stride);
+    // Kernel selection changes waveform rounding (and the bypass mode may
+    // perturb within its tolerance): a store written under a different
+    // kernel configuration must never be resumed.
+    o += "|sparse:" + std::to_string(sim.sparse_threshold);
+    if (sim.bypass) {
+        o += "|bypass:" + hexd(sim.bypass_tol);
+        o += ":" + hexd(sim.device_bypass_tol);
+    } else {
+        o += "|nobypass";
+    }
+    o += sim.ordering == spice::SparseOrdering::Amd ? "|amd" : "|mark";
+    return o;
+}
+
+namespace {
+
 /// Campaign manifest: hashes everything that determines the per-fault
 /// verdicts, so a result store is only ever resumed against the campaign
 /// that wrote it.
@@ -76,26 +126,8 @@ std::uint64_t manifest_hash(const Circuit& ckt,
     for (const std::string& s : opt.detection.observed_supplies)
         o += "|i:" + s;
     o += "|" + hexd(ts.tstep) + "|" + hexd(ts.tstop) + "|" + hexd(ts.tstart);
-    o += opt.sim.method == spice::Method::Trapezoidal ? "|trap" : "|be";
-    o += opt.sim.uic ? "|uic" : "|op";
-    // Every solver knob alters waveforms (and hence verdicts) -- a store
-    // written under different numerics must never be resumed.
-    o += "|" + hexd(opt.sim.gmin) + "|" + hexd(opt.sim.cmin);
-    o += "|" + hexd(opt.sim.abstol) + "|" + hexd(opt.sim.vntol);
-    o += "|" + hexd(opt.sim.reltol) + "|" + hexd(opt.sim.dv_limit);
-    o += "|" + std::to_string(opt.sim.max_nr);
-    o += "|" + std::to_string(opt.sim.max_step_cuts);
-    // Adaptive stepping changes the waveforms (within LTE tolerance, but
-    // changed is changed): a store written under the other stepping mode
-    // or a different LTE knob must not be resumed.
-    o += opt.sim.adaptive ? "|adaptive" : "|fixedgrid";
-    o += "|" + hexd(opt.sim.lte_tol);
-    o += "|" + std::to_string(opt.sim.max_stride);
-    // Kernel selection changes waveform rounding (and the bypass mode may
-    // perturb within its tolerance): a store written under a different
-    // kernel configuration must never be resumed.
-    o += "|sparse:" + std::to_string(opt.sim.sparse_threshold);
-    o += opt.sim.bypass ? "|bypass:" + hexd(opt.sim.bypass_tol) : "|nobypass";
+    o += sim_knob_signature(opt.sim);
+    o += opt.share_symbolic ? "|sharesym" : "|nosharesym";
     // Engine shortcuts do not change verdicts, but a user toggling them
     // (e.g. --no-collapse to rule out a collapse bug) wants faults
     // actually re-simulated -- treat the store as foreign.
@@ -128,6 +160,10 @@ FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
         r.steps_interpolated = sim.stats().grid_points_interpolated;
         r.bypass_solves = sim.stats().bypass_solves;
         r.sparse_refactors = sim.stats().sparse_refactors;
+        r.device_stamp_skips = sim.stats().device_stamp_skips;
+        r.symbolic_cache_hits = sim.stats().symbolic_cache_hits;
+        r.ordering_seconds = sim.stats().ordering_seconds;
+        r.numeric_seconds = sim.stats().numeric_seconds;
         r.simulated = true;
         r.detect_time = detector->detect_time();
     } catch (const Error& e) {
@@ -162,6 +198,10 @@ FaultSimResult fan_out(const FaultSimResult& rep, const JobMeta& meta) {
     c.steps_interpolated = 0;
     c.bypass_solves = 0;
     c.sparse_refactors = 0;
+    c.device_stamp_skips = 0;
+    c.symbolic_cache_hits = 0;
+    c.ordering_seconds = 0.0;
+    c.numeric_seconds = 0.0;
     return c;
 }
 
@@ -175,7 +215,12 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
     res.batch.threads = std::max(1u, opt.threads);
 
     // Nominal simulation first (paper, ch. V); the baseline Waveforms are
-    // shared read-only by every worker.
+    // shared read-only by every worker.  Its kernel's elimination order is
+    // the campaign-shared symbolic analysis: every faulty variant adopts
+    // it (patched with its injected unknowns) instead of re-running the
+    // one-time ordering -- null when the nominal kernel is dense, in which
+    // case every variant simply analyzes itself as before.
+    CampaignOptions wopt = opt;
     {
         const auto t0 = std::chrono::steady_clock::now();
         Simulator sim(ckt, opt.sim);
@@ -185,6 +230,11 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         res.batch.steps_interpolated = sim.stats().grid_points_interpolated;
         res.batch.bypass_solves = sim.stats().bypass_solves;
         res.batch.sparse_refactors = sim.stats().sparse_refactors;
+        res.batch.device_stamp_skips = sim.stats().device_stamp_skips;
+        res.batch.ordering_seconds = sim.stats().ordering_seconds;
+        res.batch.numeric_seconds = sim.stats().numeric_seconds;
+        if (opt.share_symbolic)
+            wopt.sim.symbolic_cache = sim.symbolic_cache();
     }
 
     res.results.resize(n);
@@ -268,7 +318,7 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
                 // Counted only once injection succeeded: a fault that
                 // cannot even be injected never reaches the kernel.
                 kernel_runs.fetch_add(1, std::memory_order_relaxed);
-                r = simulate_one(faulty, res.nominal, ts, opt);
+                r = simulate_one(faulty, res.nominal, ts, wopt);
             } catch (const Error& e) {
                 r.simulated = false;
                 r.error = e.what();
@@ -309,6 +359,10 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         res.batch.steps_interpolated += r.steps_interpolated;
         res.batch.bypass_solves += r.bypass_solves;
         res.batch.sparse_refactors += r.sparse_refactors;
+        res.batch.device_stamp_skips += r.device_stamp_skips;
+        res.batch.symbolic_cache_hits += r.symbolic_cache_hits;
+        res.batch.ordering_seconds += r.ordering_seconds;
+        res.batch.numeric_seconds += r.numeric_seconds;
         if (r.steps_saved > 0) {
             ++res.batch.early_aborts;
             res.batch.steps_saved += r.steps_saved;

@@ -44,6 +44,14 @@ struct CampaignOptions {
     /// Collapse faults with identical electrical effect and simulate each
     /// equivalence class once (batch/collapse.h).
     bool collapse = true;
+    /// Campaign-shared symbolic kernel: harvest the nominal simulation's
+    /// sparse elimination order (spice::SymbolicCache) and hand it to
+    /// every faulty variant, so the one-time fill-reducing analysis runs
+    /// once per campaign instead of once per fault.  Only effective when
+    /// the kernel is sparse (>= sim.sparse_threshold unknowns) on the Amd
+    /// ordering; verdict-affecting (the pivot order steers rounding), so
+    /// it is part of the campaign manifest.
+    bool share_symbolic = true;
     /// Path of the append-only result store ("" disables persistence).
     std::string result_store;
     /// Reuse results already in `result_store` from a previous (possibly
@@ -64,6 +72,12 @@ struct CampaignOptions {
         // solves instead of a full fixed grid, multiplying with early
         // abort.  anafaultc exposes --no-adaptive / --lte-tol.
         sim.adaptive = true;
+        // Campaigns replay a device stamp only when its terminals are
+        // bitwise unchanged: detection verdicts of margin-rider faults on
+        // autonomous oscillators flip under any nonzero device staleness
+        // (see SimOptions::device_bypass_tol), and campaign verdicts are
+        // the product being sold.  anafaultc exposes --device-bypass-tol.
+        sim.device_bypass_tol = 0.0;
     }
 };
 
@@ -117,6 +131,20 @@ CampaignResult run_campaign(const netlist::Circuit& ckt,
 std::uint64_t campaign_manifest(const netlist::Circuit& ckt,
                                 const lift::FaultList& faults,
                                 const CampaignOptions& opt = {});
+
+/// Canonical text of every verdict-determining numeric/kernel knob of a
+/// SimOptions -- the block shared by the tran, AC and DC campaign
+/// manifests.
+std::string sim_knob_signature(const spice::SimOptions& sim);
+
+/// Chain every fault's identity (id | description | probability |
+/// electrical-effect signature) into a manifest hash -- the fault-list
+/// block shared by the AC and DC campaign manifests.
+std::uint64_t chain_fault_manifest(std::uint64_t h,
+                                   const lift::FaultList& faults);
+
+/// Exact (hex-float) text of a double for manifest hashing.
+std::string manifest_double(double v);
 
 /// Run a parametric (soft) fault set through the same cycle.
 CampaignResult run_parametric_campaign(

@@ -1,11 +1,16 @@
 #include "anafault/dc_campaign.h"
 
+#include "anafault/campaign.h"
 #include "batch/collapse.h"
 #include "batch/scheduler.h"
+#include "netlist/writer.h"
 
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <filesystem>
+#include <map>
+#include <memory>
 
 namespace catlift::anafault {
 
@@ -30,16 +35,79 @@ std::vector<int> DcScreenResult::undetected_ids() const {
     return out;
 }
 
+std::uint64_t dc_screen_manifest(const Circuit& ckt,
+                                 const lift::FaultList& faults,
+                                 const DcScreenOptions& opt) {
+    std::uint64_t h =
+        chain_fault_manifest(batch::fnv1a(netlist::write_spice(ckt)), faults);
+    std::string o = "dc";
+    const auto field = [&o](const std::string& v) {
+        o += '|';
+        o += v;
+    };
+    field(to_string(opt.injection.model));
+    field(manifest_double(opt.injection.short_resistance));
+    field(manifest_double(opt.injection.open_resistance));
+    field(manifest_double(opt.v_tol));
+    for (const std::string& n : opt.observed) field(n);
+    o += sim_knob_signature(opt.sim);
+    o += opt.share_symbolic ? "|sharesym" : "|nosharesym";
+    o += opt.collapse ? "|collapse" : "|nocollapse";
+    o += opt.warm_start ? "|warm" : "|cold";
+    return batch::fnv1a(o, h);
+}
+
+batch::FaultSimResult dc_to_record(const DcFaultResult& r) {
+    batch::FaultSimResult rec;
+    rec.fault_id = r.fault_id;
+    rec.description = r.description;
+    rec.probability = r.probability;
+    rec.simulated = r.converged;
+    if (r.detected) rec.detect_time = 0.0;
+    rec.metric = r.max_deviation;
+    rec.nr_iterations = static_cast<std::size_t>(
+        std::max(0, r.nr_iterations));
+    rec.symbolic_cache_hits = r.symbolic_cache_hits;
+    rec.ordering_seconds = r.ordering_seconds;
+    rec.numeric_seconds = r.numeric_seconds;
+    rec.carried = r.carried;
+    return rec;
+}
+
+DcFaultResult dc_from_record(const batch::FaultSimResult& rec) {
+    DcFaultResult r;
+    r.fault_id = rec.fault_id;
+    r.description = rec.description;
+    r.probability = rec.probability;
+    r.converged = rec.simulated;
+    r.detected = rec.detect_time.has_value();
+    r.max_deviation = rec.metric;
+    r.nr_iterations = static_cast<int>(rec.nr_iterations);
+    r.strategy = rec.simulated ? "stored" : "";
+    r.symbolic_cache_hits = rec.symbolic_cache_hits;
+    r.ordering_seconds = rec.ordering_seconds;
+    r.numeric_seconds = rec.numeric_seconds;
+    r.carried = rec.carried;
+    return r;
+}
+
 DcScreenResult run_dc_screen(const Circuit& ckt,
                              const lift::FaultList& faults,
                              const DcScreenOptions& opt) {
     DcScreenResult res;
 
+    spice::SimOptions fault_sim = opt.sim;
     spice::Simulator nominal(ckt, opt.sim);
     const spice::DcResult nom_op = nominal.dc_op();
     require(nom_op.converged, "dc screen: nominal operating point failed");
     res.nominal_op = nom_op.voltages;
     res.nominal_iterations = nom_op.iterations;
+    res.batch.ordering_seconds = nominal.stats().ordering_seconds;
+    res.batch.numeric_seconds = nominal.stats().numeric_seconds;
+    // The nominal solve's kernel carries the campaign-shared symbolic
+    // analysis (null on the dense path).
+    if (opt.share_symbolic)
+        fault_sim.symbolic_cache = nominal.symbolic_cache();
     for (const std::string& n : opt.observed)
         require(res.nominal_op.count(n) > 0,
                 "dc screen: observed node missing: " + n);
@@ -47,32 +115,79 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
     const std::size_t n_faults = faults.size();
     res.results.resize(n_faults);
     res.batch.threads = std::max(1u, opt.threads);
+    std::vector<char> done(n_faults, 0);
+
+    // Result store: records of a previous run of this exact screen.
+    std::unique_ptr<batch::ResultStore> store;
+    if (!opt.result_store.empty()) {
+        const std::uint64_t manifest =
+            opt.manifest_override ? *opt.manifest_override
+                                  : dc_screen_manifest(ckt, faults, opt);
+        if (!opt.resume) {
+            std::error_code ec;
+            std::filesystem::remove(opt.result_store, ec);
+        }
+        store = std::make_unique<batch::ResultStore>(opt.result_store,
+                                                     manifest);
+        std::map<int, std::size_t> by_id;
+        for (std::size_t i = 0; i < n_faults; ++i)
+            by_id[faults.faults[i].id] = i;
+        for (const batch::FaultSimResult& rec : store->loaded()) {
+            const auto it = by_id.find(rec.fault_id);
+            if (it == by_id.end() || done[it->second]) continue;
+            res.results[it->second] = dc_from_record(rec);
+            done[it->second] = 1;
+            ++res.batch.resumed;
+        }
+    }
+    const std::vector<char> resumed_here = done;
 
     // One solve per electrical-effect class, verdict fanned out.
     const std::vector<batch::CollapsedClass> classes =
         opt.collapse ? batch::collapse(faults.faults)
                      : batch::singleton_classes(n_faults);
-    const std::vector<batch::Job> jobs = batch::class_jobs(
+    res.batch.classes = classes.size();
+    std::vector<batch::Job> jobs = batch::class_jobs(
         classes,
         [&](std::size_t m) { return faults.faults[m].probability; });
+    std::erase_if(jobs, [&](const batch::Job& j) {
+        const auto& members = classes[j.index].members;
+        return std::all_of(members.begin(), members.end(),
+                           [&](std::size_t m) { return done[m] != 0; });
+    });
 
-    const std::vector<char> is_rep =
-        batch::representative_mask(classes, n_faults);
+    std::atomic<std::size_t> kernel_runs{0};
     std::atomic<std::size_t> warm_hits{0}, nr_saved{0};
-    const batch::SchedulerStats sstats = batch::run_classes(
-        batch::Scheduler(opt.threads), classes, jobs, res.results,
-        [&](std::size_t rep) {
+    auto run_class = [&](std::size_t c) {
+        const std::vector<std::size_t>& members = classes[c].members;
+        const DcFaultResult* verdict = nullptr;
+        for (std::size_t m : members)
+            if (done[m]) {
+                verdict = &res.results[m];
+                break;
+            }
+        if (!verdict) {
+            const std::size_t rep =
+                *std::find_if(members.begin(), members.end(),
+                              [&](std::size_t m) { return !done[m]; });
             const lift::Fault& f = faults.faults[rep];
             DcFaultResult r;
+            r.fault_id = f.id;
+            r.description = f.describe();
+            r.probability = f.probability;
             try {
                 const Circuit faulty = inject(ckt, f, opt.injection);
-                spice::Simulator sim(faulty, opt.sim);
+                kernel_runs.fetch_add(1, std::memory_order_relaxed);
+                spice::Simulator sim(faulty, fault_sim);
                 const spice::DcResult op = opt.warm_start
                                                ? sim.dc_op(res.nominal_op)
                                                : sim.dc_op();
                 r.converged = op.converged;
                 r.nr_iterations = op.iterations;
                 r.strategy = op.strategy;
+                r.symbolic_cache_hits = sim.stats().symbolic_cache_hits;
+                r.ordering_seconds = sim.stats().ordering_seconds;
+                r.numeric_seconds = sim.stats().numeric_seconds;
                 if (op.strategy == "warm") {
                     warm_hits.fetch_add(1, std::memory_order_relaxed);
                     // Saved vs the nominal circuit's own cold cost -- the
@@ -94,22 +209,43 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             } catch (const Error&) {
                 r.converged = false;
             }
-            return r;
-        },
-        [&](const DcFaultResult& verdict, std::size_t m) {
-            DcFaultResult copy = verdict;
+            res.results[rep] = std::move(r);
+            done[rep] = 1;
+            if (store) store->append(dc_to_record(res.results[rep]));
+            verdict = &res.results[rep];
+        }
+        for (std::size_t m : members) {
+            if (done[m]) continue;
+            DcFaultResult copy = *verdict;
             copy.fault_id = faults.faults[m].id;
             copy.description = faults.faults[m].describe();
+            copy.probability = faults.faults[m].probability;
             // Kernel cost stays attributed to the class representative.
-            if (!is_rep[m]) copy.nr_iterations = 0;
-            return copy;
-        });
-    res.batch.classes = classes.size();
+            copy.nr_iterations = 0;
+            copy.symbolic_cache_hits = 0;
+            copy.ordering_seconds = 0.0;
+            copy.numeric_seconds = 0.0;
+            res.results[m] = std::move(copy);
+            done[m] = 1;
+            if (store) store->append(dc_to_record(res.results[m]));
+        }
+    };
+
+    const batch::Scheduler scheduler(opt.threads);
+    const batch::SchedulerStats sstats = scheduler.run(jobs, run_class);
     res.batch.collapsed = n_faults - classes.size();
-    res.batch.scheduled = sstats.executed;
+    res.batch.scheduled = kernel_runs.load();
     res.batch.steals = sstats.steals;
     res.batch.warm_start_solves = warm_hits.load();
     res.batch.nr_saved_warm = nr_saved.load();
+
+    for (std::size_t i = 0; i < n_faults; ++i) {
+        if (resumed_here[i]) continue;
+        const DcFaultResult& r = res.results[i];
+        res.batch.symbolic_cache_hits += r.symbolic_cache_hits;
+        res.batch.ordering_seconds += r.ordering_seconds;
+        res.batch.numeric_seconds += r.numeric_seconds;
+    }
     return res;
 }
 

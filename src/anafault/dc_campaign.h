@@ -8,15 +8,26 @@
 // the rest (frequency shifts, dynamic faults) need the transient
 // campaign -- which is precisely the paper's motivation for transient
 // fault simulation on the VCO.
+//
+// Like the transient campaign, the screen persists per-fault records into
+// a crash-resumable result store bound to dc_screen_manifest(), and
+// shares the nominal kernel's symbolic analysis with every faulty solve;
+// that makes it a drop-in backend for the incremental cross-revision
+// engine (anafault/incremental.h).  In a store record detect_time is 0
+// when the fault was detected (a DC screen has no sweep coordinate) and
+// metric carries the worst |dV|; the solve strategy of a resumed record
+// is not persisted (it reports as "stored").
 
 #pragma once
 
 #include "anafault/fault_models.h"
+#include "batch/result_store.h"
 #include "batch/scheduler.h"
 #include "lift/fault.h"
 #include "netlist/netlist.h"
 #include "spice/engine.h"
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -44,16 +55,35 @@ struct DcScreenOptions {
     /// conservative one, but set this to false to reproduce cold-start
     /// verdicts exactly.
     bool warm_start = true;
+    /// Share the nominal kernel's symbolic analysis (elimination order)
+    /// with every faulty solve; see CampaignOptions::share_symbolic.
+    bool share_symbolic = true;
+    /// Path of the append-only result store ("" disables persistence).
+    std::string result_store;
+    /// Reuse results already in `result_store` from a previous (possibly
+    /// crashed) run of the *same* screen.
+    bool resume = false;
+    /// Bind the result store to this manifest instead of the screen's own
+    /// hash (set only by the incremental cross-revision engine).
+    std::optional<std::uint64_t> manifest_override;
 };
 
 struct DcFaultResult {
     int fault_id = 0;
     std::string description;
+    double probability = 0.0;
     bool converged = false;      ///< operating point found
     bool detected = false;       ///< deviation beyond tolerance
     double max_deviation = 0.0;  ///< largest |dV| over observed nodes [V]
     int nr_iterations = 0;       ///< NR cost of the solve
-    std::string strategy;        ///< "warm", "nr", "gmin", "source"
+    std::string strategy;        ///< "warm", "nr", "gmin", "source";
+                                 ///< "stored" on a store-resumed or
+                                 ///< carried record
+    std::size_t symbolic_cache_hits = 0; ///< kernel adopted the shared order
+    double ordering_seconds = 0.0;       ///< sparse one-time analysis time
+    double numeric_seconds = 0.0;        ///< sparse refactor time
+    /// Verdict carried from a baseline store by the incremental engine.
+    bool carried = false;
 };
 
 struct DcScreenResult {
@@ -73,5 +103,16 @@ struct DcScreenResult {
 DcScreenResult run_dc_screen(const netlist::Circuit& ckt,
                              const lift::FaultList& faults,
                              const DcScreenOptions& opt = {});
+
+/// Manifest hash of the DC screen (ckt, faults, opt); same contract as
+/// campaign_manifest() for the transient runner.
+std::uint64_t dc_screen_manifest(const netlist::Circuit& ckt,
+                                 const lift::FaultList& faults,
+                                 const DcScreenOptions& opt = {});
+
+/// Store-record round trip for one DC fault verdict (the incremental
+/// engine carries these across layout revisions).
+batch::FaultSimResult dc_to_record(const DcFaultResult& r);
+DcFaultResult dc_from_record(const batch::FaultSimResult& rec);
 
 } // namespace catlift::anafault

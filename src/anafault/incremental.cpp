@@ -43,6 +43,91 @@ batch::FaultSimResult carry(const batch::FaultSimResult& baseline_record,
     return r;
 }
 
+/// The analysis-independent core: classify the revision against the
+/// baseline, validate the baseline store against `baseline_manifest`, and
+/// split the revision into carried records and the subset to simulate.
+struct CarrySplit {
+    std::map<int, batch::FaultSimResult> carried_by_id;
+    lift::FaultList subset;
+    IncrementalStats inc;
+};
+
+CarrySplit split_for_carry(const lift::FaultList& baseline,
+                           const lift::FaultList& revision, double rel_tol,
+                           const std::string& baseline_store,
+                           std::uint64_t baseline_manifest) {
+    CarrySplit out;
+
+    // Classify the revision against the baseline.  The diff's carried
+    // pair list is the single source of truth for the carry/resimulate
+    // split: everything not in it (added, probability-changed) is
+    // resimulated.
+    const lift::FaultListDiff diff =
+        lift::diff_faultlists(baseline, revision, rel_tol);
+    out.inc.removed = diff.only_a.size();
+    out.inc.added = diff.only_b.size();
+    out.inc.probability_changed = diff.probability_changed.size();
+    std::set<std::string> carried_sigs;
+    for (const auto& [a, b] : diff.carried)
+        carried_sigs.insert(lift::electrical_signature(b));
+
+    // The baseline store is only trusted when its manifest proves it was
+    // written by this circuit + baseline fault list + knob set.
+    std::map<std::string, const batch::FaultSimResult*> by_sig;
+    const std::optional<batch::StoreSnapshot> snap =
+        batch::load_store(baseline_store);
+    if (!snap) {
+        out.inc.carry_block_reason = baseline_store.empty()
+                                         ? "no baseline store given"
+                                         : "baseline store missing or not a "
+                                           "current-version store";
+    } else if (snap->manifest != baseline_manifest) {
+        out.inc.carry_block_reason =
+            "baseline store manifest does not match this circuit / baseline "
+            "fault list / numeric+kernel knobs";
+    } else {
+        out.inc.baseline_manifest_matched = true;
+        by_sig = baseline_by_signature(baseline, *snap);
+    }
+
+    // Split the revision: carried verdicts vs the subset to simulate.
+    out.subset.circuit = revision.circuit;
+    for (const lift::Fault& f : revision.faults) {
+        const std::string sig = lift::electrical_signature(f);
+        const batch::FaultSimResult* rec = nullptr;
+        if (carried_sigs.count(sig)) {
+            const auto it = by_sig.find(sig);
+            if (it != by_sig.end()) rec = it->second;
+        }
+        if (rec)
+            out.carried_by_id.emplace(f.id, carry(*rec, f));
+        else
+            out.subset.faults.push_back(f);
+    }
+    out.inc.carried = out.carried_by_id.size();
+    out.inc.resimulated = out.subset.faults.size();
+    return out;
+}
+
+/// Seed the merged store with the carried records, bound to the revision
+/// manifest, so a crash mid-subset never costs them and the merged store
+/// resumes -- and serves as the next revision's baseline -- as if a cold
+/// full campaign had written it.
+void seed_merged_store(const std::string& path, std::uint64_t manifest,
+                       bool resume,
+                       const std::map<int, batch::FaultSimResult>& carried) {
+    if (!resume) {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+    batch::ResultStore store(path, manifest);
+    std::set<int> present;
+    for (const batch::FaultSimResult& r : store.loaded())
+        present.insert(r.fault_id);
+    for (const auto& [id, r] : carried)
+        if (!present.count(id)) store.append(r);
+}
+
 } // namespace
 
 IncrementalResult run_incremental_campaign(const Circuit& ckt,
@@ -53,78 +138,17 @@ IncrementalResult run_incremental_campaign(const Circuit& ckt,
     require(!(opt.campaign.resume && opt.campaign.result_store.empty()),
             "incremental campaign: resume needs a merged result store path");
 
-    // Classify the revision against the baseline.  The diff's carried
-    // pair list is the single source of truth for the carry/resimulate
-    // split: everything not in it (added, probability-changed) is
-    // resimulated.
-    const lift::FaultListDiff diff =
-        lift::diff_faultlists(baseline, revision, opt.rel_tol);
-    res.inc.removed = diff.only_a.size();
-    res.inc.added = diff.only_b.size();
-    res.inc.probability_changed = diff.probability_changed.size();
-    std::set<std::string> carried_sigs;
-    for (const auto& [a, b] : diff.carried)
-        carried_sigs.insert(lift::electrical_signature(b));
+    CarrySplit split =
+        split_for_carry(baseline, revision, opt.rel_tol, opt.baseline_store,
+                        campaign_manifest(ckt, baseline, opt.campaign));
+    res.inc = split.inc;
 
-    // The baseline store is only trusted when its manifest proves it was
-    // written by this circuit + baseline fault list + knob set.
-    std::map<std::string, const batch::FaultSimResult*> by_sig;
-    const std::optional<batch::StoreSnapshot> snap =
-        batch::load_store(opt.baseline_store);
-    if (!snap) {
-        res.inc.carry_block_reason = opt.baseline_store.empty()
-                                         ? "no baseline store given"
-                                         : "baseline store missing or not a "
-                                           "current-version store";
-    } else if (snap->manifest !=
-               campaign_manifest(ckt, baseline, opt.campaign)) {
-        res.inc.carry_block_reason =
-            "baseline store manifest does not match this circuit / baseline "
-            "fault list / numeric+kernel knobs";
-    } else {
-        res.inc.baseline_manifest_matched = true;
-        by_sig = baseline_by_signature(baseline, *snap);
-    }
-
-    // Split the revision: carried verdicts vs the subset to simulate.
-    std::map<int, batch::FaultSimResult> carried_by_id;
-    lift::FaultList subset;
-    subset.circuit = revision.circuit;
-    for (const lift::Fault& f : revision.faults) {
-        const std::string sig = lift::electrical_signature(f);
-        const batch::FaultSimResult* rec = nullptr;
-        if (carried_sigs.count(sig)) {
-            const auto it = by_sig.find(sig);
-            if (it != by_sig.end()) rec = it->second;
-        }
-        if (rec)
-            carried_by_id.emplace(f.id, carry(*rec, f));
-        else
-            subset.faults.push_back(f);
-    }
-    res.inc.carried = carried_by_id.size();
-    res.inc.resimulated = subset.faults.size();
-
-    // Merged store: bound to the *revision* manifest so it resumes -- and
-    // serves as the next revision's baseline -- as if a cold full campaign
-    // had written it.  Carried records are persisted before any kernel
-    // work so a crash mid-run never costs them.
     CampaignOptions copt = opt.campaign;
     if (!copt.result_store.empty()) {
         const std::uint64_t manifest =
             campaign_manifest(ckt, revision, opt.campaign);
-        if (!opt.campaign.resume) {
-            std::error_code ec;
-            std::filesystem::remove(copt.result_store, ec);
-        }
-        {
-            batch::ResultStore store(copt.result_store, manifest);
-            std::set<int> present;
-            for (const batch::FaultSimResult& r : store.loaded())
-                present.insert(r.fault_id);
-            for (const auto& [id, r] : carried_by_id)
-                if (!present.count(id)) store.append(r);
-        }
+        seed_merged_store(copt.result_store, manifest, opt.campaign.resume,
+                          split.carried_by_id);
         // The subset campaign reopens the merged store under the revision
         // manifest: its own finished records resume, carried ids (not in
         // the subset) pass through untouched.
@@ -132,17 +156,18 @@ IncrementalResult run_incremental_campaign(const Circuit& ckt,
         copt.manifest_override = manifest;
     }
 
-    CampaignResult sub = run_campaign(ckt, subset, copt);
+    CampaignResult sub = run_campaign(ckt, split.subset, copt);
 
     // Merge in revision order.  Nominal run, kernel-cost aggregates and
     // batch counters describe the work this run actually performed.
     std::map<int, const FaultSimResult*> sub_by_id;
-    for (const FaultSimResult& r : sub.results) sub_by_id.emplace(r.fault_id, &r);
+    for (const FaultSimResult& r : sub.results)
+        sub_by_id.emplace(r.fault_id, &r);
     std::vector<FaultSimResult> merged;
     merged.reserve(revision.size());
     for (const lift::Fault& f : revision.faults) {
-        const auto carried_it = carried_by_id.find(f.id);
-        if (carried_it != carried_by_id.end()) {
+        const auto carried_it = split.carried_by_id.find(f.id);
+        if (carried_it != split.carried_by_id.end()) {
             merged.push_back(carried_it->second);
             continue;
         }
@@ -157,16 +182,114 @@ IncrementalResult run_incremental_campaign(const Circuit& ckt,
     return res;
 }
 
-std::string incremental_summary(const IncrementalResult& res) {
+IncrementalAcResult run_incremental_ac_campaign(
+    const Circuit& ckt, const lift::FaultList& baseline,
+    const lift::FaultList& revision, const IncrementalAcOptions& opt) {
+    IncrementalAcResult res;
+    require(!(opt.campaign.resume && opt.campaign.result_store.empty()),
+            "incremental ac campaign: resume needs a merged store path");
+
+    CarrySplit split =
+        split_for_carry(baseline, revision, opt.rel_tol, opt.baseline_store,
+                        ac_campaign_manifest(ckt, baseline, opt.campaign));
+    res.inc = split.inc;
+
+    AcCampaignOptions copt = opt.campaign;
+    if (!copt.result_store.empty()) {
+        const std::uint64_t manifest =
+            ac_campaign_manifest(ckt, revision, opt.campaign);
+        seed_merged_store(copt.result_store, manifest, opt.campaign.resume,
+                          split.carried_by_id);
+        copt.resume = true;
+        copt.manifest_override = manifest;
+    }
+
+    AcCampaignResult sub = run_ac_campaign(ckt, split.subset, copt);
+
+    std::map<int, const AcFaultResult*> sub_by_id;
+    for (const AcFaultResult& r : sub.results)
+        sub_by_id.emplace(r.fault_id, &r);
+    std::vector<AcFaultResult> merged;
+    merged.reserve(revision.size());
+    for (const lift::Fault& f : revision.faults) {
+        const auto carried_it = split.carried_by_id.find(f.id);
+        if (carried_it != split.carried_by_id.end()) {
+            merged.push_back(ac_from_record(carried_it->second));
+            continue;
+        }
+        const auto it = sub_by_id.find(f.id);
+        require(it != sub_by_id.end(),
+                "incremental ac campaign: missing result for fault " +
+                    std::to_string(f.id));
+        merged.push_back(*it->second);
+    }
+    res.campaign = std::move(sub);
+    res.campaign.results = std::move(merged);
+    return res;
+}
+
+IncrementalDcResult run_incremental_dc_screen(const Circuit& ckt,
+                                              const lift::FaultList& baseline,
+                                              const lift::FaultList& revision,
+                                              const IncrementalDcOptions& opt) {
+    IncrementalDcResult res;
+    require(!(opt.campaign.resume && opt.campaign.result_store.empty()),
+            "incremental dc screen: resume needs a merged store path");
+
+    CarrySplit split =
+        split_for_carry(baseline, revision, opt.rel_tol, opt.baseline_store,
+                        dc_screen_manifest(ckt, baseline, opt.campaign));
+    res.inc = split.inc;
+
+    DcScreenOptions copt = opt.campaign;
+    if (!copt.result_store.empty()) {
+        const std::uint64_t manifest =
+            dc_screen_manifest(ckt, revision, opt.campaign);
+        seed_merged_store(copt.result_store, manifest, opt.campaign.resume,
+                          split.carried_by_id);
+        copt.resume = true;
+        copt.manifest_override = manifest;
+    }
+
+    DcScreenResult sub = run_dc_screen(ckt, split.subset, copt);
+
+    std::map<int, const DcFaultResult*> sub_by_id;
+    for (const DcFaultResult& r : sub.results)
+        sub_by_id.emplace(r.fault_id, &r);
+    std::vector<DcFaultResult> merged;
+    merged.reserve(revision.size());
+    for (const lift::Fault& f : revision.faults) {
+        const auto carried_it = split.carried_by_id.find(f.id);
+        if (carried_it != split.carried_by_id.end()) {
+            merged.push_back(dc_from_record(carried_it->second));
+            continue;
+        }
+        const auto it = sub_by_id.find(f.id);
+        require(it != sub_by_id.end(),
+                "incremental dc screen: missing result for fault " +
+                    std::to_string(f.id));
+        merged.push_back(*it->second);
+    }
+    res.campaign = std::move(sub);
+    res.campaign.results = std::move(merged);
+    return res;
+}
+
+std::string incremental_summary(const IncrementalStats& inc,
+                                std::size_t total) {
     std::ostringstream os;
-    os << "incremental: carried " << res.inc.carried << "/"
-       << res.campaign.results.size() << ", resimulated "
-       << res.inc.resimulated << " (added " << res.inc.added << ", changed "
-       << res.inc.probability_changed << "), removed " << res.inc.removed;
-    if (!res.inc.carry_block_reason.empty())
-        os << " [carry disabled: " << res.inc.carry_block_reason << "]";
+    os << "incremental: carried " << inc.carried << "/" << total
+       << ", resimulated " << inc.resimulated << " (added " << inc.added
+       << ", changed " << inc.probability_changed << "), removed "
+       << inc.removed;
+    if (!inc.carry_block_reason.empty())
+        os << " [carry disabled: " << inc.carry_block_reason << "]";
     os << "\n";
     return os.str();
+}
+
+std::string incremental_summary(const IncrementalResult& res) {
+    return incremental_summary(res.inc, res.campaign.results.size());
 }
 
 } // namespace catlift::anafault

@@ -11,16 +11,24 @@
 // to a cold full campaign on the revision -- and that serves as the
 // baseline store of the *next* revision.
 //
+// All three campaign runners dispatch through the same diff + store
+// machinery: run_incremental_campaign drives the transient runner,
+// run_incremental_ac_campaign the AC sweep, run_incremental_dc_screen the
+// DC screen (each bound to its own manifest hash, so a transient store can
+// never feed an AC carry).
+//
 // Carry-over safety: a baseline verdict is only reused when the baseline
-// store's manifest reproduces campaign_manifest(ckt, baseline_faults, opt)
-// -- i.e. the store was written by this exact circuit, fault list, analysis
-// grid and numeric/kernel knob set.  Any mismatch (edited deck, different
+// store's manifest reproduces the baseline campaign's manifest hash --
+// i.e. the store was written by this exact circuit, fault list, analysis
+// axis and numeric/kernel knob set.  Any mismatch (edited deck, different
 // tolerances, another kernel configuration, foreign/older store) disables
 // carrying entirely and the full revision list is resimulated.
 
 #pragma once
 
+#include "anafault/ac_campaign.h"
 #include "anafault/campaign.h"
+#include "anafault/dc_campaign.h"
 
 #include <cstddef>
 #include <string>
@@ -38,6 +46,19 @@ struct IncrementalOptions {
     /// Relative probability tolerance of the fault-list diff: a fault
     /// whose probability moved by more than this fraction is resimulated
     /// even though its electrical signature is unchanged.
+    double rel_tol = 0.05;
+};
+
+/// AC / DC variants: the same diff + store machinery with the analysis'
+/// own campaign options and manifest.
+struct IncrementalAcOptions {
+    AcCampaignOptions campaign;
+    std::string baseline_store;
+    double rel_tol = 0.05;
+};
+struct IncrementalDcOptions {
+    DcScreenOptions campaign;
+    std::string baseline_store;
     double rel_tol = 0.05;
 };
 
@@ -67,20 +88,42 @@ struct IncrementalResult {
     CampaignResult campaign;
     IncrementalStats inc;
 };
+struct IncrementalAcResult {
+    AcCampaignResult campaign;
+    IncrementalStats inc;
+};
+struct IncrementalDcResult {
+    DcScreenResult campaign;
+    IncrementalStats inc;
+};
 
 /// Run the revision campaign incrementally against a baseline.
 /// `baseline` must be the fault list the baseline store was written for.
-/// The nominal transient always runs, even when every fault carries: the
-/// merged CampaignResult keeps the full contract (nominal waveforms,
-/// coverage curves) of a cold run, and one nominal per revision is the
-/// irreducible sanity baseline.  Throws catlift::Error on inconsistent
-/// configuration (e.g. resume requested without a merged store path).
+/// The nominal analysis always runs, even when every fault carries: the
+/// merged result keeps the full contract (nominal waveforms / sweep /
+/// operating point, coverage) of a cold run, and one nominal per revision
+/// is the irreducible sanity baseline.  Throws catlift::Error on
+/// inconsistent configuration (e.g. resume requested without a merged
+/// store path).
 IncrementalResult run_incremental_campaign(const netlist::Circuit& ckt,
                                            const lift::FaultList& baseline,
                                            const lift::FaultList& revision,
                                            const IncrementalOptions& opt);
 
+/// The AC campaign run incrementally against a baseline AC store.
+IncrementalAcResult run_incremental_ac_campaign(
+    const netlist::Circuit& ckt, const lift::FaultList& baseline,
+    const lift::FaultList& revision, const IncrementalAcOptions& opt);
+
+/// The DC screen run incrementally against a baseline DC store.
+IncrementalDcResult run_incremental_dc_screen(const netlist::Circuit& ckt,
+                                              const lift::FaultList& baseline,
+                                              const lift::FaultList& revision,
+                                              const IncrementalDcOptions& opt);
+
 /// One-line counter summary ("carried 52/64, resimulated 12, ...").
 std::string incremental_summary(const IncrementalResult& res);
+std::string incremental_summary(const IncrementalStats& inc,
+                                std::size_t total);
 
 } // namespace catlift::anafault

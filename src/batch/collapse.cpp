@@ -77,13 +77,6 @@ std::vector<CollapsedClass> singleton_classes(std::size_t n) {
     return classes;
 }
 
-std::vector<char> representative_mask(
-    const std::vector<CollapsedClass>& classes, std::size_t n) {
-    std::vector<char> mask(n, 0);
-    for (const CollapsedClass& c : classes) mask[c.representative] = 1;
-    return mask;
-}
-
 std::vector<Job> class_jobs(
     const std::vector<CollapsedClass>& classes,
     const std::function<double(std::size_t)>& probability) {

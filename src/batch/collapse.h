@@ -57,34 +57,14 @@ std::vector<CollapsedClass> collapse_by_signature(
 /// One class per index -- the shape of a campaign with collapsing off.
 std::vector<CollapsedClass> singleton_classes(std::size_t n);
 
-/// mask[m] != 0 iff m is the representative of its class.  Campaigns use
-/// this to keep per-kernel counters on the representative when run_classes
-/// fans a verdict out to every member (the representative included).
-std::vector<char> representative_mask(
-    const std::vector<CollapsedClass>& classes, std::size_t n);
-
 /// Scheduler jobs for a class list: one job per class, priority = the
 /// best probability among its members (most likely fault first).
+/// Every campaign runner (tran, AC, DC) drives these jobs through its own
+/// resume-aware class loop: skip classes whose members are all satisfied
+/// by the result store, simulate the first unfinished member as the
+/// representative, fan the verdict out, persist each record.
 std::vector<Job> class_jobs(
     const std::vector<CollapsedClass>& classes,
     const std::function<double(std::size_t)>& probability);
-
-/// The collapse-and-fan-out orchestration shared by the AC and DC
-/// campaigns: simulate each class representative once (scheduled by
-/// priority) and assign results[m] = fan_out(verdict, m) to every member.
-/// Member slots of distinct classes are disjoint, so workers never race.
-/// Returns the scheduler's execution counters so campaigns can report them.
-template <typename Result, typename Simulate, typename FanOut>
-SchedulerStats run_classes(const Scheduler& scheduler,
-                           const std::vector<CollapsedClass>& classes,
-                           const std::vector<Job>& jobs,
-                           std::vector<Result>& results,
-                           const Simulate& simulate, const FanOut& fan_out) {
-    return scheduler.run(jobs, [&](std::size_t c) {
-        const Result verdict = simulate(classes[c].representative);
-        for (std::size_t m : classes[c].members)
-            results[m] = fan_out(verdict, m);
-    });
-}
 
 } // namespace catlift::batch

@@ -25,10 +25,13 @@ constexpr std::uint32_t kMagic = 0x42544143u;  // "CATB"
 // adaptive transient kernel's counters).
 // v3: bypass_solves + sparse_refactors appended (the incremental-kernel
 // counters).
-// v4: carried appended (cross-revision carry-over provenance).  Any
+// v4: carried appended (cross-revision carry-over provenance).
+// v5: device_stamp_skips + symbolic_cache_hits + ordering_seconds (the
+// campaign-shared symbolic kernel's counters) and metric (the AC/DC
+// campaigns' detection metric, now that those runners persist too).  Any
 // older-version store is treated as foreign and restarted, like any other
 // manifest mismatch.
-constexpr std::uint32_t kVersion = 4;
+constexpr std::uint32_t kVersion = 5;
 
 template <typename T>
 void put(std::string& buf, const T& v) {
@@ -82,6 +85,11 @@ std::string encode(const FaultSimResult& r) {
     put(p, static_cast<std::uint64_t>(r.bypass_solves));
     put(p, static_cast<std::uint64_t>(r.sparse_refactors));
     put(p, static_cast<std::uint8_t>(r.carried ? 1 : 0));
+    put(p, static_cast<std::uint64_t>(r.device_stamp_skips));
+    put(p, static_cast<std::uint64_t>(r.symbolic_cache_hits));
+    put(p, r.ordering_seconds);
+    put(p, r.numeric_seconds);
+    put(p, r.metric);
     put_str(p, r.description);
     put_str(p, r.error);
     return p;
@@ -93,12 +101,14 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     std::uint8_t simulated = 0, has_detect = 0, carried = 0;
     double detect = 0.0;
     std::uint64_t nr = 0, msize = 0, saved = 0, integrated = 0, interp = 0;
-    std::uint64_t bypass = 0, refactors = 0;
+    std::uint64_t bypass = 0, refactors = 0, dskips = 0, cache_hits = 0;
     if (!rd.get(id) || !rd.get(simulated) || !rd.get(has_detect) ||
         !rd.get(detect) || !rd.get(r.probability) || !rd.get(r.sim_seconds) ||
         !rd.get(nr) || !rd.get(msize) || !rd.get(saved) ||
         !rd.get(integrated) || !rd.get(interp) || !rd.get(bypass) ||
-        !rd.get(refactors) || !rd.get(carried) ||
+        !rd.get(refactors) || !rd.get(carried) || !rd.get(dskips) ||
+        !rd.get(cache_hits) || !rd.get(r.ordering_seconds) ||
+        !rd.get(r.numeric_seconds) || !rd.get(r.metric) ||
         !rd.get_str(r.description) || !rd.get_str(r.error))
         return false;
     r.fault_id = id;
@@ -112,6 +122,8 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     r.bypass_solves = static_cast<std::size_t>(bypass);
     r.sparse_refactors = static_cast<std::size_t>(refactors);
     r.carried = carried != 0;
+    r.device_stamp_skips = static_cast<std::size_t>(dskips);
+    r.symbolic_cache_hits = static_cast<std::size_t>(cache_hits);
     return rd.pos == payload.size();
 }
 

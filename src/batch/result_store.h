@@ -55,6 +55,19 @@ struct FaultSimResult {
     /// incremental cross-revision engine instead of being simulated in the
     /// campaign that wrote this record (v4 stores persist the flag).
     bool carried = false;
+    /// Campaign-shared symbolic kernel (v5): MOS evaluations skipped by the
+    /// per-device bypass, whether this kernel build adopted the campaign's
+    /// shared elimination order, and the sparse time split (one-time
+    /// analyses vs pattern-reused refactors).
+    std::size_t device_stamp_skips = 0;
+    std::size_t symbolic_cache_hits = 0;
+    double ordering_seconds = 0.0;
+    double numeric_seconds = 0.0;
+    /// Analysis-specific detection metric (v5): worst dB deviation for an
+    /// AC campaign record, worst |dV| for a DC screen record, unused (0)
+    /// for transient records -- detect_time likewise holds the analysis'
+    /// own coordinate (seconds / hertz / 0-at-detection respectively).
+    double metric = 0.0;
 };
 
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;

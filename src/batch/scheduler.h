@@ -62,6 +62,16 @@ struct BatchStats {
                                        ///< previous factorization outright
     std::size_t sparse_refactors = 0;  ///< pattern-reused numeric
                                        ///< refactorizations (0 when dense)
+    std::size_t device_stamp_skips = 0; ///< MOS evaluations skipped by the
+                                        ///< per-device bypass
+    // -- campaign-shared symbolic kernel ------------------------------------
+    std::size_t symbolic_cache_hits = 0; ///< faulty kernel builds that
+                                         ///< adopted the nominal circuit's
+                                         ///< elimination order (denominator:
+                                         ///< `scheduled`)
+    double ordering_seconds = 0.0;  ///< sparse one-time analyses (ordering +
+                                    ///< fill discovery) across all kernels
+    double numeric_seconds = 0.0;   ///< sparse pattern-reused refactor time
     // -- AC campaign --------------------------------------------------------
     std::size_t freq_points_saved = 0; ///< sweep points skipped by dB abort
     // -- DC campaign / sweeps -----------------------------------------------

@@ -1,0 +1,75 @@
+#include "circuits/oscgrid.h"
+
+#include "circuits/vco.h"
+
+namespace catlift::circuits {
+
+using netlist::Circuit;
+using netlist::SourceSpec;
+
+std::string grid_node(int r, int c, int s) {
+    std::string n = "g";
+    n += std::to_string(r);
+    n += '_';
+    n += std::to_string(c);
+    n += '_';
+    n += std::to_string(s);
+    return n;
+}
+
+Circuit build_oscillator_grid(const OscGridOptions& opt) {
+    require(opt.rows >= 1 && opt.cols >= 1,
+            "build_oscillator_grid: grid must be at least 1x1");
+    require(opt.stages >= 3 && opt.stages % 2 == 1,
+            "build_oscillator_grid: stages must be odd and >= 3");
+    Circuit ckt;
+    ckt.title = "coupled oscillator grid " + std::to_string(opt.rows) + "x" +
+                std::to_string(opt.cols) + " x" + std::to_string(opt.stages);
+    ckt.add_model(standard_nmos());
+    ckt.add_model(standard_pmos());
+
+    constexpr double L = 2e-6;
+    for (int r = 0; r < opt.rows; ++r) {
+        for (int c = 0; c < opt.cols; ++c) {
+            const int cell = r * opt.cols + c;
+            const std::string id = std::to_string(r) + "_" + std::to_string(c);
+            for (int s = 0; s < opt.stages; ++s) {
+                const std::string in = grid_node(r, c, s);
+                const std::string out = grid_node(r, c, (s + 1) % opt.stages);
+                // Deterministic per-(cell, stage) width spread breaks the
+                // array's symmetric metastable mode; period-11 pattern as
+                // in the 1-D ring.
+                const double spread =
+                    1.0 + 0.008 * static_cast<double>(
+                                      ((cell * 7 + s) * 37) % 11 - 5);
+                const std::string sfx = id + "_" + std::to_string(s);
+                ckt.add_mosfet("MP" + sfx, out, in, "vdd", "vdd", "pm",
+                               20e-6 * spread, L);
+                ckt.add_mosfet("MN" + sfx, out, in, "0", "0", "nm",
+                               10e-6 * spread, L);
+                ckt.add_capacitor("CL" + sfx, out, "0", opt.cload);
+            }
+            // Nearest-neighbour coupling between stage-0 nodes: east and
+            // south, so every interior cell couples to four neighbours.
+            if (c + 1 < opt.cols)
+                ckt.add_resistor("RE" + id, grid_node(r, c, 0),
+                                 grid_node(r, c + 1, 0), opt.r_couple);
+            if (r + 1 < opt.rows)
+                ckt.add_resistor("RS" + id, grid_node(r, c, 0),
+                                 grid_node(r + 1, c, 0), opt.r_couple);
+        }
+    }
+
+    if (opt.with_sources) {
+        // Supply activation at t=0, as in the paper's VCO experiment.
+        ckt.add_vsource("VDD", "vdd", "0",
+                        SourceSpec::make_pulse(0.0, opt.vdd, 0.0,
+                                               opt.supply_ramp,
+                                               opt.supply_ramp, 1.0, 2.0));
+        ckt.tran = netlist::TranSpec{2.5e-9, 1e-6, 0.0};
+        ckt.save_nodes = {grid_node(0, 0, 0)};
+    }
+    return ckt;
+}
+
+} // namespace catlift::circuits

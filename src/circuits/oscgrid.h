@@ -1,0 +1,46 @@
+// catlift/circuits/oscgrid.h
+//
+// Parameterizable 2-D grid of coupled CMOS ring oscillators: the
+// 10k-unknown kernel workload.  The 1-D ring (ringosc.h) grows the MNA
+// system linearly but its matrix stays tridiagonal-ish; real layouts
+// couple in two dimensions, which is what makes fill-reducing orderings
+// earn their keep (a banded ordering of a 2-D grid fills O(n^1.5), a
+// minimum-degree one stays near O(n log n)).  Each grid cell is a small
+// ring oscillator; nearest-neighbour cells are coupled through resistors
+// between their stage-0 nodes, so the whole array is one electrically
+// connected sheet of interacting oscillators -- every stage switches,
+// keeping the Newton iteration count per step realistic.
+//
+// Like the 1-D ring, cell widths carry a small deterministic per-cell
+// perturbation so the array breaks out of its metastable symmetric mode
+// by itself, and every stage sees an explicit load capacitor.
+
+#pragma once
+
+#include "netlist/netlist.h"
+
+#include <string>
+
+namespace catlift::circuits {
+
+struct OscGridOptions {
+    int rows = 8;               ///< grid rows; >= 1
+    int cols = 8;               ///< grid columns; >= 1
+    int stages = 3;             ///< ring stages per cell; odd and >= 3
+    double vdd = 5.0;           ///< supply [V]
+    double cload = 15e-15;      ///< per-stage load capacitor [F]
+    double r_couple = 50e3;     ///< nearest-neighbour coupling resistor [Ohm]
+    double supply_ramp = 20e-9; ///< VDD activation ramp [s]
+    bool with_sources = true;   ///< include the VDD source + .tran card
+};
+
+/// Build the rows x cols grid.  Cell (r, c)'s ring runs on nodes
+/// grid_node(r, c, 0..stages-1); stage s drives stage (s+1) mod stages.
+/// Unknown count = rows*cols*stages + 2 (vdd node + VDD branch) with
+/// sources included.
+netlist::Circuit build_oscillator_grid(const OscGridOptions& opt = {});
+
+/// Name of stage `s` of cell (r, c): "g<r>_<c>_<s>".
+std::string grid_node(int r, int c, int s);
+
+} // namespace catlift::circuits

@@ -166,19 +166,23 @@ void Simulator::build_kernel() {
         m.s_ss = add_site(m.s, m.s);
     }
 
-    // Nonlinear-device terminal nodes: the bypass test watches these.
-    nl_nodes_.clear();
-    for (const MosInstance& m : mos_)
-        for (int nd : {m.d, m.g, m.s})
-            if (nd >= 0) nl_nodes_.push_back(nd);
-    std::sort(nl_nodes_.begin(), nl_nodes_.end());
-    nl_nodes_.erase(std::unique(nl_nodes_.begin(), nl_nodes_.end()),
-                    nl_nodes_.end());
-
     // Backend selection and the site -> value-slot lookup table.
     sparse_ = n > 0 && n >= opt_.sparse_threshold;
     if (sparse_) {
+        slu_.set_ordering(opt_.ordering);
         slot_lut_ = slu_.analyze(n, sites_);
+        // Campaign-shared symbolic analysis: adopt the nominal circuit's
+        // elimination order (patched with this circuit's injected
+        // unknowns at the end) instead of running minimum degree here.
+        // After analyze(), which defines the pattern the order is
+        // validated against.
+        if (opt_.ordering == SparseOrdering::Amd && opt_.symbolic_cache) {
+            preorder_cols_ = cache_order();
+            if (!preorder_cols_.empty()) {
+                slu_.set_preorder(preorder_cols_);
+                ++stats_.symbolic_cache_hits;
+            }
+        }
         vals_size_ = slu_.nnz();
         svals_static_.assign(vals_size_, 0.0);
         svals_work_.assign(vals_size_, 0.0);
@@ -196,7 +200,75 @@ void Simulator::build_kernel() {
     rhs_mos_.assign(n, 0.0);
     rhs_.assign(n, 0.0);
     x_new_.assign(n, 0.0);
-    x_jac_.assign(n, 0.0);
+}
+
+std::string Simulator::unknown_name(std::size_t i) const {
+    if (i < n_nodes_) return node_names_[i];
+    return "b:" + ckt_.devices[vsource_devs_[i - n_nodes_]].name;
+}
+
+std::vector<int> Simulator::cache_order() const {
+    const SymbolicCache& cache = *opt_.symbolic_cache;
+    if (cache.rank.empty()) return {};
+    const std::size_t n = n_nodes_ + n_branches_;
+    // Sort unknowns by cached rank; unknowns the injection created (split
+    // nodes, injected source branches) have no cached rank and sort last,
+    // in index order -- eliminating them at the end bounds the extra fill
+    // to their couple of coupling entries.
+    const int kNoRank = std::numeric_limits<int>::max();
+    std::vector<std::pair<int, int>> keyed(n);
+    std::size_t matched = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto it = cache.rank.find(unknown_name(i));
+        if (it != cache.rank.end()) ++matched;
+        keyed[i] = {it == cache.rank.end() ? kNoRank : it->second,
+                    static_cast<int>(i)};
+    }
+    // A cache from a different circuit matches few or no unknowns; the
+    // resulting order would be the (arbitrary) index order, with the
+    // catastrophic fill a fill-reducing ordering exists to avoid.  Only
+    // adopt the cache when it covers most of this circuit's unknowns --
+    // a faulty variant of the cached circuit always does.
+    if (2 * matched <= n) return {};
+    std::sort(keyed.begin(), keyed.end());
+    std::vector<int> order(n);
+    for (std::size_t k = 0; k < n; ++k) order[k] = keyed[k].second;
+    return order;
+}
+
+std::shared_ptr<const SymbolicCache> Simulator::symbolic_cache() const {
+    if (!sparse_) return nullptr;
+    const std::vector<int> order = slu_.column_order();
+    if (order.size() != n_nodes_ + n_branches_) return nullptr;
+    auto cache = std::make_shared<SymbolicCache>();
+    for (std::size_t k = 0; k < order.size(); ++k)
+        cache->rank[unknown_name(static_cast<std::size_t>(order[k]))] =
+            static_cast<int>(k);
+    return cache;
+}
+
+SimStats stats_delta(const SimStats& now, const SimStats& base) {
+    SimStats d = now;
+    d.nr_iterations -= base.nr_iterations;
+    d.lu_factorizations -= base.lu_factorizations;
+    d.tran_steps -= base.tran_steps;
+    d.step_cuts -= base.step_cuts;
+    d.steps_saved -= base.steps_saved;
+    d.grid_points_interpolated -= base.grid_points_interpolated;
+    d.lte_rejections -= base.lte_rejections;
+    d.ac_points -= base.ac_points;
+    d.ac_points_saved -= base.ac_points_saved;
+    d.warm_start_solves -= base.warm_start_solves;
+    d.nr_saved_warm -= base.nr_saved_warm;
+    d.bypass_solves -= base.bypass_solves;
+    d.sparse_full_factors -= base.sparse_full_factors;
+    d.sparse_refactors -= base.sparse_refactors;
+    d.device_stamps -= base.device_stamps;
+    d.device_stamp_skips -= base.device_stamp_skips;
+    d.symbolic_cache_hits -= base.symbolic_cache_hits;
+    d.ordering_seconds -= base.ordering_seconds;
+    d.numeric_seconds -= base.numeric_seconds;
+    return d;
 }
 
 // ---------------------------------------------------------------------------
@@ -288,7 +360,23 @@ void Simulator::build_rhs_base(bool dc, double h, double t,
     }
 }
 
-void Simulator::stamp_dynamic(const std::vector<double>& x) {
+bool Simulator::device_moved(const MosInstance& m,
+                             const std::vector<double>& x,
+                             double tol) const {
+    const double vd = volt(x, m.d), vg = volt(x, m.g), vs = volt(x, m.s);
+    return std::fabs(vd - m.lin_vd) >
+               tol * std::max(1.0, std::fabs(m.lin_vd)) ||
+           std::fabs(vg - m.lin_vg) >
+               tol * std::max(1.0, std::fabs(m.lin_vg)) ||
+           std::fabs(vs - m.lin_vs) >
+               tol * std::max(1.0, std::fabs(m.lin_vs));
+}
+
+void Simulator::invalidate_device_stamps() {
+    for (MosInstance& m : mos_) m.lin_valid = false;
+}
+
+void Simulator::stamp_dynamic(const std::vector<double>& x, bool fresh) {
     double* vw = sparse_ ? svals_work_.data() : a_work_.data();
     const double* vs = sparse_ ? svals_static_.data() : a_static_.data();
     std::copy(vs, vs + vals_size_, vw);
@@ -303,50 +391,76 @@ void Simulator::stamp_dynamic(const std::vector<double>& x) {
         if (site >= 0) vw[slot_lut_[static_cast<std::size_t>(site)]] += v;
     };
 
-    for (const MosInstance& m : mos_) {
-        const double sign = m.model->is_nmos ? 1.0 : -1.0;
-        const double vd = volt(x, m.d), vg = volt(x, m.g), vs_ = volt(x, m.s);
-        double vdn = sign * vd, vgn = sign * vg, vsn = sign * vs_;
-        int ed = m.d, es = m.s;
-        bool swapped = false;
-        if (vdn < vsn) {
-            std::swap(vdn, vsn);
-            std::swap(ed, es);
-            swapped = true;
-        }
-        const Mos1Point p =
-            mos1_eval_normalized(*m.model, m.w, m.l, vgn - vsn, vdn - vsn);
-        // Real-space quantities referenced to the *effective* source.
-        const double i0 = sign * p.id;  // current into effective drain
-        const double v_es = volt(x, es);
-        const double vgs_r = volt(x, m.g) - v_es;
-        const double vds_r = volt(x, ed) - v_es;
-        const double ieq = i0 - p.gm * vgs_r - p.gds * vds_r;
+    for (MosInstance& m : mos_) {
+        // Per-device bypass: a device whose terminals stayed within
+        // bypass_tol of its linearization replays the cached stamp in the
+        // same add order as a fresh evaluation -- the model evaluation
+        // (the per-device cost) is skipped; the approximation is exactly
+        // the modified-Newton one the all-or-nothing bypass made, applied
+        // per device instead of globally.
+        const bool evaluate = fresh || !opt_.bypass || !m.lin_valid ||
+                              device_moved(m, x, opt_.device_bypass_tol);
+        if (evaluate) {
+            const double sign = m.model->is_nmos ? 1.0 : -1.0;
+            const double vd = volt(x, m.d), vg = volt(x, m.g),
+                         vs_ = volt(x, m.s);
+            double vdn = sign * vd, vgn = sign * vg, vsn = sign * vs_;
+            int ed = m.d, es = m.s;
+            bool swapped = false;
+            if (vdn < vsn) {
+                std::swap(vdn, vsn);
+                std::swap(ed, es);
+                swapped = true;
+            }
+            const Mos1Point p =
+                mos1_eval_normalized(*m.model, m.w, m.l, vgn - vsn, vdn - vsn);
+            // Real-space quantities referenced to the *effective* source.
+            const double i0 = sign * p.id;  // current into effective drain
+            const double v_es = volt(x, es);
+            const double vgs_r = volt(x, m.g) - v_es;
+            const double vds_r = volt(x, ed) - v_es;
 
-        // Stamp sites for the (effective drain, effective source) rows:
-        // when the device operates reversed, the drain-row values land on
-        // the source-row sites and vice versa.
-        const int c_dd = swapped ? m.s_ss : m.s_dd;
-        const int c_dg = swapped ? m.s_sg : m.s_dg;
-        const int c_ds = swapped ? m.s_sd : m.s_ds;
-        const int c_ss = swapped ? m.s_dd : m.s_ss;
-        const int c_sg = swapped ? m.s_dg : m.s_sg;
-        const int c_sd = swapped ? m.s_ds : m.s_sd;
+            // Stamp sites for the (effective drain, effective source)
+            // rows: when the device operates reversed, the drain-row
+            // values land on the source-row sites and vice versa.
+            m.c_dd = swapped ? m.s_ss : m.s_dd;
+            m.c_dg = swapped ? m.s_sg : m.s_dg;
+            m.c_ds = swapped ? m.s_sd : m.s_ds;
+            m.c_ss = swapped ? m.s_dd : m.s_ss;
+            m.c_sg = swapped ? m.s_dg : m.s_sg;
+            m.c_sd = swapped ? m.s_ds : m.s_sd;
+            m.ed = ed;
+            m.es = es;
+            m.g_dd = p.gds;
+            m.g_dg = p.gm;
+            m.g_ds = -(p.gds + p.gm);
+            m.g_ss = p.gds + p.gm;
+            m.g_sg = -p.gm;
+            m.g_sd = -p.gds;
+            m.ieq = i0 - p.gm * vgs_r - p.gds * vds_r;
+            m.lin_vd = vd;
+            m.lin_vg = vg;
+            m.lin_vs = vs_;
+            m.lin_valid = true;
+            ++stats_.device_stamps;
+        } else {
+            ++stats_.device_stamp_skips;
+        }
 
         // i(ed) = gds*V(ed) + gm*V(g) - (gds+gm)*V(es) + ieq
-        if (ed >= 0) {
-            add(c_dd, p.gds);
-            add(c_dg, p.gm);
-            add(c_ds, -(p.gds + p.gm));
-            rhs_[static_cast<std::size_t>(ed)] -= ieq;
-            rhs_mos_[static_cast<std::size_t>(ed)] -= ieq;
+        if (m.ed >= 0) {
+            add(m.c_dd, m.g_dd);
+            add(m.c_dg, m.g_dg);
+            add(m.c_ds, m.g_ds);
+            rhs_[static_cast<std::size_t>(m.ed)] -= m.ieq;
+            rhs_mos_[static_cast<std::size_t>(m.ed)] -= m.ieq;
         }
-        if (es >= 0) {
-            add(c_ss, p.gds + p.gm);
-            add(c_sg, -p.gm);
-            add(c_sd, -p.gds);
-            rhs_[static_cast<std::size_t>(es)] += ieq;
-            rhs_mos_[static_cast<std::size_t>(es)] += ieq;
+        if (m.es >= 0) {
+            add(m.c_ss, m.g_ss);
+            add(m.c_sg, m.g_sg);
+            add(m.c_sd, m.g_sd);
+            rhs_[static_cast<std::size_t>(m.es)] += m.ieq;
+            rhs_mos_[static_cast<std::size_t>(m.es)] += m.ieq;
         }
         // Weak drain-source leakage keeps switched-off stacks well-posed.
         add(m.s_dd, opt_.gmin);
@@ -355,9 +469,8 @@ void Simulator::stamp_dynamic(const std::vector<double>& x) {
         add(m.s_sd, -opt_.gmin);
     }
 
-    x_jac_ = x;
     jac_key_ = static_key_;
-    // Not yet a valid bypass linearization: newton() marks it valid only
+    // Not yet a valid bypass factorization: newton() marks it valid only
     // once the stamped matrix has actually been factored, so a failed
     // (singular) factorization or a stamp-only caller (the AC setup) can
     // never leave the bypass pointing at a stale or absent factorization.
@@ -369,20 +482,23 @@ bool Simulator::can_bypass(const std::vector<double>& x) const {
     if (!jac_key_.matches(static_key_.dc, static_key_.h,
                           static_key_.extra_gmin, static_key_.method))
         return false;
-    for (const int nd : nl_nodes_) {
-        const auto i = static_cast<std::size_t>(nd);
-        const double vj = x_jac_[i];
-        if (std::fabs(x[i] - vj) >
-            opt_.bypass_tol * std::max(1.0, std::fabs(vj)))
-            return false;
-    }
+    for (const MosInstance& m : mos_)
+        if (!m.lin_valid || device_moved(m, x, opt_.bypass_tol)) return false;
     return true;
+}
+
+void Simulator::sync_sparse_timers() {
+    stats_.ordering_seconds =
+        slu_.ordering_seconds() + cslu_.ordering_seconds();
+    stats_.numeric_seconds = slu_.numeric_seconds() + cslu_.numeric_seconds();
 }
 
 bool Simulator::factor_work() {
     if (sparse_) {
         const std::size_t before_full = slu_.full_factors();
-        if (!slu_.factor(svals_work_)) return false;
+        const bool ok = slu_.factor(svals_work_);
+        sync_sparse_timers();
+        if (!ok) return false;
         if (slu_.full_factors() > before_full)
             ++stats_.sparse_full_factors;
         else
@@ -411,10 +527,12 @@ bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
 
     for (int it = 0; it < max_iter; ++it) {
         if (!opt_.incremental) {
-            // Seed-kernel ablation: forget the static part and the
-            // factorization so every iteration pays the full rebuild.
+            // Seed-kernel ablation: forget the static part, the
+            // factorization and every cached device linearization so
+            // every iteration pays the full rebuild.
             static_key_.valid = false;
             jac_valid_ = false;
+            invalidate_device_stamps();
             ensure_static(dc, h, extra_gmin);
             build_rhs_base(dc, h, t, src_scale);
         }
@@ -631,6 +749,7 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
     require(spec.fstart > 0 && spec.fstop > spec.fstart &&
                 spec.points_per_decade > 0,
             "bad .ac parameters");
+    begin_analysis();
 
     // Operating point.
     const DcResult op = dc_op();
@@ -642,9 +761,12 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
 
     // Small-signal G: exactly the DC Jacobian at the operating point
     // (resistors, source incidence, gmin, MOS gm/gds), produced by the
-    // same static + dynamic stamp split the Newton loop uses.
+    // same static + dynamic stamp split the Newton loop uses.  Every
+    // device is evaluated fresh at x0: a cached linearization from the
+    // operating-point solve sits within bypass_tol of x0 but is not the
+    // Jacobian *at* x0.
     ensure_static(/*dc=*/true, 0.0, 0.0);
-    stamp_dynamic(x0);
+    stamp_dynamic(x0, /*fresh=*/true);
     const double* gv = sparse_ ? svals_work_.data() : a_work_.data();
 
     // AC excitation: every source participates with its ac_mag.
@@ -663,11 +785,23 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
     // Complex backend mirrors the real one: same sites, same slots; the
     // complex pattern analysis runs once, lazily, on the first sweep.
     if (sparse_ && !ac_kernel_ready_) {
+        // The complex backend mirrors the real one's ordering setup so a
+        // campaign-shared preordering covers the AC sweep too.
+        cslu_.set_ordering(opt_.ordering);
         // analyze() is deterministic over the same site list, so the
         // complex solver hands out the same slots as the real one; the
         // check turns any future divergence into a loud failure instead
         // of silently mis-stamped transfer functions.
         const std::vector<int> cslots = cslu_.analyze(n, sites_);
+        if (!preorder_cols_.empty()) {
+            cslu_.set_preorder(preorder_cols_);
+        } else if (opt_.ordering == SparseOrdering::Amd) {
+            // The real backend has already ordered this exact pattern
+            // (the operating point factored above); reuse its pivot
+            // column order instead of running minimum degree twice.
+            const std::vector<int> order = slu_.column_order();
+            if (order.size() == n) cslu_.set_preorder(order);
+        }
         require(cslots == slot_lut_,
                 "ac: complex sparse pattern diverged from the real one");
         cvals_work_.assign(vals_size_, 0.0);
@@ -704,8 +838,9 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
         }
         if (sparse_) {
             const std::size_t before_full = cslu_.full_factors();
-            require(cslu_.factor(cvals_work_),
-                    "ac: singular system at f=" + std::to_string(f));
+            const bool fok = cslu_.factor(cvals_work_);
+            sync_sparse_timers();
+            require(fok, "ac: singular system at f=" + std::to_string(f));
             if (cslu_.full_factors() > before_full)
                 ++stats_.sparse_full_factors;
             else
@@ -738,6 +873,7 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
                           const StepObserver& observer) {
     require(spec.tstep > 0 && spec.tstop > spec.tstart,
             "bad .tran parameters");
+    begin_analysis();
     const std::size_t n = n_nodes_ + n_branches_;
     std::vector<double> x(n, 0.0);
 

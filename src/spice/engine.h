@@ -55,18 +55,24 @@
 //    of the static values; no device-loop node lookups in the hot path.
 // The linear solve runs on one of two backends behind the same stamp
 // slots: dense LU (matrix.h) below SimOptions::sparse_threshold unknowns,
-// sparse LU (sparse.h) above it -- one-time Markowitz ordering, every
-// later factorization a pattern-reused numeric refactor.  The AC sweep
-// shares the machinery with complex values: the G pattern is stamped
-// once, per frequency only the capacitor cells change, and above the
-// threshold each point is a sparse refactor instead of a dense O(n^3)
-// factorization.  All Newton workspaces (matrix values, rhs, solution,
-// solver) are Simulator-owned and preallocated: the hot path performs no
-// heap allocation.  A modified-Newton bypass reuses the previous
-// factorization outright when every MOS terminal voltage moved less than
-// bypass_tol since the Jacobian was stamped (SimStats::bypass_solves),
-// which collapses quiescent transient tails to two triangular solves per
-// step.
+// sparse LU (sparse.h) above it -- a one-time analysis (minimum-degree
+// preordering + Gilbert-Peierls fill discovery on the Amd path, dynamic
+// Markowitz ordering on the historical one), every later factorization a
+// pattern-reused supernodal numeric refactor.  A campaign hands every
+// faulty variant the nominal circuit's elimination order through
+// SimOptions::symbolic_cache so the one-time analysis runs once per
+// campaign instead of once per fault.  The AC sweep shares the machinery
+// with complex values: the G pattern is stamped once, per frequency only
+// the capacitor cells change, and above the threshold each point is a
+// sparse refactor instead of a dense O(n^3) factorization.  All Newton
+// workspaces (matrix values, rhs, solution, solver) are Simulator-owned
+// and preallocated: the hot path performs no heap allocation.  The
+// modified-Newton bypass is *per device*: a MOS whose terminals stayed
+// within device_bypass_tol of its linearization replays its cached
+// companion stamp instead of being re-evaluated, and when every device is
+// clean the previous factorization is reused outright
+// (SimStats::bypass_solves), which collapses quiescent transient tails to
+// two triangular solves per step.
 //
 // Observers
 // ---------
@@ -84,10 +90,12 @@
 #include "spice/ac.h"
 #include "spice/matrix.h"
 #include "spice/sparse.h"
+#include "spice/symbolic_cache.h"
 #include "spice/waveform.h"
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -130,16 +138,47 @@ struct SimOptions {
     /// seed kernel's work profile so speedups are measured against it
     /// within one run.  Always leave true in production.
     bool incremental = true;
-    /// Modified-Newton Jacobian bypass: when every MOS terminal voltage
-    /// moved less than bypass_tol * max(1 V, |v|) since the Jacobian was
-    /// stamped (and the companion stepsize is unchanged), skip the device
-    /// re-evaluation and reuse the previous factorization -- the solve is
-    /// two triangular substitutions.  The converged solution is by
-    /// construction within bypass_tol of the linearization point, so
-    /// detection verdicts are unchanged at the default tolerance (pinned
-    /// by the full-VCO-campaign identity test in tests/kernel_test.cpp).
+    /// Modified-Newton Jacobian bypass, *per device*: a MOS whose terminal
+    /// voltages all moved less than bypass_tol * max(1 V, |v|) since its
+    /// linearization keeps its cached companion stamp instead of being
+    /// re-evaluated (SimStats::device_stamp_skips); when every device is
+    /// clean and the companion stepsize is unchanged the previous
+    /// factorization is reused outright and the solve is two triangular
+    /// substitutions (SimStats::bypass_solves).  Each converged solution
+    /// is by construction within bypass_tol of every device's
+    /// linearization point, so detection verdicts are unchanged at the
+    /// default tolerance (pinned by the full-VCO-campaign identity test in
+    /// tests/kernel_test.cpp and the per-device OTA identity test in
+    /// tests/symbolic_test.cpp).
     bool bypass = true;
     double bypass_tol = 1e-7;
+    /// Movement tolerance of the *per-device* stamp reuse, deliberately
+    /// tighter than bypass_tol: a stale device linearization persists for
+    /// as long as the device sits still, so its error accumulates where
+    /// the whole-solve bypass' cannot (the factorization reuse lasts one
+    /// solve).  At 0 a device is replayed only when its terminals are
+    /// *bitwise* unchanged -- the cached stamp then equals a fresh
+    /// evaluation bit for bit, so waveforms are untouched; fault campaigns
+    /// default to that (CampaignOptions), because the VCO's margin-rider
+    /// faults ride the oscillator's truncation error and flip under any
+    /// nonzero device staleness (measured: non-monotonically across
+    /// 1e-12..1e-10).  The raw-kernel default 1e-9 trades that last digit
+    /// for skipping the model evaluation of every settled device.
+    double device_bypass_tol = 1e-9;
+    /// First-factorization strategy of the sparse backend: Amd (a
+    /// fill-reducing minimum-degree preordering + Gilbert-Peierls
+    /// factorization, the path that scales past ~1k unknowns and can adopt
+    /// a campaign-shared symbolic cache) or Markowitz (the historical
+    /// dynamic ordering, kept for ablation benches and as the automatic
+    /// fallback when an order-restricted pivot goes singular).
+    SparseOrdering ordering = SparseOrdering::Amd;
+    /// Campaign-shared symbolic analysis (see spice/symbolic_cache.h):
+    /// when set and the sparse Amd backend is active, the kernel adopts
+    /// the cached elimination order -- nominal unknowns keep their cached
+    /// rank, injected unknowns are appended -- instead of running minimum
+    /// degree itself.  Campaigns harvest it from the nominal simulator
+    /// (Simulator::symbolic_cache()) and hand it to every faulty variant.
+    std::shared_ptr<const SymbolicCache> symbolic_cache;
 };
 
 /// Counters for performance reporting (the source-model vs resistor-model
@@ -172,11 +211,31 @@ struct SimStats {
     /// Newton solves that reused the previous factorization outright
     /// (modified-Newton bypass, SimOptions::bypass).
     std::size_t bypass_solves = 0;
-    /// Sparse kernel: full Markowitz factorizations (ordering + pivoting)
+    /// Sparse kernel: full factorizations (ordering + fill discovery)
     /// vs numeric refactorizations that replayed the recorded pattern.
     std::size_t sparse_full_factors = 0;
     std::size_t sparse_refactors = 0;
+    /// Per-device bypass: MOS companion evaluations actually performed vs
+    /// devices whose cached linearization was replayed because their
+    /// terminals moved less than bypass_tol.
+    std::size_t device_stamps = 0;
+    std::size_t device_stamp_skips = 0;
+    /// Kernel builds that adopted a campaign-shared symbolic cache
+    /// (SimOptions::symbolic_cache) instead of running their own ordering.
+    std::size_t symbolic_cache_hits = 0;
+    /// Sparse kernel wall-time split: one-time analyses (ordering + fill
+    /// discovery, every full factorization) vs pattern-reused numeric
+    /// refactorizations, real and complex backends combined.
+    double ordering_seconds = 0.0;
+    double numeric_seconds = 0.0;
 };
+
+/// Per-analysis counter window: every counter of `now` minus its value in
+/// `base` (sizes and other non-monotonic fields are taken from `now`).
+/// Simulator snapshots its cumulative stats at the top of each tran/AC
+/// analysis so Simulator::analysis_stats() can report that analysis alone
+/// even when one simulator runs a transient and then an AC sweep.
+SimStats stats_delta(const SimStats& now, const SimStats& base);
 
 struct DcResult {
     bool converged = false;
@@ -264,9 +323,25 @@ public:
 
     const SimStats& stats() const { return stats_; }
 
+    /// Counters of the most recent tran/AC analysis alone.  stats() keeps
+    /// accumulating across analyses (campaign aggregation relies on it);
+    /// this is the per-analysis window so a tran-then-AC run on one
+    /// simulator reports each analysis' own sparse/bypass numbers.  An AC
+    /// analysis' window includes the operating-point solve it performs
+    /// internally.
+    SimStats analysis_stats() const { return stats_delta(stats_, analysis_base_); }
+
     /// Number of MNA unknowns (nodes + voltage-source branches).  The source
     /// fault model grows this; the resistor model does not.
     std::size_t unknowns() const { return n_nodes_ + n_branches_; }
+
+    /// Harvest the campaign-shared symbolic analysis from this simulator:
+    /// the elimination rank of every unknown under the recorded sparse
+    /// pivot order, keyed by name.  Returns nullptr when the kernel is
+    /// dense or no sparse factorization has happened yet (run the nominal
+    /// analysis first).  The cache is immutable; hand it to the faulty
+    /// variants through SimOptions::symbolic_cache.
+    std::shared_ptr<const SymbolicCache> symbolic_cache() const;
 
 private:
     struct MosInstance {
@@ -279,6 +354,21 @@ private:
         // receives current.
         int s_dd = -1, s_dg = -1, s_ds = -1;
         int s_sd = -1, s_sg = -1, s_ss = -1;
+        // Cached linearization (per-device bypass): the stamp values this
+        // device contributed last time it was evaluated, with the swap
+        // (reverse operation) already resolved into effective rows/sites,
+        // and the terminal voltages they were computed at.  While every
+        // terminal stays within bypass_tol of the snapshot the cached
+        // values are replayed in the same add order -- no model
+        // evaluation; a fresh evaluation refreshes the cache.
+        bool lin_valid = false;
+        double lin_vd = 0.0, lin_vg = 0.0, lin_vs = 0.0;
+        int c_dd = -1, c_dg = -1, c_ds = -1;  // effective drain-row sites
+        int c_ss = -1, c_sg = -1, c_sd = -1;  // effective source-row sites
+        int ed = -1, es = -1;                 // effective drain/source rows
+        double g_dd = 0.0, g_dg = 0.0, g_ds = 0.0;
+        double g_ss = 0.0, g_sg = 0.0, g_sd = 0.0;
+        double ieq = 0.0;
     };
     struct CapInstance {
         int n1, n2;     // node indices (-1 = ground)
@@ -338,12 +428,33 @@ private:
     void build_rhs_base(bool dc, double h, double t, double src_scale);
     /// Per-iteration dynamic stamp: memcpy static -> work values, then the
     /// MOS companions at candidate x (matrix part into the work array, the
-    /// companion currents into rhs_mos_).  Records x as the bypass
-    /// linearization point.
-    void stamp_dynamic(const std::vector<double>& x);
+    /// companion currents into rhs_mos_).  Devices whose terminals stayed
+    /// within bypass_tol of their cached linearization replay the cached
+    /// stamp instead of re-evaluating (per-device bypass); `fresh` forces
+    /// every device to re-evaluate (the AC setup needs the exact Jacobian
+    /// at the operating point).
+    void stamp_dynamic(const std::vector<double>& x, bool fresh = false);
+    /// True when this device's terminals moved beyond `tol` since its
+    /// cached linearization.
+    bool device_moved(const MosInstance& m, const std::vector<double>& x,
+                      double tol) const;
     /// True when the bypass conditions hold at candidate x (see
-    /// SimOptions::bypass).
+    /// SimOptions::bypass): valid factorization, unchanged static key, and
+    /// an empty dirty-device set.
     bool can_bypass(const std::vector<double>& x) const;
+    /// Drop every device's cached linearization (forces a full re-stamp).
+    void invalidate_device_stamps();
+    /// Elimination order the symbolic cache implies for this circuit's
+    /// unknowns.  Empty -- meaning the kernel runs its own ordering --
+    /// when the cache covers at most half of the unknowns (a cache from a
+    /// different circuit must not degrade the ordering to index order).
+    std::vector<int> cache_order() const;
+    /// Name of MNA unknown i, the symbolic-cache key.
+    std::string unknown_name(std::size_t i) const;
+    /// Copy the sparse backends' time split into stats_.
+    void sync_sparse_timers();
+    /// Snapshot stats_ as the base of a new analysis window.
+    void begin_analysis() { analysis_base_ = stats_; }
     /// Factor the work values on the active backend.
     bool factor_work();
     /// Solve the factored system for rhs_ into x_new_.
@@ -391,7 +502,7 @@ private:
     std::vector<std::pair<int, int>> sites_;  ///< stamp positions (r, c)
     std::vector<int> slot_lut_;        ///< site -> value-array slot
     std::size_t vals_size_ = 0;        ///< dense: n*n; sparse: pattern nnz
-    std::vector<int> nl_nodes_;        ///< MOS terminal nodes (bypass check)
+    std::vector<int> preorder_cols_;   ///< symbolic-cache elimination order
 
     Matrix a_static_, a_work_;         ///< dense backend value arrays
     LuSolver lu_;
@@ -399,12 +510,13 @@ private:
     SparseLu<double> slu_;
 
     StaticKey static_key_;             ///< what the static array was built for
-    bool jac_valid_ = false;           ///< bypass linearization available
+    bool jac_valid_ = false;           ///< bypass factorization available
     StaticKey jac_key_;                ///< static key the Jacobian sits on
-    std::vector<double> x_jac_;        ///< linearization point
     std::vector<double> rhs_base_;     ///< per-solve source + cap rhs
-    std::vector<double> rhs_mos_;      ///< MOS companion currents at x_jac_
+    std::vector<double> rhs_mos_;      ///< MOS companion currents (cached
+                                       ///< per-device linearizations)
     std::vector<double> rhs_, x_new_, x_try_, row_buf_;  ///< hot-path buffers
+    SimStats analysis_base_;           ///< stats_ at the last analysis start
 
     // Complex (AC) backend state, built lazily on the first ac() call.
     bool ac_kernel_ready_ = false;

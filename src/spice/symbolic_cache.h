@@ -1,0 +1,37 @@
+// catlift/spice/symbolic_cache.h
+//
+// Campaign-shared symbolic analysis.  Every faulty circuit of a fault
+// campaign shares almost all structure with the nominal one: a bridge adds
+// one 2x2 coupling block between two existing nodes, an open splits a net
+// into the original node plus one fresh "flt*" node hanging off it.  The
+// expensive part of a kernel build at scale is the fill-reducing ordering
+// (minimum degree over the whole pattern); the ordering of the nominal
+// circuit is therefore computed once per campaign and *patched* for each
+// faulty variant instead of being recomputed: unknowns the nominal circuit
+// already had keep their nominal elimination rank, unknowns the injection
+// created (split nodes, injected source branches) are appended at the end
+// of the order, where their couple of extra entries cost bounded fill.
+// Fill discovery under the patched order is a cheap O(flops) replay inside
+// SparseLu::factor -- the one-time global analysis is amortized across the
+// whole campaign (SimStats::symbolic_cache_hits counts the adoptions).
+//
+// The cache is keyed by unknown *names* (node names plus "b:<source>" for
+// voltage-source branch currents), so it survives the renumbering a
+// mutated netlist implies.  It is immutable after construction and shared
+// read-only across worker threads.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace catlift::spice {
+
+struct SymbolicCache {
+    /// Unknown name -> elimination rank in the nominal pivot order.
+    /// Node unknowns are keyed by node name, branch unknowns by
+    /// "b:" + the voltage source's device name.
+    std::map<std::string, int> rank;
+};
+
+} // namespace catlift::spice

@@ -1,14 +1,17 @@
 // SparseLu tests: randomized equivalence against the dense BasicLu
 // reference (real and complex), pattern-reused refactorization, pivoting
 // on structurally zero diagonals (the MNA voltage-source branch shape),
-// singular detection on both the full-factor and refactor paths, and the
-// in-place dense solve overload.
+// singular detection on both the full-factor and refactor paths, the
+// in-place dense solve overload, and the Amd path (minimum-degree
+// preordering + Gilbert-Peierls factorization + supernodal refactor)
+// against both the dense reference and the Markowitz path.
 
 #include "spice/matrix.h"
 #include "spice/sparse.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <vector>
@@ -16,6 +19,7 @@
 using catlift::spice::BasicLu;
 using catlift::spice::BasicMatrix;
 using catlift::spice::SparseLu;
+using catlift::spice::SparseOrdering;
 
 namespace {
 
@@ -211,6 +215,268 @@ TEST(SparseLu, PivotFloorRespected) {
     vals[static_cast<std::size_t>(slots[1])] = 1e-12;
     EXPECT_TRUE(slu.factor(vals, 1e-15));
     EXPECT_FALSE(slu.factor(vals, 1e-9));
+}
+
+// ---------------------------------------------------------------------------
+// Amd path: minimum-degree preordering + Gilbert-Peierls factorization
+
+TEST(SparseLuAmd, MatchesMarkowitzAndDenseOnRandomSystems) {
+    Rng rng;
+    for (int trial = 0; trial < 25; ++trial) {
+        const int n = 4 + (trial * 5) % 40;
+        auto entries = random_pattern(rng, n, 3 * n);
+        SparseLu<double> amd, mark;
+        amd.set_ordering(SparseOrdering::Amd);
+        const auto slots = amd.analyze(static_cast<std::size_t>(n), entries);
+        const auto mslots =
+            mark.analyze(static_cast<std::size_t>(n), entries);
+        ASSERT_EQ(slots, mslots);  // slot assignment is ordering-independent
+
+        std::vector<double> vals(amd.nnz(), 0.0);
+        BasicMatrix<double> a(static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const double v = rng.signed_uniform();
+            const auto [r, c] = entries[e];
+            vals[static_cast<std::size_t>(slots[e])] += v;
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+        }
+        for (int i = 0; i < n; ++i) {
+            vals[static_cast<std::size_t>(slots[static_cast<std::size_t>(
+                i)])] += 4.0;
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 4.0;
+        }
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (auto& v : b) v = 10.0 * rng.signed_uniform();
+
+        ASSERT_TRUE(amd.factor(vals));
+        ASSERT_TRUE(mark.factor(vals));
+        BasicLu<double> dlu;
+        ASSERT_TRUE(dlu.factor(a));
+        const auto xd = dlu.solve(b);
+        const auto xa = amd.solve_copy(b);
+        const auto xm = mark.solve_copy(b);
+        for (int i = 0; i < n; ++i) {
+            EXPECT_NEAR(xa[static_cast<std::size_t>(i)],
+                        xd[static_cast<std::size_t>(i)], 1e-9)
+                << "amd trial " << trial << " i " << i;
+            EXPECT_NEAR(xm[static_cast<std::size_t>(i)],
+                        xd[static_cast<std::size_t>(i)], 1e-9)
+                << "markowitz trial " << trial << " i " << i;
+        }
+    }
+}
+
+TEST(SparseLuAmd, RefactorReusesPatternAndFallsBackOnPivotFloor) {
+    Rng rng;
+    const int n = 20;
+    auto entries = random_pattern(rng, n, 4 * n);
+    SparseLu<double> slu;
+    slu.set_ordering(SparseOrdering::Amd);
+    const auto slots = slu.analyze(static_cast<std::size_t>(n), entries);
+
+    for (int round = 0; round < 8; ++round) {
+        std::vector<double> vals(slu.nnz(), 0.0);
+        BasicMatrix<double> a(static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const double v = rng.signed_uniform();
+            const auto [r, c] = entries[e];
+            vals[static_cast<std::size_t>(slots[e])] += v;
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+        }
+        for (int i = 0; i < n; ++i) {
+            vals[static_cast<std::size_t>(slots[static_cast<std::size_t>(
+                i)])] += 5.0;
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 5.0;
+        }
+        ASSERT_TRUE(slu.factor(vals));
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (auto& v : b) v = rng.signed_uniform();
+        BasicLu<double> dlu;
+        ASSERT_TRUE(dlu.factor(a));
+        const auto xd = dlu.solve(b);
+        const auto xs = slu.solve_copy(b);
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(xs[static_cast<std::size_t>(i)],
+                        xd[static_cast<std::size_t>(i)], 1e-9);
+    }
+    EXPECT_EQ(slu.full_factors(), 1u);
+    EXPECT_EQ(slu.refactors(), 7u);
+    EXPECT_GT(slu.supernodes(), 0u);
+    EXPECT_GT(slu.ordering_seconds(), 0.0);
+
+    // Values drifting so far that a recorded pivot collapses must fall
+    // back to a fresh full factorization (which re-pivots), not fail or
+    // divide by ~0.  [g 1; 1 0] with g = 1 records the diagonal pivot;
+    // dropping g to 1e-14 kills that pivot but the matrix stays sound.
+    SparseLu<double> vs;
+    vs.set_ordering(SparseOrdering::Amd);
+    const auto vslots = vs.analyze(2, {{0, 0}, {0, 1}, {1, 0}});
+    vs.set_preorder({0, 1});  // eliminate column 0 first: g is the pivot
+    std::vector<double> vvals(vs.nnz(), 0.0);
+    vvals[static_cast<std::size_t>(vslots[0])] = 1.0;
+    vvals[static_cast<std::size_t>(vslots[1])] = 1.0;
+    vvals[static_cast<std::size_t>(vslots[2])] = 1.0;
+    ASSERT_TRUE(vs.factor(vvals, 1e-12));
+    vvals[static_cast<std::size_t>(vslots[0])] = 1e-14;
+    ASSERT_TRUE(vs.factor(vvals, 1e-12));
+    EXPECT_EQ(vs.full_factors(), 2u);  // refactor refused, full re-pivoted
+    const auto x2 = vs.solve_copy({1.0, 5.0});
+    EXPECT_NEAR(1e-14 * x2[0] + x2[1], 1.0, 1e-9);
+    EXPECT_NEAR(x2[0], 5.0, 1e-9);
+}
+
+TEST(SparseLuAmd, PivotsAcrossZeroDiagonal) {
+    // The MNA voltage-source shape under the ordered path: row pivoting
+    // inside Gilbert-Peierls must handle the structurally zero diagonal.
+    SparseLu<double> slu;
+    slu.set_ordering(SparseOrdering::Amd);
+    const auto slots = slu.analyze(2, {{0, 0}, {0, 1}, {1, 0}});
+    std::vector<double> vals(slu.nnz(), 0.0);
+    vals[static_cast<std::size_t>(slots[0])] = 1e-3;  // g
+    vals[static_cast<std::size_t>(slots[1])] = 1.0;
+    vals[static_cast<std::size_t>(slots[2])] = 1.0;
+    ASSERT_TRUE(slu.factor(vals));
+    const auto x = slu.solve_copy({0.0, 5.0});
+    EXPECT_NEAR(x[0], 5.0, 1e-12);
+    EXPECT_NEAR(x[1], -5e-3, 1e-12);
+}
+
+TEST(SparseLuAmd, SingularRejectedOnBothOrderings) {
+    for (const SparseOrdering ord :
+         {SparseOrdering::Amd, SparseOrdering::Markowitz}) {
+        SparseLu<double> slu;
+        slu.set_ordering(ord);
+        const auto slots = slu.analyze(2, {{0, 0}, {0, 1}, {1, 0}, {1, 1}});
+        std::vector<double> vals(slu.nnz(), 0.0);
+        vals[static_cast<std::size_t>(slots[0])] = 1.0;
+        vals[static_cast<std::size_t>(slots[1])] = 2.0;
+        vals[static_cast<std::size_t>(slots[2])] = 2.0;
+        vals[static_cast<std::size_t>(slots[3])] = 4.0;
+        EXPECT_FALSE(slu.factor(vals));
+        // Below the pivot floor on every entry is singular too.
+        vals = {1e-12, 0.0, 0.0, 1e-12};
+        EXPECT_FALSE(slu.factor(vals, 1e-9));
+        // And a sound matrix still factors afterwards.
+        vals = {3.0, 1.0, 1.0, 2.0};
+        ASSERT_TRUE(slu.factor(vals));
+        const auto x = slu.solve_copy({5.0, 5.0});
+        EXPECT_NEAR(3.0 * x[0] + 1.0 * x[1], 5.0, 1e-12);
+        EXPECT_NEAR(1.0 * x[0] + 2.0 * x[1], 5.0, 1e-12);
+    }
+}
+
+TEST(SparseLuAmd, PreorderAdoptedAsColumnOrder) {
+    Rng rng;
+    const int n = 10;
+    auto entries = random_pattern(rng, n, 3 * n);
+    SparseLu<double> slu;
+    slu.set_ordering(SparseOrdering::Amd);
+    const auto slots = slu.analyze(static_cast<std::size_t>(n), entries);
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        order[static_cast<std::size_t>(i)] = n - 1 - i;  // reverse order
+    slu.set_preorder(order);
+
+    std::vector<double> vals(slu.nnz(), 0.0);
+    for (std::size_t e = 0; e < entries.size(); ++e)
+        vals[static_cast<std::size_t>(slots[e])] += rng.signed_uniform();
+    for (int i = 0; i < n; ++i)
+        vals[static_cast<std::size_t>(slots[static_cast<std::size_t>(i)])] +=
+            5.0;
+    ASSERT_TRUE(slu.factor(vals));
+    EXPECT_EQ(slu.column_order(), order);
+
+    // A non-permutation is rejected loudly.
+    std::vector<int> bad = order;
+    bad[0] = bad[1];
+    EXPECT_THROW(slu.set_preorder(bad), catlift::Error);
+    EXPECT_THROW(slu.set_preorder(std::vector<int>{0, 1}), catlift::Error);
+}
+
+TEST(SparseLuAmd, SupernodalRefactorMatchesDenseOnBandedSystem) {
+    // A banded system produces long runs of nested L patterns -- the
+    // supernodal replay's dense inner loops do real work here.  Ten value
+    // rounds through the same pattern must all match the dense reference.
+    Rng rng;
+    const int n = 40;
+    std::vector<std::pair<int, int>> entries;
+    std::vector<std::size_t> diag_entry(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        for (int j = std::max(0, i - 3); j <= std::min(n - 1, i + 3); ++j) {
+            if (i == j) diag_entry[static_cast<std::size_t>(i)] = entries.size();
+            entries.push_back({i, j});
+        }
+    SparseLu<double> slu;
+    slu.set_ordering(SparseOrdering::Amd);
+    const auto slots = slu.analyze(static_cast<std::size_t>(n), entries);
+
+    for (int round = 0; round < 10; ++round) {
+        std::vector<double> vals(slu.nnz(), 0.0);
+        BasicMatrix<double> a(static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const double v = rng.signed_uniform();
+            const auto [r, c] = entries[e];
+            vals[static_cast<std::size_t>(slots[e])] += v;
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+        }
+        for (int i = 0; i < n; ++i) {
+            vals[static_cast<std::size_t>(
+                slots[diag_entry[static_cast<std::size_t>(i)]])] += 8.0;
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += 8.0;
+        }
+        ASSERT_TRUE(slu.factor(vals));
+        std::vector<double> b(static_cast<std::size_t>(n));
+        for (auto& v : b) v = rng.signed_uniform();
+        BasicLu<double> dlu;
+        ASSERT_TRUE(dlu.factor(a));
+        const auto xd = dlu.solve(b);
+        const auto xs = slu.solve_copy(b);
+        for (int i = 0; i < n; ++i)
+            EXPECT_NEAR(xs[static_cast<std::size_t>(i)],
+                        xd[static_cast<std::size_t>(i)], 1e-8)
+                << "round " << round;
+    }
+    EXPECT_EQ(slu.full_factors(), 1u);
+    EXPECT_EQ(slu.refactors(), 9u);
+    // The band must actually have merged into multi-column supernodes.
+    EXPECT_LT(slu.supernodes(), static_cast<std::size_t>(n));
+}
+
+TEST(SparseLuAmd, ComplexMatchesDense) {
+    Rng rng;
+    using C = std::complex<double>;
+    for (int trial = 0; trial < 10; ++trial) {
+        const int n = 6 + 2 * trial;
+        auto entries = random_pattern(rng, n, 3 * n);
+        SparseLu<C> slu;
+        slu.set_ordering(SparseOrdering::Amd);
+        const auto slots = slu.analyze(static_cast<std::size_t>(n), entries);
+        std::vector<C> vals(slu.nnz(), C{});
+        BasicMatrix<C> a(static_cast<std::size_t>(n));
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const C v(rng.signed_uniform(), rng.signed_uniform());
+            const auto [r, c] = entries[e];
+            vals[static_cast<std::size_t>(slots[e])] += v;
+            a(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) += v;
+        }
+        for (int i = 0; i < n; ++i) {
+            vals[static_cast<std::size_t>(slots[static_cast<std::size_t>(
+                i)])] += C(5.0, 1.0);
+            a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) +=
+                C(5.0, 1.0);
+        }
+        std::vector<C> b(static_cast<std::size_t>(n));
+        for (auto& v : b) v = C(rng.signed_uniform(), rng.signed_uniform());
+        ASSERT_TRUE(slu.factor(vals));
+        BasicLu<C> dlu;
+        ASSERT_TRUE(dlu.factor(a));
+        const auto xd = dlu.solve(b);
+        const auto xs = slu.solve_copy(b);
+        for (int i = 0; i < n; ++i)
+            EXPECT_LT(std::abs(xs[static_cast<std::size_t>(i)] -
+                               xd[static_cast<std::size_t>(i)]),
+                      1e-9);
+    }
 }
 
 TEST(DenseLu, InPlaceSolveMatchesReturningOverload) {

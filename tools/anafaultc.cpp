@@ -28,6 +28,16 @@
 //     --sparse           force the sparse kernel at every size
 //     --no-bypass        disable the modified-Newton Jacobian bypass
 //     --bypass-tol <tol> bypass movement tolerance (default 1e-7)
+//     --device-bypass-tol <tol>  per-device stamp-reuse tolerance
+//                        (campaign default 0: replay only bitwise-unchanged
+//                        devices -- margin-safe; raise to skip settled
+//                        devices' model evaluations)
+//     --ordering <o>     sparse first-factorization: amd (default) |
+//                        markowitz
+//     --no-share-symbolic  every faulty kernel runs its own ordering
+//                        instead of adopting the nominal one
+//     --stats            batch/kernel counter block (scheduler, bypass,
+//                        symbolic cache, ordering/numeric time split)
 //     --table            per-fault result table
 //     --plot             ASCII coverage plot
 //     --csv <file>       coverage curve CSV
@@ -55,7 +65,9 @@ namespace {
         "[--baseline-store file --baseline-faults file] [--diff-tol frac] "
         "[--no-early-abort] "
         "[--no-collapse] [--no-adaptive] [--lte-tol tol] [--no-sparse] "
-        "[--sparse] [--no-bypass] [--bypass-tol tol] [--table] "
+        "[--sparse] [--no-bypass] [--bypass-tol tol] "
+        "[--device-bypass-tol tol] [--ordering amd|markowitz] "
+        "[--no-share-symbolic] [--stats] [--table] "
         "[--plot] [--csv file]\n");
     std::exit(2);
 }
@@ -75,7 +87,7 @@ int main(int argc, char** argv) {
     double diff_tol = 0.05;
     anafault::CampaignOptions opt;
     opt.detection.observed.clear();
-    bool table = false, plot = false;
+    bool table = false, plot = false, stats = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -135,6 +147,26 @@ int main(int argc, char** argv) {
                 return 2;
             }
         }
+        else if (a == "--device-bypass-tol") {
+            opt.sim.device_bypass_tol = std::atof(next());
+            if (!(opt.sim.device_bypass_tol >= 0.0)) {
+                std::fprintf(stderr,
+                             "anafaultc: --device-bypass-tol needs a "
+                             "non-negative number\n");
+                return 2;
+            }
+        }
+        else if (a == "--ordering") {
+            const std::string o = next();
+            if (o == "amd")
+                opt.sim.ordering = spice::SparseOrdering::Amd;
+            else if (o == "markowitz")
+                opt.sim.ordering = spice::SparseOrdering::Markowitz;
+            else
+                usage();
+        }
+        else if (a == "--no-share-symbolic") opt.share_symbolic = false;
+        else if (a == "--stats") stats = true;
         else if (a == "--table") table = true;
         else if (a == "--plot") plot = true;
         else if (a == "--csv") csv_path = next();
@@ -179,6 +211,32 @@ int main(int argc, char** argv) {
             res = anafault::run_campaign(ckt, faults, opt);
         }
         std::printf("%s", anafault::campaign_summary(res).c_str());
+        if (stats) {
+            const batch::BatchStats& b = res.batch;
+            std::printf("\nbatch/kernel counters:\n");
+            std::printf("  threads %u, classes %zu, collapsed %zu\n",
+                        b.threads, b.classes, b.collapsed);
+            std::printf("  scheduled %zu, resumed %zu, early aborts %zu "
+                        "(steps saved %zu)\n",
+                        b.scheduled, b.resumed, b.early_aborts, b.steps_saved);
+            std::printf("  steps integrated %zu, interpolated %zu\n",
+                        b.steps_integrated, b.steps_interpolated);
+            std::printf("  bypass solves %zu, device stamp skips %zu, "
+                        "sparse refactors %zu\n",
+                        b.bypass_solves, b.device_stamp_skips,
+                        b.sparse_refactors);
+            const double hit_rate =
+                b.scheduled > 0 ? 100.0 *
+                                      static_cast<double>(
+                                          b.symbolic_cache_hits) /
+                                      static_cast<double>(b.scheduled)
+                                : 0.0;
+            std::printf("  symbolic cache hits %zu / %zu kernels (%.1f%%)\n",
+                        b.symbolic_cache_hits, b.scheduled, hit_rate);
+            std::printf("  ordering time %.4f s, numeric refactor time "
+                        "%.4f s\n",
+                        b.ordering_seconds, b.numeric_seconds);
+        }
         if (plot)
             std::printf("\n%s",
                         anafault::coverage_plot_ascii(res).c_str());

@@ -102,29 +102,73 @@ def guard_adaptive_tran(base, fresh, ctol, rtol):
 
 
 def guard_kernel_scaling(base, fresh, ctol, rtol):
-    b = by_key(base["samples"], "stages", "config")
-    f = by_key(fresh["samples"], "stages", "config")
+    # --quick smoke runs a subset of the committed full baseline's rows;
+    # only the rows present in the fresh run are compared then.
+    quick = fresh.get("mode") == "quick"
+    b = by_key(base["samples"], "label", "config")
+    f = by_key(fresh["samples"], "label", "config")
     for key, bs in b.items():
         fs = f.get(key)
         if fs is None:
+            if quick:
+                continue
             print(f"  [FAIL] kernel_scaling sample {key} missing")
             FAILURES.append(f"missing:{key}")
             continue
-        stages, config = key
+        label, config = key
         for c in ("unknowns", "nr_iterations", "lu_factorizations"):
-            check_counter(f"kernel_scaling.N{stages}.{config}.{c}", bs[c],
+            check_counter(f"kernel_scaling.{label}.{config}.{c}", bs[c],
                           fs[c], ctol)
-    # The asymptotic claim itself: sparse+bypass vs dense per ring size.
-    for stages in sorted({k[0] for k in b}):
+    common = sorted({k[0] for k in b if k in f})
+    # The dense/sparse asymptotic claim: amd+bypass vs dense per size.
+    for label in common:
         try:
-            br = b[(stages, "dense")]["wall_s"] / \
-                max(b[(stages, "sparse+bypass")]["wall_s"], 1e-9)
-            fr = f[(stages, "dense")]["wall_s"] / \
-                max(f[(stages, "sparse+bypass")]["wall_s"], 1e-9)
+            br = b[(label, "dense")]["wall_s"] / \
+                max(b[(label, "sparse-amd+bypass")]["wall_s"], 1e-9)
+            fr = f[(label, "dense")]["wall_s"] / \
+                max(f[(label, "sparse-amd+bypass")]["wall_s"], 1e-9)
         except KeyError:
             continue
-        check_ratio(f"kernel_scaling.N{stages}.sparse_bypass_speedup",
-                    br, fr, rtol)
+        check_ratio(f"kernel_scaling.{label}.amd_bypass_vs_dense", br, fr,
+                    rtol)
+    # The ordering claim: AMD vs Markowitz at the largest common size --
+    # guarded against the baseline, with a hard >= 2x floor once the size
+    # reaches 2k unknowns (the scale-up acceptance bar).
+    ordered = [label for label in common
+               if (label, "sparse-mark") in f and (label, "sparse-amd") in f]
+    if ordered:
+        largest = max(ordered,
+                      key=lambda lb: f[(lb, "sparse-amd")]["unknowns"])
+        br = b[(largest, "sparse-mark")]["wall_s"] / \
+            max(b[(largest, "sparse-amd")]["wall_s"], 1e-9)
+        fr = f[(largest, "sparse-mark")]["wall_s"] / \
+            max(f[(largest, "sparse-amd")]["wall_s"], 1e-9)
+        check_ratio(f"kernel_scaling.{largest}.amd_vs_markowitz", br, fr,
+                    rtol)
+        if f[(largest, "sparse-amd")]["unknowns"] >= 2000 and fr < 2.0:
+            print(f"  [FAIL] kernel_scaling.{largest}.amd_vs_markowitz "
+                  f"{fr:.2f}x below the 2x scale-up floor")
+            FAILURES.append(f"kernel_scaling.{largest}.amd_floor")
+    # Campaign-shared symbolic kernel section.
+    cb, cf = base.get("campaign"), fresh.get("campaign")
+    if cb and not cf:
+        print("  [FAIL] kernel_scaling.campaign section missing")
+        FAILURES.append("kernel_scaling.campaign-missing")
+    elif cb and cf:
+        for c in ("vco_faults", "vco_scheduled", "vco_cache_hits",
+                  "vco_detected_cache_on", "vco_detected_cache_off",
+                  "ota_device_stamp_skips"):
+            check_counter(f"kernel_scaling.campaign.{c}", cb[c], cf[c], ctol)
+        if cf["vco_cache_hit_rate"] < 0.9:
+            print(f"  [FAIL] kernel_scaling.campaign.vco_cache_hit_rate "
+                  f"{cf['vco_cache_hit_rate']:.2f} below 0.9")
+            FAILURES.append("kernel_scaling.campaign.hit_rate")
+        for flag in ("vco_default_verdicts_identical",
+                     "ota_cache_verdicts_identical",
+                     "ota_device_bypass_verdicts_identical"):
+            if not cf.get(flag, False):
+                print(f"  [FAIL] kernel_scaling.campaign.{flag} is false")
+                FAILURES.append(f"kernel_scaling.campaign.{flag}")
 
 
 def guard_incremental_campaign(base, fresh, ctol, rtol):
