@@ -14,6 +14,7 @@
 #include "circuits/ota.h"
 #include "core/cat.h"
 #include "lift/extract_faults.h"
+#include "obs/obs.h"
 
 #include <chrono>
 #include <cstdio>
@@ -102,6 +103,7 @@ AcSample run_ac(const netlist::Circuit& ckt, const lift::FaultList& faults,
 
 int main() {
     std::printf("== adaptive transient kernel: VCO campaign ==\n\n");
+    obs::enable_metrics(true);  // phase histograms for the BENCH JSON
     const core::VcoExperiment e = core::make_vco_experiment();
     const auto lift_res =
         lift::extract_faults(e.layout, e.config.tech, e.config.lift);
@@ -184,7 +186,9 @@ int main() {
            << ", \"detected\": " << s.detected << "}"
            << (i + 1 < ac.size() ? "," : "") << "\n";
     }
-    js << "  ]}\n}\n";
+    js << "  ]},\n";
+    js << "  \"metrics\": " << obs::Registry::global().to_json("  ") << "\n";
+    js << "}\n";
     std::printf("  wrote BENCH_adaptive_tran.json\n");
     return verdicts_identical ? 0 : 1;
 }

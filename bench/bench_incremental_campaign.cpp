@@ -14,6 +14,7 @@
 #include "core/cat.h"
 #include "layout/revise.h"
 #include "lift/extract_faults.h"
+#include "obs/obs.h"
 
 #include <algorithm>
 #include <chrono>
@@ -43,6 +44,7 @@ std::string verdict_string(const anafault::CampaignResult& res) {
 
 int main() {
     std::printf("== incremental cross-revision campaign: VCO ==\n\n");
+    obs::enable_metrics(true);  // phase histograms for the BENCH JSON
     const core::VcoExperiment e = core::make_vco_experiment();
     const auto base_lift =
         lift::extract_faults(e.layout, e.config.tech, e.config.lift);
@@ -135,7 +137,9 @@ int main() {
     js << "  \"carried_fraction\": " << carried_fraction << ",\n";
     js << "  \"cold_wall_s\": " << cold_wall << ",\n";
     js << "  \"incremental_wall_s\": " << inc_wall << ",\n";
-    js << "  \"speedup_vs_cold\": " << speedup << "\n}\n";
+    js << "  \"speedup_vs_cold\": " << speedup << ",\n";
+    js << "  \"metrics\": " << obs::Registry::global().to_json("  ") << "\n";
+    js << "}\n";
     std::printf("  wrote BENCH_incremental_campaign.json\n");
 
     std::filesystem::remove(baseline_store);

@@ -28,6 +28,7 @@
 #include "core/cat.h"
 #include "layout/cellgen.h"
 #include "lift/extract_faults.h"
+#include "obs/obs.h"
 #include "spice/engine.h"
 
 #include <chrono>
@@ -226,6 +227,7 @@ int main(int argc, char** argv) {
     const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
     std::printf("== kernel scaling: 1-D ring + 2-D oscillator grid%s ==\n\n",
                 quick ? " (quick)" : "");
+    obs::enable_metrics(true);  // phase histograms for the BENCH JSON
     std::printf("  %-10s %-18s %8s %10s %8s %9s %10s %10s\n", "label",
                 "config", "unknowns", "wall [s]", "nr", "refactors",
                 "order [s]", "numeric[s]");
@@ -359,7 +361,9 @@ int main(int argc, char** argv) {
        << ",\n";
     js << "    \"ota_device_stamp_skips\": " << cb.ota_device_stamp_skips
        << "\n";
-    js << "  }\n}\n";
+    js << "  },\n";
+    js << "  \"metrics\": " << obs::Registry::global().to_json("  ") << "\n";
+    js << "}\n";
     std::printf("\n  wrote BENCH_kernel_scaling.json\n");
     return 0;
 }

@@ -9,10 +9,12 @@
 // perf trajectory is recorded run over run.
 
 #include "core/cat.h"
+#include "obs/obs.h"
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +57,87 @@ double run_once(const core::VcoExperiment& e, const lift::FaultList& faults,
     out.steps_saved = res.batch.steps_saved;
     out.collapsed = res.batch.collapsed;
     return out.wall_s;
+}
+
+/// Observability overhead on the standard campaign configuration
+/// (threads=4, abort+collapse+adaptive+incremental), plus the recorded
+/// trace itself for the CI trace checker.
+struct ObsSample {
+    double wall_off_s = 0.0;
+    double wall_traced_s = 0.0;
+    double traced_overhead_ratio = 0.0;
+    std::size_t trace_events = 0;
+    double disabled_event_cost_ns = 0.0;
+    double traced_off_overhead_est = 0.0;
+    bool verdicts_identical = false;
+};
+
+bool same_verdicts(const anafault::CampaignResult& a,
+                   const anafault::CampaignResult& b) {
+    if (a.results.size() != b.results.size()) return false;
+    for (std::size_t i = 0; i < a.results.size(); ++i) {
+        const auto& x = a.results[i];
+        const auto& y = b.results[i];
+        if (x.fault_id != y.fault_id || x.simulated != y.simulated ||
+            x.detect_time.has_value() != y.detect_time.has_value())
+            return false;
+        if (x.detect_time && *x.detect_time != *y.detect_time) return false;
+    }
+    return true;
+}
+
+ObsSample measure_obs_overhead(const core::VcoExperiment& e,
+                               const lift::FaultList& faults) {
+    ObsSample out;
+    anafault::CampaignOptions opt = e.config.campaign;
+    opt.threads = 4;
+
+    // Paired off/traced runs of the identical campaign.  The traced run
+    // carries the full load: metrics, span tracing and a live event sink
+    // (NullSink -- the emit path runs, the payload is discarded).
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res_off = anafault::run_campaign(e.sim_circuit, faults, opt);
+    out.wall_off_s = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+
+    obs::Registry::global().reset();
+    obs::trace_reset();
+    obs::enable_metrics(true);
+    obs::enable_tracing(true);
+    obs::attach_event_sink(std::make_shared<obs::NullSink>());
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto res_on = anafault::run_campaign(e.sim_circuit, faults, opt);
+    out.wall_traced_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t1)
+                            .count();
+    obs::enable_tracing(false);
+    obs::detach_event_sinks();
+
+    out.traced_overhead_ratio =
+        out.wall_off_s > 0.0 ? out.wall_traced_s / out.wall_off_s - 1.0 : 0.0;
+    out.trace_events = obs::trace_event_count();
+    out.verdicts_identical = same_verdicts(res_off, res_on);
+
+    // The traced-off cost model: every span/event site the traced run
+    // crossed costs one disabled-Span check when observation is off.
+    // Measure that check directly and scale by the site count.
+    constexpr std::size_t kIters = 5'000'000;
+    obs::enable_metrics(false);
+    const auto t2 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kIters; ++i)
+        obs::Span sp(obs::Phase::Solve);
+    const double bench_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t2)
+                               .count();
+    out.disabled_event_cost_ns = 1e9 * bench_s / kIters;
+    out.traced_off_overhead_est =
+        out.wall_off_s > 0.0
+            ? static_cast<double>(out.trace_events) *
+                  out.disabled_event_cost_ns * 1e-9 / out.wall_off_s
+            : 0.0;
+    obs::enable_metrics(true);  // keep metrics live for the JSON snapshot
+    return out;
 }
 
 } // namespace
@@ -117,6 +200,20 @@ int main() {
                     s.early_aborts, s.steps_saved);
     std::printf("\n");
 
+    const ObsSample obs_s = measure_obs_overhead(e, lift_res.faults);
+    std::printf("  observability: off %.3f s, traced %.3f s (%+.1f%%), "
+                "%zu trace events\n",
+                obs_s.wall_off_s, obs_s.wall_traced_s,
+                100.0 * obs_s.traced_overhead_ratio, obs_s.trace_events);
+    std::printf("  disabled span check %.2f ns; traced-off overhead "
+                "estimate %.4f%% of campaign (guard <2%%)\n",
+                obs_s.disabled_event_cost_ns,
+                100.0 * obs_s.traced_off_overhead_est);
+    std::printf("  verdicts traced vs untraced: %s\n\n",
+                obs_s.verdicts_identical ? "identical" : "DIFFER");
+    if (obs::write_chrome_trace_file("TRACE_vco_campaign.json"))
+        std::printf("  wrote TRACE_vco_campaign.json\n");
+
     std::ofstream js("BENCH_parallel_speedup.json");
     js << "{\n  \"bench\": \"parallel_speedup\",\n";
     js << "  \"circuit\": \"vco\",\n";
@@ -136,7 +233,17 @@ int main() {
            << ", \"collapsed\": " << s.collapsed << "}"
            << (i + 1 < samples.size() ? "," : "") << "\n";
     }
-    js << "  ]\n}\n";
+    js << "  ],\n";
+    js << "  \"obs\": {\"wall_off_s\": " << obs_s.wall_off_s
+       << ", \"wall_traced_s\": " << obs_s.wall_traced_s
+       << ", \"traced_overhead_ratio\": " << obs_s.traced_overhead_ratio
+       << ", \"trace_events\": " << obs_s.trace_events
+       << ", \"disabled_event_cost_ns\": " << obs_s.disabled_event_cost_ns
+       << ", \"traced_off_overhead_est\": " << obs_s.traced_off_overhead_est
+       << ", \"verdicts_identical_traced\": "
+       << (obs_s.verdicts_identical ? "true" : "false") << "},\n";
+    js << "  \"metrics\": " << obs::Registry::global().to_json("  ") << "\n";
+    js << "}\n";
     std::printf("  wrote BENCH_parallel_speedup.json\n");
     return 0;
 }

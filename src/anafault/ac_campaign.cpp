@@ -5,6 +5,7 @@
 #include "batch/collapse.h"
 #include "batch/scheduler.h"
 #include "netlist/writer.h"
+#include "obs/obs.h"
 
 #include <algorithm>
 #include <atomic>
@@ -24,6 +25,50 @@ double seconds_since(const std::chrono::steady_clock::time_point& t0) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          t0)
         .count();
+}
+
+const char* ac_verdict(const AcFaultResult& r) {
+    return r.detected ? "detected" : r.simulated ? "undetected" : "failed";
+}
+
+/// AC counterpart of the transient runner's publish_fault_obs: span args
+/// mirror the registry increments exactly.
+void publish_ac_fault_obs(obs::Span& sp, const AcFaultResult& r,
+                          const std::string& signature) {
+    const unsigned mask = obs::enabled_mask();
+    const bool ev = obs::events_enabled();
+    if (mask == 0 && !ev) {
+        sp.end();
+        return;
+    }
+    const auto i64 = [](auto v) { return static_cast<std::int64_t>(v); };
+    if (mask & obs::kTracingBit) {
+        sp.arg("fault_id", i64(r.fault_id));
+        sp.arg("signature", signature);
+        sp.arg("verdict", std::string(ac_verdict(r)));
+        if (r.detect_freq) sp.arg("detect_freq_hz", *r.detect_freq);
+        sp.arg("max_deviation_db", r.max_deviation_db);
+        sp.arg("freq_points_saved", i64(r.points_saved));
+        sp.arg("nr_iterations", i64(r.nr_iterations));
+        sp.arg("symbolic_cache_hits", i64(r.symbolic_cache_hits));
+        sp.arg("sim_seconds", r.sim_seconds);
+    }
+    sp.end();
+    if (mask & obs::kMetricsBit) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("campaign.retired").add(1);
+        if (r.detected) reg.counter("campaign.detected").add(1);
+        reg.counter("campaign.nr_iterations").add(r.nr_iterations);
+        reg.counter("campaign.freq_points_saved").add(r.points_saved);
+        reg.counter("campaign.symbolic_cache_hits")
+            .add(r.symbolic_cache_hits);
+    }
+    if (ev)
+        obs::emit_event(
+            "fault_retired",
+            {obs::arg("fault_id", i64(r.fault_id)),
+             obs::arg("verdict", std::string(ac_verdict(r))),
+             obs::arg("sim_seconds", r.sim_seconds)});
 }
 
 } // namespace
@@ -108,8 +153,16 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
                                  const lift::FaultList& faults,
                                  const AcCampaignOptions& opt) {
     AcCampaignResult res;
+    if (obs::events_enabled())
+        obs::emit_event(
+            "campaign_start",
+            {obs::arg("analysis", std::string("ac")),
+             obs::arg("faults", static_cast<std::int64_t>(faults.size())),
+             obs::arg("threads", static_cast<std::int64_t>(
+                                     std::max(1u, opt.threads)))});
     spice::SimOptions fault_sim = opt.sim;
     {
+        obs::Span nsp(obs::Phase::Nominal);
         spice::Simulator sim(ckt, opt.sim);
         res.nominal = sim.ac(opt.sweep);
         res.batch.ordering_seconds = sim.stats().ordering_seconds;
@@ -147,7 +200,19 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
             if (it == by_id.end() || done[it->second]) continue;
             res.results[it->second] = ac_from_record(rec);
             done[it->second] = 1;
-            ++res.batch.resumed;
+            // Same provenance split as the transient runner: carried
+            // records are not prior-run work of this campaign.
+            if (rec.carried)
+                ++res.batch.carried_from_store;
+            else
+                ++res.batch.resumed;
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_resumed",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(rec.fault_id)),
+                     obs::arg("carried",
+                              static_cast<std::int64_t>(rec.carried))});
         }
     }
     const std::vector<char> resumed_here = done;
@@ -179,6 +244,12 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
                 *std::find_if(members.begin(), members.end(),
                               [&](std::size_t m) { return !done[m]; });
             const lift::Fault& f = faults.faults[rep];
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_started",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(f.id))});
+            obs::Span sp(obs::Phase::FaultSim);
             AcFaultResult r;
             r.fault_id = f.id;
             r.description = f.describe();
@@ -212,6 +283,8 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
             res.results[rep] = std::move(r);
             done[rep] = 1;
             if (store) store->append(ac_to_record(res.results[rep]));
+            publish_ac_fault_obs(sp, res.results[rep],
+                                 batch::effect_signature(f));
             verdict = &res.results[rep];
         }
         for (std::size_t m : members) {
@@ -230,6 +303,19 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
             res.results[m] = std::move(copy);
             done[m] = 1;
             if (store) store->append(ac_to_record(res.results[m]));
+            if (obs::metrics_enabled())
+                obs::Registry::global()
+                    .counter("campaign.fanned_out")
+                    .add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_retired",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(
+                                  faults.faults[m].id)),
+                     obs::arg("verdict",
+                              std::string(ac_verdict(res.results[m]))),
+                     obs::arg("via", std::string("collapse"))});
         }
     };
 
@@ -250,6 +336,19 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
         res.batch.ordering_seconds += r.ordering_seconds;
         res.batch.numeric_seconds += r.numeric_seconds;
     }
+    if (obs::events_enabled())
+        obs::emit_event(
+            "campaign_end",
+            {obs::arg("faults", static_cast<std::int64_t>(n_faults)),
+             obs::arg("detected",
+                      static_cast<std::int64_t>(res.detected())),
+             obs::arg("scheduled",
+                      static_cast<std::int64_t>(res.batch.scheduled)),
+             obs::arg("resumed",
+                      static_cast<std::int64_t>(res.batch.resumed)),
+             obs::arg("carried_from_store",
+                      static_cast<std::int64_t>(
+                          res.batch.carried_from_store))});
     return res;
 }
 

@@ -3,6 +3,7 @@
 #include "batch/collapse.h"
 #include "batch/result_store.h"
 #include "netlist/writer.h"
+#include "obs/obs.h"
 
 #include <algorithm>
 #include <atomic>
@@ -183,6 +184,78 @@ FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
     return r;
 }
 
+const char* verdict_of(const FaultSimResult& r) {
+    return r.detect_time ? "detected" : r.simulated ? "undetected" : "failed";
+}
+
+/// Close a fault-simulation span and publish the per-fault observability
+/// record: span args (the per-fault slice of the campaign counters, so a
+/// trace viewer -- or the aggregation test -- can reconstruct the batch
+/// totals from the spans alone), registry counters incremented by exactly
+/// the same values, and the retirement event.
+void publish_fault_obs(obs::Span& sp, const FaultSimResult& r,
+                       const std::string& signature) {
+    const unsigned mask = obs::enabled_mask();
+    const bool ev = obs::events_enabled();
+    if (mask == 0 && !ev) {
+        sp.end();
+        return;
+    }
+    const auto i64 = [](auto v) { return static_cast<std::int64_t>(v); };
+    if (mask & obs::kTracingBit) {
+        sp.arg("fault_id", i64(r.fault_id));
+        sp.arg("signature", signature);
+        sp.arg("verdict", std::string(verdict_of(r)));
+        if (r.detect_time) sp.arg("detect_time_s", *r.detect_time);
+        sp.arg("steps_saved", i64(r.steps_saved));
+        sp.arg("nr_iterations", i64(r.nr_iterations));
+        sp.arg("steps_integrated", i64(r.steps_integrated));
+        sp.arg("bypass_solves", i64(r.bypass_solves));
+        sp.arg("device_stamp_skips", i64(r.device_stamp_skips));
+        sp.arg("symbolic_cache_hits", i64(r.symbolic_cache_hits));
+        sp.arg("sim_seconds", r.sim_seconds);
+    }
+    sp.end();
+    if (mask & obs::kMetricsBit) {
+        struct Counters {
+            obs::Counter& retired;
+            obs::Counter& detected;
+            obs::Counter& nr_iterations;
+            obs::Counter& steps_integrated;
+            obs::Counter& steps_saved;
+            obs::Counter& bypass_solves;
+            obs::Counter& device_stamp_skips;
+            obs::Counter& symbolic_cache_hits;
+        };
+        obs::Registry& reg = obs::Registry::global();
+        static Counters c{reg.counter("campaign.retired"),
+                          reg.counter("campaign.detected"),
+                          reg.counter("campaign.nr_iterations"),
+                          reg.counter("campaign.steps_integrated"),
+                          reg.counter("campaign.steps_saved"),
+                          reg.counter("campaign.bypass_solves"),
+                          reg.counter("campaign.device_stamp_skips"),
+                          reg.counter("campaign.symbolic_cache_hits")};
+        c.retired.add(1);
+        if (r.detect_time) c.detected.add(1);
+        c.nr_iterations.add(r.nr_iterations);
+        c.steps_integrated.add(r.steps_integrated);
+        c.steps_saved.add(r.steps_saved);
+        c.bypass_solves.add(r.bypass_solves);
+        c.device_stamp_skips.add(r.device_stamp_skips);
+        c.symbolic_cache_hits.add(r.symbolic_cache_hits);
+    }
+    if (ev) {
+        std::vector<obs::TraceArg> fields{
+            obs::arg("fault_id", i64(r.fault_id)),
+            obs::arg("verdict", std::string(verdict_of(r))),
+            obs::arg("sim_seconds", r.sim_seconds)};
+        if (r.detect_time)
+            fields.push_back(obs::arg("detect_time_s", *r.detect_time));
+        obs::emit_event("fault_retired", fields);
+    }
+}
+
 /// Copy a class representative's verdict to another member of the same
 /// equivalence class: identity fields come from the member, kernel cost
 /// stays attributed to the representative alone.
@@ -213,6 +286,13 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
     res.tstop = ts.tstop;
     const std::size_t n = metas.size();
     res.batch.threads = std::max(1u, opt.threads);
+    if (obs::events_enabled())
+        obs::emit_event(
+            "campaign_start",
+            {obs::arg("analysis", std::string("tran")),
+             obs::arg("faults", static_cast<std::int64_t>(n)),
+             obs::arg("threads",
+                      static_cast<std::int64_t>(res.batch.threads))});
 
     // Nominal simulation first (paper, ch. V); the baseline Waveforms are
     // shared read-only by every worker.  Its kernel's elimination order is
@@ -222,8 +302,10 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
     // case every variant simply analyzes itself as before.
     CampaignOptions wopt = opt;
     {
+        obs::Span nsp(obs::Phase::Nominal);
         const auto t0 = std::chrono::steady_clock::now();
         Simulator sim(ckt, opt.sim);
+        nsp.arg("unknowns", static_cast<std::int64_t>(sim.unknowns()));
         res.nominal = sim.tran(ts);
         res.nominal_seconds = seconds_since(t0);
         res.batch.steps_integrated = sim.stats().tran_steps;
@@ -260,7 +342,21 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             if (it == by_id.end() || done[it->second]) continue;
             res.results[it->second] = r;
             done[it->second] = 1;
-            ++res.batch.resumed;
+            // Provenance split: a record the incremental engine carried
+            // across a layout revision is not prior-run work of *this*
+            // campaign, and is reported separately.
+            if (r.carried)
+                ++res.batch.carried_from_store;
+            else
+                ++res.batch.resumed;
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_resumed",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(r.fault_id)),
+                     obs::arg("carried",
+                              static_cast<std::int64_t>(r.carried)),
+                     obs::arg("verdict", std::string(verdict_of(r)))});
         }
     }
 
@@ -291,6 +387,21 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         return std::all_of(members.begin(), members.end(),
                            [&](std::size_t m) { return done[m] != 0; });
     });
+    if (obs::events_enabled())
+        for (const batch::Job& j : jobs) {
+            const auto& members = classes[j.index].members;
+            const auto rep =
+                std::find_if(members.begin(), members.end(),
+                             [&](std::size_t m) { return !done[m]; });
+            if (rep == members.end()) continue;
+            obs::emit_event(
+                "fault_scheduled",
+                {obs::arg("fault_id", static_cast<std::int64_t>(
+                                          metas[*rep].fault_id)),
+                 obs::arg("priority", j.priority),
+                 obs::arg("class_size",
+                          static_cast<std::int64_t>(members.size()))});
+        }
 
     std::atomic<std::size_t> kernel_runs{0};
     auto run_class = [&](std::size_t c) {
@@ -308,6 +419,14 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             const std::size_t rep =
                 *std::find_if(members.begin(), members.end(),
                               [&](std::size_t m) { return !done[m]; });
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_started",
+                    {obs::arg("fault_id", static_cast<std::int64_t>(
+                                              metas[rep].fault_id))});
+            // The fault span brackets injection, simulation and the
+            // store append, so the store_append child span nests inside.
+            obs::Span sp(obs::Phase::FaultSim);
             FaultSimResult base;
             base.fault_id = metas[rep].fault_id;
             base.description = metas[rep].description;
@@ -329,6 +448,7 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             res.results[rep] = std::move(r);
             done[rep] = 1;
             if (store) store->append(res.results[rep]);
+            publish_fault_obs(sp, res.results[rep], metas[rep].signature);
             verdict = &res.results[rep];
         }
 
@@ -337,6 +457,19 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             res.results[m] = fan_out(*verdict, metas[m]);
             done[m] = 1;
             if (store) store->append(res.results[m]);
+            if (obs::metrics_enabled())
+                obs::Registry::global()
+                    .counter("campaign.fanned_out")
+                    .add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_retired",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(
+                                  metas[m].fault_id)),
+                     obs::arg("verdict",
+                              std::string(verdict_of(res.results[m]))),
+                     obs::arg("via", std::string("collapse"))});
         }
     };
 
@@ -369,6 +502,19 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         }
     }
     res.batch.collapsed = n - classes.size();
+    if (obs::events_enabled())
+        obs::emit_event(
+            "campaign_end",
+            {obs::arg("faults", static_cast<std::int64_t>(n)),
+             obs::arg("detected",
+                      static_cast<std::int64_t>(res.detected())),
+             obs::arg("scheduled",
+                      static_cast<std::int64_t>(res.batch.scheduled)),
+             obs::arg("resumed",
+                      static_cast<std::int64_t>(res.batch.resumed)),
+             obs::arg("carried_from_store",
+                      static_cast<std::int64_t>(
+                          res.batch.carried_from_store))});
     return res;
 }
 

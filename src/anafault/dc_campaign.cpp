@@ -4,6 +4,7 @@
 #include "batch/collapse.h"
 #include "batch/scheduler.h"
 #include "netlist/writer.h"
+#include "obs/obs.h"
 
 #include <algorithm>
 #include <atomic>
@@ -15,6 +16,51 @@
 namespace catlift::anafault {
 
 using netlist::Circuit;
+
+namespace {
+
+const char* dc_verdict(const DcFaultResult& r) {
+    return r.detected ? "detected" : r.converged ? "undetected" : "failed";
+}
+
+/// DC counterpart of the transient runner's publish_fault_obs: span args
+/// mirror the registry increments exactly.
+void publish_dc_fault_obs(obs::Span& sp, const DcFaultResult& r,
+                          const std::string& signature) {
+    const unsigned mask = obs::enabled_mask();
+    const bool ev = obs::events_enabled();
+    if (mask == 0 && !ev) {
+        sp.end();
+        return;
+    }
+    const auto i64 = [](auto v) { return static_cast<std::int64_t>(v); };
+    if (mask & obs::kTracingBit) {
+        sp.arg("fault_id", i64(r.fault_id));
+        sp.arg("signature", signature);
+        sp.arg("verdict", std::string(dc_verdict(r)));
+        sp.arg("max_deviation_v", r.max_deviation);
+        sp.arg("strategy", r.strategy);
+        sp.arg("nr_iterations", i64(std::max(0, r.nr_iterations)));
+        sp.arg("symbolic_cache_hits", i64(r.symbolic_cache_hits));
+    }
+    sp.end();
+    if (mask & obs::kMetricsBit) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("campaign.retired").add(1);
+        if (r.detected) reg.counter("campaign.detected").add(1);
+        reg.counter("campaign.nr_iterations")
+            .add(static_cast<std::uint64_t>(std::max(0, r.nr_iterations)));
+        reg.counter("campaign.symbolic_cache_hits")
+            .add(r.symbolic_cache_hits);
+    }
+    if (ev)
+        obs::emit_event(
+            "fault_retired",
+            {obs::arg("fault_id", i64(r.fault_id)),
+             obs::arg("verdict", std::string(dc_verdict(r)))});
+}
+
+} // namespace
 
 std::size_t DcScreenResult::detected() const {
     return static_cast<std::size_t>(
@@ -95,8 +141,16 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
                              const lift::FaultList& faults,
                              const DcScreenOptions& opt) {
     DcScreenResult res;
+    if (obs::events_enabled())
+        obs::emit_event(
+            "campaign_start",
+            {obs::arg("analysis", std::string("dc")),
+             obs::arg("faults", static_cast<std::int64_t>(faults.size())),
+             obs::arg("threads", static_cast<std::int64_t>(
+                                     std::max(1u, opt.threads)))});
 
     spice::SimOptions fault_sim = opt.sim;
+    obs::Span nsp(obs::Phase::Nominal);
     spice::Simulator nominal(ckt, opt.sim);
     const spice::DcResult nom_op = nominal.dc_op();
     require(nom_op.converged, "dc screen: nominal operating point failed");
@@ -108,6 +162,7 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
     // analysis (null on the dense path).
     if (opt.share_symbolic)
         fault_sim.symbolic_cache = nominal.symbolic_cache();
+    nsp.end();
     for (const std::string& n : opt.observed)
         require(res.nominal_op.count(n) > 0,
                 "dc screen: observed node missing: " + n);
@@ -137,7 +192,19 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             if (it == by_id.end() || done[it->second]) continue;
             res.results[it->second] = dc_from_record(rec);
             done[it->second] = 1;
-            ++res.batch.resumed;
+            // Same provenance split as the transient runner: carried
+            // records are not prior-run work of this screen.
+            if (rec.carried)
+                ++res.batch.carried_from_store;
+            else
+                ++res.batch.resumed;
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_resumed",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(rec.fault_id)),
+                     obs::arg("carried",
+                              static_cast<std::int64_t>(rec.carried))});
         }
     }
     const std::vector<char> resumed_here = done;
@@ -171,6 +238,12 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
                 *std::find_if(members.begin(), members.end(),
                               [&](std::size_t m) { return !done[m]; });
             const lift::Fault& f = faults.faults[rep];
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_started",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(f.id))});
+            obs::Span sp(obs::Phase::FaultSim);
             DcFaultResult r;
             r.fault_id = f.id;
             r.description = f.describe();
@@ -212,6 +285,8 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             res.results[rep] = std::move(r);
             done[rep] = 1;
             if (store) store->append(dc_to_record(res.results[rep]));
+            publish_dc_fault_obs(sp, res.results[rep],
+                                 batch::effect_signature(f));
             verdict = &res.results[rep];
         }
         for (std::size_t m : members) {
@@ -228,6 +303,19 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             res.results[m] = std::move(copy);
             done[m] = 1;
             if (store) store->append(dc_to_record(res.results[m]));
+            if (obs::metrics_enabled())
+                obs::Registry::global()
+                    .counter("campaign.fanned_out")
+                    .add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_retired",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(
+                                  faults.faults[m].id)),
+                     obs::arg("verdict",
+                              std::string(dc_verdict(res.results[m]))),
+                     obs::arg("via", std::string("collapse"))});
         }
     };
 
@@ -246,6 +334,19 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
         res.batch.ordering_seconds += r.ordering_seconds;
         res.batch.numeric_seconds += r.numeric_seconds;
     }
+    if (obs::events_enabled())
+        obs::emit_event(
+            "campaign_end",
+            {obs::arg("faults", static_cast<std::int64_t>(n_faults)),
+             obs::arg("detected",
+                      static_cast<std::int64_t>(res.detected())),
+             obs::arg("scheduled",
+                      static_cast<std::int64_t>(res.batch.scheduled)),
+             obs::arg("resumed",
+                      static_cast<std::int64_t>(res.batch.resumed)),
+             obs::arg("carried_from_store",
+                      static_cast<std::int64_t>(
+                          res.batch.carried_from_store))});
     return res;
 }
 

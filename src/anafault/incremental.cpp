@@ -1,6 +1,7 @@
 #include "anafault/incremental.h"
 
 #include "batch/result_store.h"
+#include "obs/obs.h"
 
 #include <filesystem>
 #include <map>
@@ -106,6 +107,33 @@ CarrySplit split_for_carry(const lift::FaultList& baseline,
     }
     out.inc.carried = out.carried_by_id.size();
     out.inc.resimulated = out.subset.faults.size();
+    if (obs::metrics_enabled())
+        obs::Registry::global()
+            .counter("campaign.carried_from_baseline")
+            .add(out.inc.carried);
+    if (obs::events_enabled()) {
+        for (const auto& [id, r] : out.carried_by_id)
+            obs::emit_event(
+                "fault_carried",
+                {obs::arg("fault_id", static_cast<std::int64_t>(id)),
+                 obs::arg("verdict",
+                          std::string(r.detect_time  ? "detected"
+                                      : r.simulated ? "undetected"
+                                                    : "failed"))});
+        obs::emit_event(
+            "incremental_carry",
+            {obs::arg("carried",
+                      static_cast<std::int64_t>(out.inc.carried)),
+             obs::arg("resimulated",
+                      static_cast<std::int64_t>(out.inc.resimulated)),
+             obs::arg("added", static_cast<std::int64_t>(out.inc.added)),
+             obs::arg("removed",
+                      static_cast<std::int64_t>(out.inc.removed)),
+             obs::arg("probability_changed",
+                      static_cast<std::int64_t>(
+                          out.inc.probability_changed)),
+             obs::arg("carry_block_reason", out.inc.carry_block_reason)});
+    }
     return out;
 }
 
@@ -179,6 +207,10 @@ IncrementalResult run_incremental_campaign(const Circuit& ckt,
     }
     res.campaign = std::move(sub);
     res.campaign.results = std::move(merged);
+    // The merged result carries the baseline's verdicts for untouched
+    // faults; report them under the cross-revision figure, never as
+    // current-process work (see BatchStats' counter-reset contract).
+    res.campaign.batch.carried_from_store += split.inc.carried;
     return res;
 }
 
@@ -225,6 +257,7 @@ IncrementalAcResult run_incremental_ac_campaign(
     }
     res.campaign = std::move(sub);
     res.campaign.results = std::move(merged);
+    res.campaign.batch.carried_from_store += split.inc.carried;
     return res;
 }
 
@@ -272,6 +305,7 @@ IncrementalDcResult run_incremental_dc_screen(const Circuit& ckt,
     }
     res.campaign = std::move(sub);
     res.campaign.results = std::move(merged);
+    res.campaign.batch.carried_from_store += split.inc.carried;
     return res;
 }
 

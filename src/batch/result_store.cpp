@@ -1,5 +1,7 @@
 #include "batch/result_store.h"
 
+#include "obs/obs.h"
+
 #include <cstring>
 #include <filesystem>
 
@@ -215,16 +217,30 @@ ResultStore::ResultStore(std::string path, std::uint64_t manifest)
 }
 
 void ResultStore::append(const FaultSimResult& r) {
+    obs::Span sp(obs::Phase::StoreAppend);
     const std::string payload = encode(r);
     std::string rec;
     put(rec, static_cast<std::uint32_t>(payload.size()));
     rec.append(payload);
     put(rec, fnv1a(payload));
 
-    std::lock_guard<std::mutex> lk(mu_);
-    out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
-    out_.flush();
-    require(out_.good(), "result store: append failed: " + path_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
+        out_.flush();
+        require(out_.good(), "result store: append failed: " + path_);
+    }
+    if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("store.appends").add(1);
+        reg.counter("store.bytes").add(rec.size());
+    }
+    if (obs::events_enabled())
+        obs::emit_event(
+            "store_flush",
+            {obs::arg("fault_id", static_cast<std::int64_t>(r.fault_id)),
+             obs::arg("bytes", static_cast<std::int64_t>(rec.size())),
+             obs::arg("carried", static_cast<std::int64_t>(r.carried))});
 }
 
 std::optional<StoreSnapshot> load_store(const std::string& path) {

@@ -1,5 +1,7 @@
 #include "batch/scheduler.h"
 
+#include "obs/obs.h"
+
 #include <algorithm>
 #include <atomic>
 #include <deque>
@@ -35,11 +37,17 @@ SchedulerStats Scheduler::run(
                      });
 
     if (threads_ == 1 || jobs.size() == 1) {
-        // Same cancel-on-error contract as the threaded path.
+        // Same cancel-on-error contract as the threaded path.  Inline
+        // jobs run on the caller's trace lane.
+        if (obs::enabled_mask()) obs::set_lane_name("main");
         for (const Job& j : jobs) {
             fn(j.index);
             ++stats.executed;
         }
+        if (obs::metrics_enabled())
+            obs::Registry::global()
+                .counter("scheduler.jobs")
+                .add(stats.executed);
         return stats;
     }
 
@@ -56,6 +64,10 @@ SchedulerStats Scheduler::run(
     std::exception_ptr first_error;
 
     auto worker = [&](unsigned self) {
+        // Name this worker's trace lane so fault spans land on a
+        // readable "worker-N" track in the exported trace.
+        if (obs::enabled_mask())
+            obs::set_lane_name("worker-" + std::to_string(self));
         for (;;) {
             if (cancelled.load(std::memory_order_relaxed)) return;
             std::size_t idx = 0;
@@ -102,6 +114,11 @@ SchedulerStats Scheduler::run(
     if (first_error) std::rethrow_exception(first_error);
     stats.executed = executed.load();
     stats.steals = steals.load();
+    if (obs::metrics_enabled()) {
+        obs::Registry& reg = obs::Registry::global();
+        reg.counter("scheduler.jobs").add(stats.executed);
+        reg.counter("scheduler.steals").add(stats.steals);
+    }
     return stats;
 }
 

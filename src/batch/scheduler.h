@@ -38,17 +38,30 @@ struct SchedulerStats {
     std::size_t steals = 0;    ///< jobs taken from another worker's deque
 };
 
-/// Aggregate statistics of a batch campaign: what the scheduler, the
+/// Aggregate statistics of one batch campaign: what the scheduler, the
 /// fault-collapsing pre-pass, the per-point observers (early abort,
 /// adaptive stepping, warm starts) and the result store each contributed.
 /// Carried on the transient, AC and DC campaign results; each campaign
 /// fills the counters that apply to its analysis.
+///
+/// Counter-reset contract (tested): every kernel-work counter below
+/// (`scheduled`, `early_aborts`, `steps_*`, `bypass_solves`, ...) covers
+/// work done by the *current process only*.  Results taken from a result
+/// store contribute nothing to them; they are reported separately as
+/// provenance counts: `resumed` for records this same campaign computed
+/// in a previous run, `carried_from_store` for records whose verdict was
+/// carried across a layout revision by the incremental engine (the
+/// record's `carried` flag).
 struct BatchStats {
     unsigned threads = 1;        ///< workers requested (the scheduler caps
                                  ///< actual workers at the job count)
     std::size_t classes = 0;     ///< equivalence classes after collapsing
     std::size_t collapsed = 0;   ///< faults folded into a class representative
-    std::size_t resumed = 0;     ///< results loaded from the result store
+    std::size_t resumed = 0;     ///< prior-run results of this campaign
+                                 ///< loaded from the result store
+    std::size_t carried_from_store = 0; ///< store-loaded results whose
+                                        ///< verdict was carried from a
+                                        ///< baseline revision (incremental)
     std::size_t scheduled = 0;   ///< kernel simulations actually run
     std::size_t early_aborts = 0; ///< runs stopped early by detection
     std::size_t steps_saved = 0;  ///< tran: user-grid steps never integrated

@@ -1,0 +1,155 @@
+#include "obs/events.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace catlift::obs {
+
+namespace detail {
+std::atomic<bool> g_events_enabled{false};
+} // namespace detail
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+
+JsonlSink::JsonlSink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "w")) {}
+
+JsonlSink::~JsonlSink() {
+    if (file_) std::fclose(file_);
+}
+
+void JsonlSink::on_event(const char* name, std::uint64_t ts_ns,
+                         const std::vector<TraceArg>& fields) {
+    if (!file_) return;
+    std::string line = "{\"ev\":\"";
+    line += json_escape(name);
+    line += "\",\"ts_us\":";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(ts_ns) * 1e-3);
+    line += buf;
+    for (const TraceArg& f : fields) {
+        line += ",\"";
+        line += json_escape(f.key);
+        line += "\":";
+        switch (f.kind) {
+        case TraceArg::Kind::I64: line += std::to_string(f.i); break;
+        case TraceArg::Kind::F64:
+            std::snprintf(buf, sizeof(buf), "%.9g", f.d);
+            line += buf;
+            break;
+        case TraceArg::Kind::Str:
+            line += "\"";
+            line += json_escape(f.s);
+            line += "\"";
+            break;
+        }
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);  // the log is a crash-forensics artifact
+}
+
+// ---------------------------------------------------------------------------
+// ProgressSink (serialized by the bus mutex)
+
+void ProgressSink::on_event(const char* name, std::uint64_t,
+                            const std::vector<TraceArg>& fields) {
+    auto field_i64 = [&](const char* key) -> std::int64_t {
+        for (const TraceArg& f : fields)
+            if (std::strcmp(f.key, key) == 0) return f.i;
+        return 0;
+    };
+    auto field_str = [&](const char* key) -> const std::string* {
+        for (const TraceArg& f : fields)
+            if (std::strcmp(f.key, key) == 0 &&
+                f.kind == TraceArg::Kind::Str)
+                return &f.s;
+        return nullptr;
+    };
+    if (std::strcmp(name, "campaign_start") == 0) {
+        total_ = static_cast<std::size_t>(field_i64("faults"));
+        done_ = detected_ = 0;
+        std::fprintf(out_, "campaign: %zu faults\n", total_);
+    } else if (std::strcmp(name, "fault_retired") == 0) {
+        ++done_;
+        const std::string* verdict = field_str("verdict");
+        if (verdict && *verdict == "detected") ++detected_;
+        std::fprintf(out_, "\r[%zu/%zu] fault %lld %s (%zu detected)   ",
+                     done_, total_,
+                     static_cast<long long>(field_i64("fault_id")),
+                     verdict ? verdict->c_str() : "?", detected_);
+        std::fflush(out_);
+    } else if (std::strcmp(name, "campaign_end") == 0) {
+        std::fprintf(out_, "\ncampaign done: %lld/%lld detected\n",
+                     static_cast<long long>(field_i64("detected")),
+                     static_cast<long long>(field_i64("faults")));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CaptureSink
+
+void CaptureSink::on_event(const char* name, std::uint64_t ts_ns,
+                           const std::vector<TraceArg>& fields) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(Captured{name, ts_ns, fields});
+}
+
+std::vector<CaptureSink::Captured> CaptureSink::take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(events_);
+}
+
+std::size_t CaptureSink::count_of(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<std::size_t>(
+        std::count_if(events_.begin(), events_.end(),
+                      [&](const Captured& c) { return c.name == name; }));
+}
+
+// ---------------------------------------------------------------------------
+// Bus
+
+namespace {
+
+struct Bus {
+    std::mutex mu;
+    std::vector<std::shared_ptr<EventSink>> sinks;
+};
+
+Bus& bus() {
+    static Bus* b = new Bus;  // outlives worker threads
+    return *b;
+}
+
+} // namespace
+
+void attach_event_sink(std::shared_ptr<EventSink> sink) {
+    if (!sink) return;
+    Bus& b = bus();
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.sinks.push_back(std::move(sink));
+    detail::g_events_enabled.store(true, std::memory_order_relaxed);
+}
+
+void detach_event_sinks() {
+    Bus& b = bus();
+    std::lock_guard<std::mutex> lock(b.mu);
+    b.sinks.clear();
+    detail::g_events_enabled.store(false, std::memory_order_relaxed);
+}
+
+void emit_event(const char* name, const std::vector<TraceArg>& fields) {
+    Bus& b = bus();
+    const std::uint64_t ts = now_ns();
+    std::lock_guard<std::mutex> lock(b.mu);
+    for (auto& sink : b.sinks) sink->on_event(name, ts, fields);
+}
+
+void emit_event(const char* name, std::initializer_list<TraceArg> fields) {
+    emit_event(name, std::vector<TraceArg>(fields));
+}
+
+} // namespace catlift::obs

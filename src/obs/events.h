@@ -1,0 +1,115 @@
+// catlift/obs/events.h
+//
+// Campaign event log: a tiny publish/subscribe bus carrying discrete
+// campaign lifecycle events (fault scheduled/started/retired/carried,
+// store flush, symbolic-cache hit/miss, campaign start/end) to attached
+// sinks.  The JSONL sink is the streaming hook a long-lived campaign
+// service will subscribe to; the progress sink renders a live [k/n]
+// line; `NullSink` documents (and tests) the contract that a sink may
+// discard everything.
+//
+// When no sink is attached -- the default -- `events_enabled()` is false
+// and `emit_event` callers skip field construction entirely, so the off
+// path is one relaxed load and a branch, same as spans.
+
+#pragma once
+
+#include "obs/trace.h"  // TraceArg doubles as the event field type
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace catlift::obs {
+
+class EventSink {
+public:
+    virtual ~EventSink() = default;
+    virtual void on_event(const char* name, std::uint64_t ts_ns,
+                          const std::vector<TraceArg>& fields) = 0;
+};
+
+/// Discards every event -- the documented fast path when observation is
+/// wired in but nobody is listening.
+class NullSink : public EventSink {
+public:
+    void on_event(const char*, std::uint64_t,
+                  const std::vector<TraceArg>&) override {}
+};
+
+/// One JSON object per line: {"ev":<name>,"ts_us":<t>,...fields}.
+class JsonlSink : public EventSink {
+public:
+    explicit JsonlSink(const std::string& path);
+    ~JsonlSink() override;
+    bool good() const { return file_ != nullptr; }
+    void on_event(const char* name, std::uint64_t ts_ns,
+                  const std::vector<TraceArg>& fields) override;
+
+private:
+    std::FILE* file_ = nullptr;
+};
+
+/// Live campaign progress on a FILE* (default stderr): consumes
+/// campaign_start for the total, prints a carriage-return [k/n] line per
+/// retired fault and a final newline at campaign_end.
+class ProgressSink : public EventSink {
+public:
+    explicit ProgressSink(std::FILE* out = stderr) : out_(out) {}
+    void on_event(const char* name, std::uint64_t ts_ns,
+                  const std::vector<TraceArg>& fields) override;
+
+private:
+    std::FILE* out_;
+    std::size_t total_ = 0;
+    std::size_t done_ = 0;
+    std::size_t detected_ = 0;
+};
+
+/// Buffers events in memory; for tests.
+class CaptureSink : public EventSink {
+public:
+    struct Captured {
+        std::string name;
+        std::uint64_t ts_ns = 0;
+        std::vector<TraceArg> fields;
+    };
+    void on_event(const char* name, std::uint64_t ts_ns,
+                  const std::vector<TraceArg>& fields) override;
+    std::vector<Captured> take();
+    std::size_t count_of(const std::string& name);
+
+private:
+    std::mutex mu_;
+    std::vector<Captured> events_;
+};
+
+// ---------------------------------------------------------------------------
+// Bus
+
+namespace detail {
+extern std::atomic<bool> g_events_enabled;
+} // namespace detail
+
+inline bool events_enabled() noexcept {
+    return detail::g_events_enabled.load(std::memory_order_relaxed);
+}
+
+void attach_event_sink(std::shared_ptr<EventSink> sink);
+void detach_event_sinks();
+
+/// Deliver an event to every attached sink.  Callers on hot paths must
+/// guard with `events_enabled()` so the field list is never built when
+/// nobody listens:
+///
+///   if (obs::events_enabled())
+///       obs::emit_event("fault_retired", {obs::arg("fault_id", id)});
+void emit_event(const char* name, std::initializer_list<TraceArg> fields);
+void emit_event(const char* name, const std::vector<TraceArg>& fields);
+
+} // namespace catlift::obs

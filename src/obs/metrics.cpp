@@ -1,0 +1,202 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace catlift::obs {
+
+std::size_t this_thread_shard() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t shard =
+        next.fetch_add(1, std::memory_order_relaxed) % kShards;
+    return shard;
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+std::size_t histogram_bucket(double v) noexcept {
+    if (!(v > kHistMin)) return 0;  // underflow (and NaN)
+    const double lg = std::log10(v / kHistMin) *
+                      static_cast<double>(kHistPerDecade);
+    const std::size_t idx = 1 + static_cast<std::size_t>(lg);
+    const std::size_t last = kHistPerDecade * kHistDecades;
+    return idx > last ? last + 1 : idx;
+}
+
+double histogram_bucket_upper(std::size_t i) noexcept {
+    if (i + 1 >= kHistBuckets) return HUGE_VAL;
+    return kHistMin * std::pow(10.0, static_cast<double>(i) /
+                                         static_cast<double>(kHistPerDecade));
+}
+
+namespace {
+
+double bits_to_double(std::uint64_t b) noexcept {
+    double v;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+}
+
+std::uint64_t double_to_bits(double v) noexcept {
+    std::uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+}
+
+void atomic_add_double(std::atomic<std::uint64_t>& bits, double d) noexcept {
+    std::uint64_t cur = bits.load(std::memory_order_relaxed);
+    while (!bits.compare_exchange_weak(
+        cur, double_to_bits(bits_to_double(cur) + d),
+        std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_max_double(std::atomic<std::uint64_t>& bits, double d) noexcept {
+    std::uint64_t cur = bits.load(std::memory_order_relaxed);
+    while (bits_to_double(cur) < d &&
+           !bits.compare_exchange_weak(cur, double_to_bits(d),
+                                       std::memory_order_relaxed)) {
+    }
+}
+
+} // namespace
+
+void Histogram::record(double v) noexcept {
+    Shard& s = shards_[this_thread_shard()];
+    s.count.fetch_add(1, std::memory_order_relaxed);
+    atomic_add_double(s.sum_bits, v);
+    atomic_max_double(s.max_bits, v);
+    s.buckets[histogram_bucket(v)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const noexcept {
+    HistogramSnapshot out;
+    for (const Shard& s : shards_) {
+        out.count += s.count.load(std::memory_order_relaxed);
+        out.sum += bits_to_double(s.sum_bits.load(std::memory_order_relaxed));
+        out.max = std::max(
+            out.max,
+            bits_to_double(s.max_bits.load(std::memory_order_relaxed)));
+        for (std::size_t i = 0; i < kHistBuckets; ++i)
+            out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void Histogram::reset() noexcept {
+    for (Shard& s : shards_) {
+        s.count.store(0, std::memory_order_relaxed);
+        s.sum_bits.store(0, std::memory_order_relaxed);
+        s.max_bits.store(0, std::memory_order_relaxed);
+        for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    }
+}
+
+double HistogramSnapshot::percentile(double p) const noexcept {
+    if (count == 0) return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+    const double target = p * static_cast<double>(count);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kHistBuckets; ++i) {
+        cum += buckets[i];
+        if (static_cast<double>(cum) >= target && buckets[i] > 0) {
+            if (i == 0) return std::min(kHistMin, max);
+            if (i + 1 == kHistBuckets) return max;
+            const double lo = histogram_bucket_upper(i - 1);
+            const double hi = histogram_bucket_upper(i);
+            return std::min(std::sqrt(lo * hi), max);  // geometric midpoint
+        }
+    }
+    return max;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Counter& Registry::counter(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = counters_[name];
+    if (!slot) slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = gauges_[name];
+    if (!slot) slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& slot = histograms_[name];
+    if (!slot) slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void Registry::reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [name, c] : counters_) c->reset();
+    for (auto& [name, g] : gauges_) g->reset();
+    for (auto& [name, h] : histograms_) h->reset();
+}
+
+namespace {
+
+std::string json_number(double v) {
+    if (!std::isfinite(v)) return "0";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string Registry::to_json(const std::string& indent) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string js;
+    const std::string i1 = indent + "  ";
+    const std::string i2 = i1 + "  ";
+    js += "{\n" + i1 + "\"counters\": {";
+    bool first = true;
+    for (const auto& [name, c] : counters_) {
+        js += first ? "\n" : ",\n";
+        first = false;
+        js += i2 + "\"" + name + "\": " + std::to_string(c->value());
+    }
+    js += first ? "},\n" : "\n" + i1 + "},\n";
+    js += i1 + "\"gauges\": {";
+    first = true;
+    for (const auto& [name, g] : gauges_) {
+        js += first ? "\n" : ",\n";
+        first = false;
+        js += i2 + "\"" + name + "\": " + json_number(g->value());
+    }
+    js += first ? "},\n" : "\n" + i1 + "},\n";
+    js += i1 + "\"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : histograms_) {
+        const HistogramSnapshot s = h->snapshot();
+        js += first ? "\n" : ",\n";
+        first = false;
+        js += i2 + "\"" + name + "\": {\"count\": " + std::to_string(s.count) +
+              ", \"sum\": " + json_number(s.sum) +
+              ", \"mean\": " + json_number(s.mean()) +
+              ", \"p50\": " + json_number(s.p50()) +
+              ", \"p95\": " + json_number(s.p95()) +
+              ", \"max\": " + json_number(s.max) + "}";
+    }
+    js += first ? "}\n" : "\n" + i1 + "}\n";
+    js += indent + "}";
+    return js;
+}
+
+Registry& Registry::global() {
+    static Registry reg;
+    return reg;
+}
+
+} // namespace catlift::obs

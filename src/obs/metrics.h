@@ -1,0 +1,170 @@
+// catlift/obs/metrics.h
+//
+// Low-overhead metrics registry: counters, gauges and histograms with
+// fixed log-scale buckets.  Writers touch per-thread sharded slots
+// (cache-line padded atomics keyed by a thread-local shard index), so a
+// campaign's worker threads never contend on a metric; readers aggregate
+// the shards on demand.  Metric objects returned by the registry are
+// stable for the process lifetime -- `reset()` zeroes values in place, it
+// never invalidates references -- so hot paths can cache `Counter&`.
+//
+// The registry is always usable (benches write to it directly); the
+// *instrumentation* that feeds it from the kernel and campaign layers is
+// gated by the obs enable mask (see trace.h) so the off path costs one
+// relaxed load and a branch per event.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace catlift::obs {
+
+/// Number of independent write slots per metric.  Threads hash onto a
+/// slot by a thread-local index; 8 slots cover the campaign scheduler's
+/// typical worker counts without measurable contention.
+inline constexpr std::size_t kShards = 8;
+
+/// Shard index of the calling thread (assigned once per thread).
+std::size_t this_thread_shard() noexcept;
+
+// ---------------------------------------------------------------------------
+// Counter -- monotonically increasing 64-bit sum.
+
+class Counter {
+public:
+    void add(std::uint64_t delta = 1) noexcept {
+        shards_[this_thread_shard()].v.fetch_add(delta,
+                                                 std::memory_order_relaxed);
+    }
+    std::uint64_t value() const noexcept {
+        std::uint64_t total = 0;
+        for (const Shard& s : shards_)
+            total += s.v.load(std::memory_order_relaxed);
+        return total;
+    }
+    void reset() noexcept {
+        for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+    }
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+    std::array<Shard, kShards> shards_{};
+};
+
+// ---------------------------------------------------------------------------
+// Gauge -- last-set value (one slot; gauges are set, not accumulated).
+
+class Gauge {
+public:
+    void set(double v) noexcept {
+        bits_.store(encode(v), std::memory_order_relaxed);
+    }
+    double value() const noexcept {
+        return decode(bits_.load(std::memory_order_relaxed));
+    }
+    void reset() noexcept { bits_.store(encode(0.0)); }
+
+private:
+    static std::uint64_t encode(double v) noexcept {
+        std::uint64_t b = 0;
+        static_assert(sizeof(b) == sizeof(v));
+        __builtin_memcpy(&b, &v, sizeof(b));
+        return b;
+    }
+    static double decode(std::uint64_t b) noexcept {
+        double v = 0;
+        __builtin_memcpy(&v, &b, sizeof(v));
+        return v;
+    }
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Histogram -- fixed log-scale buckets, 5 per decade over [1e-9, 1e6),
+// plus an underflow and an overflow bucket.  The range covers both span
+// durations in seconds (1 ns .. 11 days) and discrete counts (iterations,
+// steps) up to a million.  Exact count/sum/max are kept alongside the
+// buckets so means and maxima never suffer bucket quantisation;
+// percentiles interpolate geometrically inside their bucket.
+
+inline constexpr double kHistMin = 1e-9;
+inline constexpr int kHistPerDecade = 5;
+inline constexpr int kHistDecades = 15;
+inline constexpr std::size_t kHistBuckets =
+    static_cast<std::size_t>(kHistPerDecade * kHistDecades) + 2;
+
+/// Bucket index of a sample (0 = underflow, kHistBuckets-1 = overflow).
+std::size_t histogram_bucket(double v) noexcept;
+/// Upper bound of bucket `i` (lower bound of `i+1`).
+double histogram_bucket_upper(std::size_t i) noexcept;
+
+struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+
+    double mean() const noexcept {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+    /// Percentile in [0,1] by cumulative bucket walk with geometric
+    /// interpolation; clamped to the exact max.
+    double percentile(double p) const noexcept;
+    double p50() const noexcept { return percentile(0.50); }
+    double p95() const noexcept { return percentile(0.95); }
+};
+
+class Histogram {
+public:
+    void record(double v) noexcept;
+    HistogramSnapshot snapshot() const noexcept;
+    void reset() noexcept;
+
+private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> count{0};
+        std::atomic<std::uint64_t> sum_bits{0};  // double, CAS-accumulated
+        std::atomic<std::uint64_t> max_bits{0};  // double, CAS-maxed
+        std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+    };
+    std::array<Shard, kShards> shards_{};
+};
+
+// ---------------------------------------------------------------------------
+// Registry -- name -> metric.  Lookup takes a mutex; hot paths look a
+// metric up once and cache the reference (stable for process lifetime).
+
+class Registry {
+public:
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    /// Zero every metric's value in place (references stay valid).
+    void reset();
+
+    /// Snapshot as a JSON object: {"counters":{...},"gauges":{...},
+    /// "histograms":{name:{count,sum,mean,max,p50,p95}}}.  `indent`
+    /// prefixes every line for embedding into larger documents.
+    std::string to_json(const std::string& indent = "") const;
+
+    /// The process-wide registry used by the instrumentation layer.
+    static Registry& global();
+
+private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace catlift::obs

@@ -1,0 +1,16 @@
+// catlift/obs/obs.h
+//
+// Umbrella header for the observability subsystem:
+//
+//   metrics.h  sharded counters/gauges/log-bucket histograms + registry
+//   trace.h    enable mask, scoped Span timers, Chrome trace exporter
+//   events.h   campaign event bus (JSONL / progress / null sinks)
+//
+// Everything is compiled in and off by default; the disabled path of
+// every instrumentation point is one relaxed atomic load and a branch.
+
+#pragma once
+
+#include "obs/events.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"

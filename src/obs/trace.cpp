@@ -1,0 +1,310 @@
+#include "obs/trace.h"
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace catlift::obs {
+
+namespace detail {
+std::atomic<unsigned> g_enabled_mask{0};
+} // namespace detail
+
+void enable_metrics(bool on) noexcept {
+    if (on)
+        detail::g_enabled_mask.fetch_or(kMetricsBit,
+                                        std::memory_order_relaxed);
+    else
+        detail::g_enabled_mask.fetch_and(~kMetricsBit,
+                                         std::memory_order_relaxed);
+}
+
+void enable_tracing(bool on) noexcept {
+    if (on)
+        detail::g_enabled_mask.fetch_or(kTracingBit,
+                                        std::memory_order_relaxed);
+    else
+        detail::g_enabled_mask.fetch_and(~kTracingBit,
+                                         std::memory_order_relaxed);
+}
+
+std::uint64_t now_ns() noexcept {
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch)
+            .count());
+}
+
+// ---------------------------------------------------------------------------
+// Phases
+
+const char* phase_name(Phase p) noexcept {
+    switch (p) {
+    case Phase::FaultSim: return "fault";
+    case Phase::Nominal: return "nominal";
+    case Phase::Analyze: return "analyze";
+    case Phase::Factor: return "factor";
+    case Phase::Refactor: return "refactor";
+    case Phase::Solve: return "solve";
+    case Phase::Newton: return "newton";
+    case Phase::StoreAppend: return "store_append";
+    case Phase::kCount: break;
+    }
+    return "unknown";
+}
+
+const char* phase_category(Phase p) noexcept {
+    switch (p) {
+    case Phase::FaultSim:
+    case Phase::Nominal: return "fault";
+    case Phase::StoreAppend: return "store";
+    default: return "kernel";
+    }
+}
+
+Histogram& phase_histogram(Phase p) {
+    struct Table {
+        Histogram* h[static_cast<std::size_t>(Phase::kCount)];
+        Table() {
+            Registry& reg = Registry::global();
+            for (std::size_t i = 0;
+                 i < static_cast<std::size_t>(Phase::kCount); ++i) {
+                const std::string name =
+                    std::string("phase.") +
+                    phase_name(static_cast<Phase>(i)) + ".seconds";
+                h[i] = &reg.histogram(name);
+            }
+        }
+    };
+    static Table table;
+    return *table.h[static_cast<std::size_t>(p)];
+}
+
+// ---------------------------------------------------------------------------
+// Lanes
+
+namespace {
+
+struct Lane {
+    std::uint32_t tid = 0;
+    std::string name;
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+};
+
+struct LaneRegistry {
+    std::mutex mu;
+    std::vector<std::unique_ptr<Lane>> lanes;
+};
+
+LaneRegistry& lane_registry() {
+    static LaneRegistry* reg = new LaneRegistry;  // outlives worker threads
+    return *reg;
+}
+
+Lane& this_lane() {
+    thread_local Lane* lane = [] {
+        LaneRegistry& reg = lane_registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        auto owned = std::make_unique<Lane>();
+        owned->tid = static_cast<std::uint32_t>(reg.lanes.size());
+        Lane* raw = owned.get();
+        reg.lanes.push_back(std::move(owned));
+        return raw;
+    }();
+    return *lane;
+}
+
+} // namespace
+
+void set_lane_name(const std::string& name) {
+    Lane& lane = this_lane();
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.name = name;
+}
+
+void append_event(TraceEvent ev) {
+    Lane& lane = this_lane();
+    ev.tid = lane.tid;
+    std::lock_guard<std::mutex> lock(lane.mu);
+    lane.events.push_back(std::move(ev));
+}
+
+// ---------------------------------------------------------------------------
+// Span
+
+void Span::arg(const char* key, std::int64_t v) {
+    if (live_ && (mask_ & kTracingBit)) args_.push_back(obs::arg(key, v));
+}
+void Span::arg(const char* key, double v) {
+    if (live_ && (mask_ & kTracingBit)) args_.push_back(obs::arg(key, v));
+}
+void Span::arg(const char* key, std::string v) {
+    if (live_ && (mask_ & kTracingBit))
+        args_.push_back(obs::arg(key, std::move(v)));
+}
+
+void Span::finish() {
+    const std::uint64_t t1 = now_ns();
+    const std::uint64_t dur = t1 > t0_ ? t1 - t0_ : 0;
+    if (mask_ & kMetricsBit)
+        phase_histogram(phase_).record(static_cast<double>(dur) * 1e-9);
+    if (mask_ & kTracingBit) {
+        TraceEvent ev;
+        ev.name = phase_name(phase_);
+        ev.cat = phase_category(phase_);
+        ev.ts_ns = t0_;
+        ev.dur_ns = dur;
+        ev.args = std::move(args_);
+        append_event(std::move(ev));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Export
+
+std::vector<TraceEvent> trace_snapshot() {
+    std::vector<TraceEvent> out;
+    LaneRegistry& reg = lane_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto& lane : reg.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        out.insert(out.end(), lane->events.begin(), lane->events.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceEvent& a, const TraceEvent& b) {
+                         return a.tid != b.tid ? a.tid < b.tid
+                                               : a.ts_ns < b.ts_ns;
+                     });
+    return out;
+}
+
+std::size_t trace_event_count() {
+    std::size_t n = 0;
+    LaneRegistry& reg = lane_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto& lane : reg.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        n += lane->events.size();
+    }
+    return n;
+}
+
+void trace_reset() {
+    LaneRegistry& reg = lane_registry();
+    std::lock_guard<std::mutex> lock(reg.mu);
+    for (auto& lane : reg.lanes) {
+        std::lock_guard<std::mutex> ll(lane->mu);
+        lane->events.clear();
+    }
+}
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void write_args(std::ostream& os, const std::vector<TraceArg>& args) {
+    os << "{";
+    bool first = true;
+    for (const TraceArg& a : args) {
+        if (!first) os << ",";
+        first = false;
+        os << "\"" << json_escape(a.key) << "\":";
+        switch (a.kind) {
+        case TraceArg::Kind::I64: os << a.i; break;
+        case TraceArg::Kind::F64: {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.9g", a.d);
+            os << buf;
+            break;
+        }
+        case TraceArg::Kind::Str:
+            os << "\"" << json_escape(a.s) << "\"";
+            break;
+        }
+    }
+    os << "}";
+}
+
+void write_ts_us(std::ostream& os, std::uint64_t ns) {
+    // Microseconds with nanosecond precision, printed without float
+    // rounding: Chrome's ts/dur unit is the microsecond.
+    os << ns / 1000 << "." << static_cast<char>('0' + (ns / 100) % 10)
+       << static_cast<char>('0' + (ns / 10) % 10)
+       << static_cast<char>('0' + ns % 10);
+}
+
+} // namespace
+
+void write_chrome_trace(std::ostream& os) {
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    {
+        LaneRegistry& reg = lane_registry();
+        std::lock_guard<std::mutex> lock(reg.mu);
+        for (auto& lane : reg.lanes) {
+            std::lock_guard<std::mutex> ll(lane->mu);
+            if (lane->name.empty()) continue;
+            if (!first) os << ",\n";
+            first = false;
+            os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               << "\"tid\":" << lane->tid << ",\"args\":{\"name\":\""
+               << json_escape(lane->name) << "\"}}";
+        }
+    }
+    for (const TraceEvent& ev : trace_snapshot()) {
+        if (!first) os << ",\n";
+        first = false;
+        os << "{\"name\":\"" << json_escape(ev.name) << "\",\"cat\":\""
+           << json_escape(ev.cat) << "\",\"ph\":\"X\",\"pid\":1,\"tid\":"
+           << ev.tid << ",\"ts\":";
+        write_ts_us(os, ev.ts_ns);
+        os << ",\"dur\":";
+        write_ts_us(os, ev.dur_ns);
+        if (!ev.args.empty()) {
+            os << ",\"args\":";
+            write_args(os, ev.args);
+        }
+        os << "}";
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+    std::ofstream f(path);
+    if (!f.good()) return false;
+    write_chrome_trace(f);
+    return f.good();
+}
+
+} // namespace catlift::obs

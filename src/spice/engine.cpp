@@ -1,5 +1,6 @@
 #include "spice/engine.h"
 
+#include "obs/obs.h"
 #include "spice/mos1.h"
 
 #include <algorithm>
@@ -169,6 +170,7 @@ void Simulator::build_kernel() {
     // Backend selection and the site -> value-slot lookup table.
     sparse_ = n > 0 && n >= opt_.sparse_threshold;
     if (sparse_) {
+        obs::Span sp(obs::Phase::Analyze);
         slu_.set_ordering(opt_.ordering);
         slot_lut_ = slu_.analyze(n, sites_);
         // Campaign-shared symbolic analysis: adopt the nominal circuit's
@@ -181,6 +183,15 @@ void Simulator::build_kernel() {
             if (!preorder_cols_.empty()) {
                 slu_.set_preorder(preorder_cols_);
                 ++stats_.symbolic_cache_hits;
+                if (obs::events_enabled())
+                    obs::emit_event(
+                        "symbolic_cache_hit",
+                        {obs::arg("unknowns",
+                                  static_cast<std::int64_t>(n))});
+            } else if (obs::events_enabled()) {
+                obs::emit_event(
+                    "symbolic_cache_miss",
+                    {obs::arg("unknowns", static_cast<std::int64_t>(n))});
             }
         }
         vals_size_ = slu_.nnz();
@@ -494,15 +505,18 @@ void Simulator::sync_sparse_timers() {
 }
 
 bool Simulator::factor_work() {
+    obs::Span sp(obs::Phase::Factor);
     if (sparse_) {
         const std::size_t before_full = slu_.full_factors();
         const bool ok = slu_.factor(svals_work_);
         sync_sparse_timers();
         if (!ok) return false;
-        if (slu_.full_factors() > before_full)
+        if (slu_.full_factors() > before_full) {
             ++stats_.sparse_full_factors;
-        else
+        } else {
             ++stats_.sparse_refactors;
+            sp.set_phase(obs::Phase::Refactor);
+        }
     } else {
         if (!lu_.factor(a_work_)) return false;
     }
@@ -511,6 +525,7 @@ bool Simulator::factor_work() {
 }
 
 void Simulator::solve_work() {
+    obs::Span sp(obs::Phase::Solve);
     if (sparse_) {
         x_new_ = rhs_;
         slu_.solve(x_new_);
@@ -521,6 +536,7 @@ void Simulator::solve_work() {
 
 bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
                        double src_scale, double extra_gmin, int max_iter) {
+    obs::Span sp(obs::Phase::Newton);
     const std::size_t n = n_nodes_ + n_branches_;
     ensure_static(dc, h, extra_gmin);
     build_rhs_base(dc, h, t, src_scale);
@@ -785,6 +801,7 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
     // Complex backend mirrors the real one: same sites, same slots; the
     // complex pattern analysis runs once, lazily, on the first sweep.
     if (sparse_ && !ac_kernel_ready_) {
+        obs::Span asp(obs::Phase::Analyze);
         // The complex backend mirrors the real one's ordering setup so a
         // campaign-shared preordering covers the AC sweep too.
         cslu_.set_ordering(opt_.ordering);
@@ -837,19 +854,28 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
             addc(cp.s_21, -jwc);
         }
         if (sparse_) {
+            obs::Span fsp(obs::Phase::Factor);
             const std::size_t before_full = cslu_.full_factors();
             const bool fok = cslu_.factor(cvals_work_);
             sync_sparse_timers();
             require(fok, "ac: singular system at f=" + std::to_string(f));
-            if (cslu_.full_factors() > before_full)
+            if (cslu_.full_factors() > before_full) {
                 ++stats_.sparse_full_factors;
-            else
+            } else {
                 ++stats_.sparse_refactors;
+                fsp.set_phase(obs::Phase::Refactor);
+            }
+            fsp.end();
+            obs::Span ssp(obs::Phase::Solve);
             sol = rhs;
             cslu_.solve(sol);
         } else {
-            require(clu_.factor(ca_work_),
-                    "ac: singular system at f=" + std::to_string(f));
+            {
+                obs::Span fsp(obs::Phase::Factor);
+                require(clu_.factor(ca_work_),
+                        "ac: singular system at f=" + std::to_string(f));
+            }
+            obs::Span ssp(obs::Phase::Solve);
             clu_.solve(rhs, sol);
         }
         ++stats_.lu_factorizations;

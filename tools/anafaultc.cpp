@@ -37,7 +37,13 @@
 //     --no-share-symbolic  every faulty kernel runs its own ordering
 //                        instead of adopting the nominal one
 //     --stats            batch/kernel counter block (scheduler, bypass,
-//                        symbolic cache, ordering/numeric time split)
+//                        symbolic cache, ordering/numeric time split,
+//                        per-phase latency percentiles)
+//     --trace <file>     record per-fault spans and write a Chrome
+//                        trace_event JSON (open in Perfetto)
+//     --metrics-json <file>  write the metrics registry snapshot as JSON
+//     --events <file>    stream campaign lifecycle events as JSONL
+//     --progress         live [k/n] progress line on stderr
 //     --table            per-fault result table
 //     --plot             ASCII coverage plot
 //     --csv <file>       coverage curve CSV
@@ -47,11 +53,13 @@
 #include "anafault/report.h"
 #include "lift/fault.h"
 #include "netlist/parser.h"
+#include "obs/obs.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 namespace {
@@ -67,7 +75,8 @@ namespace {
         "[--no-collapse] [--no-adaptive] [--lte-tol tol] [--no-sparse] "
         "[--sparse] [--no-bypass] [--bypass-tol tol] "
         "[--device-bypass-tol tol] [--ordering amd|markowitz] "
-        "[--no-share-symbolic] [--stats] [--table] "
+        "[--no-share-symbolic] [--stats] [--trace file] "
+        "[--metrics-json file] [--events file] [--progress] [--table] "
         "[--plot] [--csv file]\n");
     std::exit(2);
 }
@@ -84,10 +93,11 @@ int main(int argc, char** argv) {
     using namespace catlift;
     std::string deck_path, flt_path, csv_path;
     std::string baseline_store, baseline_flt_path;
+    std::string trace_path, metrics_path, events_path;
     double diff_tol = 0.05;
     anafault::CampaignOptions opt;
     opt.detection.observed.clear();
-    bool table = false, plot = false, stats = false;
+    bool table = false, plot = false, stats = false, progress = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -167,6 +177,10 @@ int main(int argc, char** argv) {
         }
         else if (a == "--no-share-symbolic") opt.share_symbolic = false;
         else if (a == "--stats") stats = true;
+        else if (a == "--trace") trace_path = next();
+        else if (a == "--metrics-json") metrics_path = next();
+        else if (a == "--events") events_path = next();
+        else if (a == "--progress") progress = true;
         else if (a == "--table") table = true;
         else if (a == "--plot") plot = true;
         else if (a == "--csv") csv_path = next();
@@ -186,6 +200,21 @@ int main(int argc, char** argv) {
                      "must be given together\n");
         return 2;
     }
+
+    // Observation must be switched on before the campaign runs; --stats
+    // needs the metrics bit too so the phase histograms fill in.
+    if (stats || !metrics_path.empty()) obs::enable_metrics(true);
+    if (!trace_path.empty()) obs::enable_tracing(true);
+    if (!events_path.empty()) {
+        auto sink = std::make_shared<obs::JsonlSink>(events_path);
+        if (!sink->good()) {
+            std::fprintf(stderr, "anafaultc: cannot write %s\n",
+                         events_path.c_str());
+            return 1;
+        }
+        obs::attach_event_sink(sink);
+    }
+    if (progress) obs::attach_event_sink(std::make_shared<obs::ProgressSink>());
 
     try {
         const netlist::Circuit ckt = netlist::parse_spice_file(deck_path);
@@ -213,12 +242,14 @@ int main(int argc, char** argv) {
         std::printf("%s", anafault::campaign_summary(res).c_str());
         if (stats) {
             const batch::BatchStats& b = res.batch;
-            std::printf("\nbatch/kernel counters:\n");
+            std::printf("\nbatch/kernel counters (current process):\n");
             std::printf("  threads %u, classes %zu, collapsed %zu\n",
                         b.threads, b.classes, b.collapsed);
-            std::printf("  scheduled %zu, resumed %zu, early aborts %zu "
-                        "(steps saved %zu)\n",
-                        b.scheduled, b.resumed, b.early_aborts, b.steps_saved);
+            std::printf("  scheduled %zu, resumed %zu, carried from store "
+                        "%zu\n",
+                        b.scheduled, b.resumed, b.carried_from_store);
+            std::printf("  early aborts %zu (steps saved %zu)\n",
+                        b.early_aborts, b.steps_saved);
             std::printf("  steps integrated %zu, interpolated %zu\n",
                         b.steps_integrated, b.steps_interpolated);
             std::printf("  bypass solves %zu, device stamp skips %zu, "
@@ -233,9 +264,32 @@ int main(int argc, char** argv) {
                                 : 0.0;
             std::printf("  symbolic cache hits %zu / %zu kernels (%.1f%%)\n",
                         b.symbolic_cache_hits, b.scheduled, hit_rate);
-            std::printf("  ordering time %.4f s, numeric refactor time "
-                        "%.4f s\n",
-                        b.ordering_seconds, b.numeric_seconds);
+            // The ordering/numeric split as shares of the total kernel
+            // time this run spent solving (nominal + faulty).
+            const double kernel_s = res.nominal_seconds + res.total_seconds;
+            auto pct = [kernel_s](double s) {
+                return kernel_s > 0.0 ? 100.0 * s / kernel_s : 0.0;
+            };
+            std::printf("  kernel time %.4f s (nominal %.4f + faulty "
+                        "%.4f)\n",
+                        kernel_s, res.nominal_seconds, res.total_seconds);
+            std::printf("  ordering time %.4f s (%.1f%% of kernel), "
+                        "numeric refactor time %.4f s (%.1f%%)\n",
+                        b.ordering_seconds, pct(b.ordering_seconds),
+                        b.numeric_seconds, pct(b.numeric_seconds));
+            std::printf("  phase latencies (seconds, current process):\n");
+            for (std::uint8_t p = 0;
+                 p < static_cast<std::uint8_t>(obs::Phase::kCount); ++p) {
+                const auto ph = static_cast<obs::Phase>(p);
+                const obs::HistogramSnapshot h =
+                    obs::phase_histogram(ph).snapshot();
+                if (h.count == 0) continue;
+                std::printf("    %-12s count %-7llu p50 %.3e  p95 %.3e  "
+                            "max %.3e\n",
+                            obs::phase_name(ph),
+                            static_cast<unsigned long long>(h.count),
+                            h.p50(), h.p95(), h.max);
+            }
         }
         if (plot)
             std::printf("\n%s",
@@ -247,6 +301,15 @@ int main(int argc, char** argv) {
             if (!f.good()) throw Error("cannot write " + csv_path);
             f << anafault::coverage_csv(res);
         }
+        if (!trace_path.empty() &&
+            !obs::write_chrome_trace_file(trace_path))
+            throw Error("cannot write " + trace_path);
+        if (!metrics_path.empty()) {
+            std::ofstream f(metrics_path);
+            if (!f.good()) throw Error("cannot write " + metrics_path);
+            f << obs::Registry::global().to_json() << "\n";
+        }
+        obs::detach_event_sinks();
         return 0;
     } catch (const Error& e) {
         std::fprintf(stderr, "anafaultc: %s\n", e.what());

@@ -75,6 +75,30 @@ def guard_parallel_speedup(base, fresh, ctol, rtol):
         if label != "seed-serial":
             check_ratio(f"parallel_speedup.{label}.speedup_vs_seed",
                         bs["speedup_vs_seed"], fs["speedup_vs_seed"], rtol)
+    # Observability overhead row: the traced-OFF cost model must stay
+    # under the 2% acceptance pin, and tracing must never change a
+    # verdict.  Both are absolute properties of the fresh run, not
+    # baseline-relative drift checks.
+    obs = fresh.get("obs")
+    if obs is None:
+        if "obs" in base:
+            print("  [FAIL] parallel_speedup.obs section missing")
+            FAILURES.append("parallel_speedup.obs-missing")
+        return
+    est = obs.get("traced_off_overhead_est")
+    if not isinstance(est, (int, float)) or est >= 0.02:
+        print(f"  [FAIL] parallel_speedup.obs.traced_off_overhead_est "
+              f"{est} breaches the 2% pin")
+        FAILURES.append("parallel_speedup.obs.traced_off_overhead")
+    else:
+        print(f"  [ok] parallel_speedup.obs.traced_off_overhead_est "
+              f"{est:.4%} (< 2%)")
+    if not obs.get("verdicts_identical_traced", False):
+        print("  [FAIL] parallel_speedup.obs.verdicts_identical_traced "
+              "is false")
+        FAILURES.append("parallel_speedup.obs.verdicts_identical_traced")
+    else:
+        print("  [ok] parallel_speedup.obs.verdicts_identical_traced")
 
 
 def guard_adaptive_tran(base, fresh, ctol, rtol):

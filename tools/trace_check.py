@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by the obs layer.
+
+Checks (see docs/trace-schema.md for the pinned schema):
+  * the file is well-formed trace_event JSON: a top-level object with a
+    "traceEvents" array, every event carrying name/ph/pid/tid and, for
+    "X" complete events, numeric ts + dur;
+  * timestamps are monotonically non-decreasing per lane (tid) in file
+    order -- the writer sorts by (tid, ts), so any inversion means a
+    broken export;
+  * any "B"/"E" duration events balance per lane;
+  * every fault span is closed (an "X" event by construction) and
+    carries the pinned args: fault_id, signature, verdict;
+  * with --expect-fault-spans N, exactly N fault spans are present --
+    one per campaign fault.
+
+Exit status 0 when the trace passes, 1 with a diagnostic otherwise.
+
+Usage: trace_check.py TRACE.json [--expect-fault-spans N]
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "pid", "tid")
+FAULT_SPAN_ARGS = ("fault_id", "signature", "verdict")
+
+
+def fail(msg):
+    print(f"trace_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("--expect-fault-spans", type=int, default=None,
+                    help="require exactly N closed 'fault' spans")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a 'traceEvents' array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("'traceEvents' is not an array")
+
+    last_ts = {}       # tid -> last seen ts
+    open_stack = {}    # tid -> [names] for B/E balance
+    fault_spans = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail(f"event {i} is not an object")
+        for k in REQUIRED_KEYS:
+            if k not in ev:
+                fail(f"event {i} ({ev.get('name', '?')}) missing '{k}'")
+        ph = ev["ph"]
+        tid = ev["tid"]
+        if ph == "M":
+            continue  # metadata events carry no timestamp contract
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)):
+            fail(f"event {i} ({ev['name']}) has no numeric 'ts'")
+        if ts < last_ts.get(tid, float("-inf")):
+            fail(f"event {i} ({ev['name']}): ts {ts} goes backwards on "
+                 f"lane tid={tid} (previous {last_ts[tid]})")
+        last_ts[tid] = ts
+        if ph == "X":
+            if not isinstance(ev.get("dur"), (int, float)):
+                fail(f"event {i} ({ev['name']}): 'X' event without "
+                     f"numeric 'dur'")
+            if ev["name"] == "fault":
+                fault_spans.append((i, ev))
+        elif ph == "B":
+            open_stack.setdefault(tid, []).append(ev["name"])
+        elif ph == "E":
+            stack = open_stack.get(tid, [])
+            if not stack:
+                fail(f"event {i} ({ev['name']}): 'E' without matching "
+                     f"'B' on lane tid={tid}")
+            stack.pop()
+
+    for tid, stack in open_stack.items():
+        if stack:
+            fail(f"lane tid={tid} has unclosed 'B' spans: {stack}")
+
+    for i, ev in fault_spans:
+        span_args = ev.get("args", {})
+        for k in FAULT_SPAN_ARGS:
+            if k not in span_args:
+                fail(f"fault span at event {i} missing arg '{k}'")
+
+    if args.expect_fault_spans is not None:
+        if len(fault_spans) != args.expect_fault_spans:
+            fail(f"expected {args.expect_fault_spans} fault spans, "
+                 f"found {len(fault_spans)}")
+
+    lanes = len(last_ts)
+    print(f"trace_check: OK: {len(events)} events, {lanes} lanes, "
+          f"{len(fault_spans)} closed fault spans")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
