@@ -28,7 +28,9 @@ double seconds_since(const std::chrono::steady_clock::time_point& t0) {
 }
 
 const char* ac_verdict(const AcFaultResult& r) {
-    return r.detected ? "detected" : r.simulated ? "undetected" : "failed";
+    if (r.detected) return "detected";
+    if (r.simulated) return "undetected";
+    return r.quarantined ? "quarantined" : "failed";
 }
 
 /// AC counterpart of the transient runner's publish_fault_obs: span args
@@ -52,6 +54,7 @@ void publish_ac_fault_obs(obs::Span& sp, const AcFaultResult& r,
         sp.arg("nr_iterations", i64(r.nr_iterations));
         sp.arg("symbolic_cache_hits", i64(r.symbolic_cache_hits));
         sp.arg("sim_seconds", r.sim_seconds);
+        sp.arg("attempts", i64(r.attempts));
     }
     sp.end();
     if (mask & obs::kMetricsBit) {
@@ -71,6 +74,78 @@ void publish_ac_fault_obs(obs::Span& sp, const AcFaultResult& r,
              obs::arg("sim_seconds", r.sim_seconds)});
 }
 
+/// AC twin of the transient runner's simulate_with_retries: run one
+/// faulty sweep through the retry/degradation ladder (anafault/retry.h)
+/// until an attempt simulates or the ladder is exhausted (-> quarantined).
+/// `base_sim` is the campaign's effective fault SimOptions (it carries the
+/// shared symbolic cache, which the dense rung then drops).
+AcFaultResult sweep_with_retries(const Circuit& faulty,
+                                 const spice::AcResult& nominal,
+                                 const spice::SimOptions& base_sim,
+                                 const AcCampaignOptions& opt, int fault_id,
+                                 std::atomic<std::size_t>& retries) {
+    const int attempts_allowed = 1 + std::max(0, opt.max_retries);
+    AcFaultResult r;
+    std::string retry_log;
+    for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+        const spice::SimOptions asim =
+            attempt == 0 ? base_sim : degrade_sim(base_sim, attempt);
+        if (attempt > 0) {
+            retries.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled())
+                obs::Registry::global().counter("campaign.retries").add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_retry",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(fault_id)),
+                     obs::arg("attempt",
+                              static_cast<std::int64_t>(attempt)),
+                     obs::arg("config", attempt_label(attempt)),
+                     obs::arg("error", r.error)});
+        }
+        r.simulated = false;
+        r.error.clear();
+        try {
+            AcStreamingDetector detector(nominal, opt.observed, opt.db_tol);
+            spice::Simulator sim(faulty, asim);
+            const spice::AcPointObserver observer =
+                [&](double, const spice::AcResult& partial) {
+                    return !(detector.feed(partial) && opt.early_abort);
+                };
+            sim.ac(opt.sweep, observer);
+            r.simulated = true;
+            r.detected = detector.detected();
+            r.detect_freq = detector.detect_freq();
+            r.max_deviation_db = detector.max_deviation_db();
+            r.points_saved = sim.stats().ac_points_saved;
+            r.nr_iterations = sim.stats().nr_iterations;
+            r.symbolic_cache_hits = sim.stats().symbolic_cache_hits;
+            r.ordering_seconds = sim.stats().ordering_seconds;
+            r.numeric_seconds = sim.stats().numeric_seconds;
+        } catch (const std::exception& e) {
+            r.error = e.what();
+        }
+        r.attempts = static_cast<std::uint32_t>(attempt + 1);
+        if (r.simulated) break;
+        log_attempt(retry_log, attempt, r.error);
+    }
+    r.retry_log = std::move(retry_log);
+    if (!r.simulated && opt.max_retries > 0) {
+        r.quarantined = true;
+        if (obs::metrics_enabled())
+            obs::Registry::global().counter("campaign.quarantined").add(1);
+        if (obs::events_enabled())
+            obs::emit_event(
+                "fault_quarantined",
+                {obs::arg("fault_id", static_cast<std::int64_t>(fault_id)),
+                 obs::arg("attempts",
+                          static_cast<std::int64_t>(r.attempts)),
+                 obs::arg("error", r.error)});
+    }
+    return r;
+}
+
 } // namespace
 
 std::size_t AcCampaignResult::detected() const {
@@ -83,6 +158,19 @@ double AcCampaignResult::coverage() const {
     if (results.empty()) return 0.0;
     return 100.0 * static_cast<double>(detected()) /
            static_cast<double>(results.size());
+}
+
+std::size_t AcCampaignResult::failed() const {
+    return static_cast<std::size_t>(std::count_if(
+        results.begin(), results.end(), [](const AcFaultResult& r) {
+            return !r.simulated && !r.quarantined;
+        }));
+}
+
+std::size_t AcCampaignResult::quarantined() const {
+    return static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const AcFaultResult& r) { return r.quarantined; }));
 }
 
 std::uint64_t ac_campaign_manifest(const Circuit& ckt,
@@ -107,6 +195,9 @@ std::uint64_t ac_campaign_manifest(const Circuit& ckt,
     o += opt.share_symbolic ? "|sharesym" : "|nosharesym";
     o += opt.collapse ? "|collapse" : "|nocollapse";
     o += opt.early_abort ? "|abort" : "|noabort";
+    // The retry ladder can converge a fault the base config fails, so a
+    // store written under a different retry depth is foreign.
+    o += "|retries:" + std::to_string(opt.max_retries);
     return batch::fnv1a(o, h);
 }
 
@@ -126,6 +217,9 @@ batch::FaultSimResult ac_to_record(const AcFaultResult& r) {
     rec.ordering_seconds = r.ordering_seconds;
     rec.numeric_seconds = r.numeric_seconds;
     rec.carried = r.carried;
+    rec.attempts = r.attempts;
+    rec.quarantined = r.quarantined;
+    rec.retry_log = r.retry_log;
     return rec;
 }
 
@@ -146,6 +240,9 @@ AcFaultResult ac_from_record(const batch::FaultSimResult& rec) {
     r.ordering_seconds = rec.ordering_seconds;
     r.numeric_seconds = rec.numeric_seconds;
     r.carried = rec.carried;
+    r.attempts = rec.attempts;
+    r.quarantined = rec.quarantined;
+    r.retry_log = rec.retry_log;
     return r;
 }
 
@@ -190,8 +287,8 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
             std::error_code ec;
             std::filesystem::remove(opt.result_store, ec);
         }
-        store = std::make_unique<batch::ResultStore>(opt.result_store,
-                                                     manifest);
+        store = std::make_unique<batch::ResultStore>(
+            opt.result_store, manifest, opt.store_durability);
         std::map<int, std::size_t> by_id;
         for (std::size_t i = 0; i < n_faults; ++i)
             by_id[faults.faults[i].id] = i;
@@ -231,6 +328,29 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
     });
 
     std::atomic<std::size_t> kernel_runs{0};
+    std::atomic<std::size_t> retries{0};
+    std::atomic<std::size_t> store_errors{0};
+    // Contained store append: an I/O failure must not fail the fault --
+    // its verdict is already computed and stays in memory; a later resume
+    // re-simulates it.  Counted and published, never rethrown.
+    auto safe_append = [&](const AcFaultResult& r) {
+        if (!store) return;
+        try {
+            store->append(ac_to_record(r));
+        } catch (const std::exception& e) {
+            store_errors.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled())
+                obs::Registry::global()
+                    .counter("store.append_errors")
+                    .add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "store_error",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(r.fault_id)),
+                     obs::arg("error", std::string(e.what()))});
+        }
+    };
     auto run_class = [&](std::size_t c) {
         const std::vector<std::size_t>& members = classes[c].members;
         const AcFaultResult* verdict = nullptr;
@@ -251,38 +371,26 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
                               static_cast<std::int64_t>(f.id))});
             obs::Span sp(obs::Phase::FaultSim);
             AcFaultResult r;
-            r.fault_id = f.id;
-            r.description = f.describe();
-            r.probability = f.probability;
             const auto t0 = std::chrono::steady_clock::now();
             try {
                 const Circuit faulty = inject(ckt, f, opt.injection);
                 kernel_runs.fetch_add(1, std::memory_order_relaxed);
-                AcStreamingDetector detector(res.nominal, opt.observed,
-                                             opt.db_tol);
-                spice::Simulator sim(faulty, fault_sim);
-                const spice::AcPointObserver observer =
-                    [&](double, const spice::AcResult& partial) {
-                        return !(detector.feed(partial) && opt.early_abort);
-                    };
-                sim.ac(opt.sweep, observer);
-                r.simulated = true;
-                r.detected = detector.detected();
-                r.detect_freq = detector.detect_freq();
-                r.max_deviation_db = detector.max_deviation_db();
-                r.points_saved = sim.stats().ac_points_saved;
-                r.nr_iterations = sim.stats().nr_iterations;
-                r.symbolic_cache_hits = sim.stats().symbolic_cache_hits;
-                r.ordering_seconds = sim.stats().ordering_seconds;
-                r.numeric_seconds = sim.stats().numeric_seconds;
-            } catch (const Error& e) {
+                r = sweep_with_retries(faulty, res.nominal, fault_sim, opt,
+                                       f.id, retries);
+            } catch (const std::exception& e) {
+                // Injection failure (or any exception the ladder did not
+                // already contain): injection is deterministic, so the
+                // retry ladder has nothing to offer -- retire `failed`.
                 r.simulated = false;
                 r.error = e.what();
             }
+            r.fault_id = f.id;
+            r.description = f.describe();
+            r.probability = f.probability;
             r.sim_seconds = seconds_since(t0);
             res.results[rep] = std::move(r);
             done[rep] = 1;
-            if (store) store->append(ac_to_record(res.results[rep]));
+            safe_append(res.results[rep]);
             publish_ac_fault_obs(sp, res.results[rep],
                                  batch::effect_signature(f));
             verdict = &res.results[rep];
@@ -293,16 +401,20 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
             copy.fault_id = faults.faults[m].id;
             copy.description = faults.faults[m].describe();
             copy.probability = faults.faults[m].probability;
-            // Kernel savings stay attributed to the class representative.
+            // Kernel savings -- and retry cost -- stay attributed to the
+            // class representative; the verdict (quarantined included)
+            // fans out.
             copy.points_saved = 0;
             copy.sim_seconds = 0.0;
             copy.nr_iterations = 0;
             copy.symbolic_cache_hits = 0;
             copy.ordering_seconds = 0.0;
             copy.numeric_seconds = 0.0;
+            copy.attempts = 1;
+            copy.retry_log.clear();
             res.results[m] = std::move(copy);
             done[m] = 1;
-            if (store) store->append(ac_to_record(res.results[m]));
+            safe_append(res.results[m]);
             if (obs::metrics_enabled())
                 obs::Registry::global()
                     .counter("campaign.fanned_out")
@@ -320,10 +432,17 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
     };
 
     const batch::Scheduler scheduler(opt.threads);
-    const batch::SchedulerStats sstats = scheduler.run(jobs, run_class);
+    // RecordAndContinue: the per-fault handling above already retires
+    // every failure; an exception still reaching the scheduler is recorded
+    // and the remaining faults keep their verdicts.
+    const batch::SchedulerStats sstats =
+        scheduler.run(jobs, run_class, batch::ErrorPolicy::RecordAndContinue);
     res.batch.collapsed = n_faults - classes.size();
     res.batch.scheduled = kernel_runs.load();
     res.batch.steals = sstats.steals;
+    res.batch.job_errors = sstats.failed_jobs;
+    res.batch.retries = retries.load();
+    res.batch.store_errors = store_errors.load();
 
     for (std::size_t i = 0; i < n_faults; ++i) {
         if (resumed_here[i]) continue;
@@ -335,6 +454,7 @@ AcCampaignResult run_ac_campaign(const Circuit& ckt,
         res.batch.symbolic_cache_hits += r.symbolic_cache_hits;
         res.batch.ordering_seconds += r.ordering_seconds;
         res.batch.numeric_seconds += r.numeric_seconds;
+        if (r.quarantined) ++res.batch.quarantined;
     }
     if (obs::events_enabled())
         obs::emit_event(

@@ -27,6 +27,7 @@
 #pragma once
 
 #include "anafault/fault_models.h"
+#include "anafault/retry.h"
 #include "batch/result_store.h"
 #include "batch/scheduler.h"
 #include "lift/fault.h"
@@ -56,8 +57,14 @@ struct AcCampaignOptions {
     /// Share the nominal kernel's symbolic analysis (elimination order)
     /// with every faulty sweep; see CampaignOptions::share_symbolic.
     bool share_symbolic = true;
+    /// Retry/degradation ladder (anafault/retry.h); see
+    /// CampaignOptions::max_retries.  Verdict-affecting, in the manifest.
+    int max_retries = kDefaultMaxRetries;
     /// Path of the append-only result store ("" disables persistence).
     std::string result_store;
+    /// Durability of each store append (batch::Durability); not
+    /// verdict-affecting, hence not in the manifest.
+    batch::Durability store_durability = batch::Durability::Flush;
     /// Reuse results already in `result_store` from a previous (possibly
     /// crashed) run of the *same* campaign.
     bool resume = false;
@@ -84,6 +91,11 @@ struct AcFaultResult {
     double numeric_seconds = 0.0;        ///< sparse refactor time
     /// Verdict carried from a baseline store by the incremental engine.
     bool carried = false;
+    std::uint32_t attempts = 1;  ///< simulation attempts (1 = no retry)
+    /// The retry ladder was exhausted: every attempt failed.  Disjoint
+    /// from plain `failed` (!simulated && !quarantined).
+    bool quarantined = false;
+    std::string retry_log;  ///< one entry per failed attempt
 };
 
 struct AcCampaignResult {
@@ -93,6 +105,10 @@ struct AcCampaignResult {
 
     std::size_t detected() const;
     double coverage() const;  ///< percent
+    /// Faults that failed without exhausting the retry ladder.
+    std::size_t failed() const;
+    /// Faults retired by the retry ladder: every rung failed.
+    std::size_t quarantined() const;
 };
 
 /// Run the AC campaign over a fault list.

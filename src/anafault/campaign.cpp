@@ -97,6 +97,12 @@ std::string sim_knob_signature(const spice::SimOptions& sim) {
         o += "|nobypass";
     }
     o += sim.ordering == spice::SparseOrdering::Amd ? "|amd" : "|mark";
+    // Execution budgets fail slow faults instead of waiting them out --
+    // verdict-affecting, so a store written under different budgets is
+    // foreign.
+    o += "|wall:" + hexd(sim.max_wall_seconds);
+    o += "|nrb:" + std::to_string(sim.max_nr_total);
+    o += "|stb:" + std::to_string(sim.max_tran_steps);
     return o;
 }
 
@@ -134,6 +140,9 @@ std::uint64_t manifest_hash(const Circuit& ckt,
     // actually re-simulated -- treat the store as foreign.
     o += opt.collapse ? "|collapse" : "|nocollapse";
     o += opt.early_abort ? "|abort" : "|noabort";
+    // The retry ladder can converge a fault the base config fails, so a
+    // store written under a different retry depth is foreign.
+    o += "|retries:" + std::to_string(opt.max_retries);
     return batch::fnv1a(o, h);
 }
 
@@ -167,7 +176,10 @@ FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
         r.numeric_seconds = sim.stats().numeric_seconds;
         r.simulated = true;
         r.detect_time = detector->detect_time();
-    } catch (const Error& e) {
+    } catch (const std::exception& e) {
+        // std::exception, not just catlift::Error: a stray
+        // std::out_of_range (or any library exception) must retire this
+        // fault, never escape to the scheduler and kill the campaign.
         r.sim_seconds = seconds_since(t0);
         r.error = e.what();
         // Detection is confirmed the instant the cumulative mismatch
@@ -185,7 +197,61 @@ FaultSimResult simulate_one(const Circuit& faulty, const Waveforms& nominal,
 }
 
 const char* verdict_of(const FaultSimResult& r) {
-    return r.detect_time ? "detected" : r.simulated ? "undetected" : "failed";
+    if (r.detect_time) return "detected";
+    if (r.simulated) return "undetected";
+    return r.quarantined ? "quarantined" : "failed";
+}
+
+/// Run one fault through the retry/degradation ladder: the campaign's own
+/// configuration first, then each rung of anafault/retry.h until an
+/// attempt simulates or the ladder is exhausted (-> quarantined).  Every
+/// failed attempt lands in the retry log; every re-attempt is counted and
+/// published.
+FaultSimResult simulate_with_retries(const Circuit& faulty,
+                                     const Waveforms& nominal,
+                                     const TranSpec& ts,
+                                     const CampaignOptions& opt,
+                                     int fault_id,
+                                     std::atomic<std::size_t>& retries) {
+    const int attempts_allowed = 1 + std::max(0, opt.max_retries);
+    FaultSimResult r;
+    std::string retry_log;
+    for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+        CampaignOptions aopt = opt;
+        if (attempt > 0) {
+            aopt.sim = degrade_sim(opt.sim, attempt);
+            retries.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled())
+                obs::Registry::global().counter("campaign.retries").add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_retry",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(fault_id)),
+                     obs::arg("attempt",
+                              static_cast<std::int64_t>(attempt + 1)),
+                     obs::arg("config", attempt_label(attempt)),
+                     obs::arg("error", r.error)});
+        }
+        r = simulate_one(faulty, nominal, ts, aopt);
+        r.attempts = static_cast<std::uint32_t>(attempt + 1);
+        if (r.simulated) break;
+        log_attempt(retry_log, attempt, r.error);
+    }
+    r.retry_log = std::move(retry_log);
+    if (!r.simulated && opt.max_retries > 0) {
+        r.quarantined = true;
+        if (obs::metrics_enabled())
+            obs::Registry::global().counter("campaign.quarantined").add(1);
+        if (obs::events_enabled())
+            obs::emit_event(
+                "fault_quarantined",
+                {obs::arg("fault_id", static_cast<std::int64_t>(fault_id)),
+                 obs::arg("attempts",
+                          static_cast<std::int64_t>(r.attempts)),
+                 obs::arg("error", r.error)});
+    }
+    return r;
 }
 
 /// Close a fault-simulation span and publish the per-fault observability
@@ -214,6 +280,7 @@ void publish_fault_obs(obs::Span& sp, const FaultSimResult& r,
         sp.arg("device_stamp_skips", i64(r.device_stamp_skips));
         sp.arg("symbolic_cache_hits", i64(r.symbolic_cache_hits));
         sp.arg("sim_seconds", r.sim_seconds);
+        sp.arg("attempts", i64(r.attempts));
     }
     sp.end();
     if (mask & obs::kMetricsBit) {
@@ -264,6 +331,10 @@ FaultSimResult fan_out(const FaultSimResult& rep, const JobMeta& meta) {
     c.fault_id = meta.fault_id;
     c.description = meta.description;
     c.probability = meta.probability;
+    // Retry cost, like kernel cost, stays attributed to the
+    // representative; the verdict (quarantined included) fans out.
+    c.attempts = 1;
+    c.retry_log.clear();
     c.sim_seconds = 0.0;
     c.nr_iterations = 0;
     c.steps_saved = 0;
@@ -334,7 +405,8 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             std::filesystem::remove(opt.result_store, ec);
         }
         store = std::make_unique<batch::ResultStore>(opt.result_store,
-                                                     manifest);
+                                                     manifest,
+                                                     opt.store_durability);
         std::map<int, std::size_t> by_id;
         for (std::size_t i = 0; i < n; ++i) by_id[metas[i].fault_id] = i;
         for (const FaultSimResult& r : store->loaded()) {
@@ -404,6 +476,30 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
         }
 
     std::atomic<std::size_t> kernel_runs{0};
+    std::atomic<std::size_t> retries{0};
+    std::atomic<std::size_t> store_errors{0};
+    // Contained store append: an I/O failure (disk full, injected torn
+    // write) must not fail the fault -- its verdict is already computed
+    // and stays in memory; it is merely not persisted, so a later resume
+    // re-simulates it.  The failure is counted and published.
+    auto safe_append = [&](const FaultSimResult& r) {
+        if (!store) return;
+        try {
+            store->append(r);
+        } catch (const std::exception& e) {
+            store_errors.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled())
+                obs::Registry::global()
+                    .counter("store.append_errors")
+                    .add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "store_error",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(r.fault_id)),
+                     obs::arg("error", std::string(e.what()))});
+        }
+    };
     auto run_class = [&](std::size_t c) {
         const std::vector<std::size_t>& members = classes[c].members;
 
@@ -437,8 +533,13 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
                 // Counted only once injection succeeded: a fault that
                 // cannot even be injected never reaches the kernel.
                 kernel_runs.fetch_add(1, std::memory_order_relaxed);
-                r = simulate_one(faulty, res.nominal, ts, wopt);
-            } catch (const Error& e) {
+                r = simulate_with_retries(faulty, res.nominal, ts, wopt,
+                                          base.fault_id, retries);
+            } catch (const std::exception& e) {
+                // Injection failure (or any exception the kernel path did
+                // not already contain): the fault retires `failed` --
+                // injection is deterministic, so the retry ladder has
+                // nothing to offer.
                 r.simulated = false;
                 r.error = e.what();
             }
@@ -447,7 +548,7 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             r.probability = base.probability;
             res.results[rep] = std::move(r);
             done[rep] = 1;
-            if (store) store->append(res.results[rep]);
+            safe_append(res.results[rep]);
             publish_fault_obs(sp, res.results[rep], metas[rep].signature);
             verdict = &res.results[rep];
         }
@@ -456,7 +557,7 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             if (done[m]) continue;
             res.results[m] = fan_out(*verdict, metas[m]);
             done[m] = 1;
-            if (store) store->append(res.results[m]);
+            safe_append(res.results[m]);
             if (obs::metrics_enabled())
                 obs::Registry::global()
                     .counter("campaign.fanned_out")
@@ -474,8 +575,16 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
     };
 
     const batch::Scheduler scheduler(opt.threads);
-    const batch::SchedulerStats sstats = scheduler.run(jobs, run_class);
+    // RecordAndContinue: the per-fault handling above already retires
+    // every failure; an exception still reaching the scheduler (an
+    // injected worker fault, an allocation failure between faults) is
+    // recorded and the remaining faults keep their verdicts.
+    const batch::SchedulerStats sstats =
+        scheduler.run(jobs, run_class, batch::ErrorPolicy::RecordAndContinue);
     res.batch.steals = sstats.steals;
+    res.batch.job_errors = sstats.failed_jobs;
+    res.batch.retries = retries.load();
+    res.batch.store_errors = store_errors.load();
     // Kernel simulations actually run -- a class completed purely by
     // fanning out a resumed member's verdict does not count.
     res.batch.scheduled = kernel_runs.load();
@@ -500,6 +609,7 @@ CampaignResult run_generic(const Circuit& ckt, std::vector<JobMeta> metas,
             ++res.batch.early_aborts;
             res.batch.steps_saved += r.steps_saved;
         }
+        if (r.quarantined) ++res.batch.quarantined;
     }
     res.batch.collapsed = n - classes.size();
     if (obs::events_enabled())
@@ -589,9 +699,23 @@ std::size_t CampaignResult::undetected() const {
 }
 
 std::size_t CampaignResult::failed() const {
+    return static_cast<std::size_t>(std::count_if(
+        results.begin(), results.end(), [](const FaultSimResult& r) {
+            return !r.simulated && !r.quarantined;
+        }));
+}
+
+std::size_t CampaignResult::quarantined() const {
     return static_cast<std::size_t>(
         std::count_if(results.begin(), results.end(),
-                      [](const FaultSimResult& r) { return !r.simulated; }));
+                      [](const FaultSimResult& r) { return r.quarantined; }));
+}
+
+std::size_t CampaignResult::retries() const {
+    std::size_t n = 0;
+    for (const FaultSimResult& r : results)
+        if (r.attempts > 1) n += r.attempts - 1;
+    return n;
 }
 
 double CampaignResult::coverage_at(double t) const {

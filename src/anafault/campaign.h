@@ -15,6 +15,7 @@
 
 #include "anafault/comparator.h"
 #include "anafault/fault_models.h"
+#include "anafault/retry.h"
 #include "batch/result_store.h"
 #include "batch/scheduler.h"
 #include "lift/fault.h"
@@ -52,8 +53,19 @@ struct CampaignOptions {
     /// ordering; verdict-affecting (the pivot order steers rounding), so
     /// it is part of the campaign manifest.
     bool share_symbolic = true;
+    /// Retry/degradation ladder (anafault/retry.h): degraded re-attempts
+    /// allowed after a fault's first simulation failure.  A fault that
+    /// exhausts every attempt retires `quarantined`; 0 restores the
+    /// pre-containment behavior (first failure retires `failed`).
+    /// Verdict-affecting (a retried fault may converge on a lower rung),
+    /// so it is part of the campaign manifest.
+    int max_retries = kDefaultMaxRetries;
     /// Path of the append-only result store ("" disables persistence).
     std::string result_store;
+    /// Durability of each store append (batch::Durability): Flush
+    /// survives process death, Fsync survives power loss.  Not
+    /// verdict-affecting, hence not in the manifest.
+    batch::Durability store_durability = batch::Durability::Flush;
     /// Reuse results already in `result_store` from a previous (possibly
     /// crashed) run of the *same* campaign; without this flag an existing
     /// store is restarted.
@@ -99,7 +111,13 @@ struct CampaignResult {
 
     std::size_t detected() const;
     std::size_t undetected() const;
+    /// Faults that failed without exhausting the retry ladder (injection
+    /// errors, contained exceptions); disjoint from quarantined().
     std::size_t failed() const;
+    /// Faults retired by the retry ladder: every rung failed.
+    std::size_t quarantined() const;
+    /// Degraded re-attempts this run spent across all faults.
+    std::size_t retries() const;
 
     /// Fault coverage (%) counting faults detected by time t.
     double coverage_at(double t) const;

@@ -20,7 +20,9 @@ using netlist::Circuit;
 namespace {
 
 const char* dc_verdict(const DcFaultResult& r) {
-    return r.detected ? "detected" : r.converged ? "undetected" : "failed";
+    if (r.detected) return "detected";
+    if (r.converged) return "undetected";
+    return r.quarantined ? "quarantined" : "failed";
 }
 
 /// DC counterpart of the transient runner's publish_fault_obs: span args
@@ -42,6 +44,7 @@ void publish_dc_fault_obs(obs::Span& sp, const DcFaultResult& r,
         sp.arg("strategy", r.strategy);
         sp.arg("nr_iterations", i64(std::max(0, r.nr_iterations)));
         sp.arg("symbolic_cache_hits", i64(r.symbolic_cache_hits));
+        sp.arg("attempts", i64(r.attempts));
     }
     sp.end();
     if (mask & obs::kMetricsBit) {
@@ -58,6 +61,115 @@ void publish_dc_fault_obs(obs::Span& sp, const DcFaultResult& r,
             "fault_retired",
             {obs::arg("fault_id", i64(r.fault_id)),
              obs::arg("verdict", std::string(dc_verdict(r)))});
+}
+
+/// DC twin of the transient runner's simulate_with_retries: run one
+/// faulty operating point through the retry/degradation ladder
+/// (anafault/retry.h) until an attempt converges or the ladder is
+/// exhausted (-> quarantined).
+///
+/// The deviation measurement validates the faulty operating point's node
+/// set up front instead of indexing it blind: injection can legitimately
+/// leave an observed node out of the faulty circuit (an open that
+/// isolates it, a short that merges it away), and the historical
+/// `op.voltages.at(n)` threw std::out_of_range -- which the old
+/// `catch (const Error&)` did not catch, so one such fault killed the
+/// whole campaign.  A missing node is a deterministic measurement gap,
+/// not a solver failure: the fault retires `failed` without burning
+/// ladder attempts.
+DcFaultResult solve_with_retries(const Circuit& faulty,
+                                 const DcScreenOptions& opt,
+                                 const spice::SimOptions& base_sim,
+                                 const std::map<std::string, double>& nom_op,
+                                 int nominal_iterations, int fault_id,
+                                 std::atomic<std::size_t>& retries,
+                                 std::atomic<std::size_t>& warm_hits,
+                                 std::atomic<std::size_t>& nr_saved) {
+    const int attempts_allowed = 1 + std::max(0, opt.max_retries);
+    DcFaultResult r;
+    std::string retry_log;
+    bool retryable = true;
+    for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+        const spice::SimOptions asim =
+            attempt == 0 ? base_sim : degrade_sim(base_sim, attempt);
+        if (attempt > 0) {
+            retries.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled())
+                obs::Registry::global().counter("campaign.retries").add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "fault_retry",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(fault_id)),
+                     obs::arg("attempt",
+                              static_cast<std::int64_t>(attempt)),
+                     obs::arg("config", attempt_label(attempt)),
+                     obs::arg("error", r.error)});
+        }
+        r.converged = false;
+        r.detected = false;
+        r.max_deviation = 0.0;
+        r.error.clear();
+        try {
+            spice::Simulator sim(faulty, asim);
+            const spice::DcResult op =
+                opt.warm_start ? sim.dc_op(nom_op) : sim.dc_op();
+            r.converged = op.converged;
+            r.nr_iterations = op.iterations;
+            r.strategy = op.strategy;
+            r.symbolic_cache_hits = sim.stats().symbolic_cache_hits;
+            r.ordering_seconds = sim.stats().ordering_seconds;
+            r.numeric_seconds = sim.stats().numeric_seconds;
+            if (op.converged) {
+                if (op.strategy == "warm") {
+                    warm_hits.fetch_add(1, std::memory_order_relaxed);
+                    // Saved vs the nominal circuit's own cold cost -- the
+                    // best available baseline for a one-shot faulty solve.
+                    if (nominal_iterations > op.iterations)
+                        nr_saved.fetch_add(
+                            static_cast<std::size_t>(nominal_iterations -
+                                                     op.iterations),
+                            std::memory_order_relaxed);
+                }
+                for (const std::string& n : opt.observed)
+                    if (op.voltages.find(n) == op.voltages.end()) {
+                        r.converged = false;
+                        r.error = "observed node missing from faulty "
+                                  "operating point: " + n;
+                        retryable = false;
+                    }
+                if (r.converged) {
+                    for (const std::string& n : opt.observed) {
+                        const double dv = std::fabs(op.voltages.at(n) -
+                                                    nom_op.at(n));
+                        r.max_deviation = std::max(r.max_deviation, dv);
+                    }
+                    r.detected = r.max_deviation > opt.v_tol;
+                }
+            } else {
+                r.error = "operating point did not converge";
+            }
+        } catch (const std::exception& e) {
+            r.error = e.what();
+        }
+        r.attempts = static_cast<std::uint32_t>(attempt + 1);
+        if (r.converged || !retryable) break;
+        log_attempt(retry_log, attempt, r.error);
+    }
+    r.retry_log = std::move(retry_log);
+    if (!r.converged && retryable && opt.max_retries > 0) {
+        r.quarantined = true;
+        if (obs::metrics_enabled())
+            obs::Registry::global().counter("campaign.quarantined").add(1);
+        if (obs::events_enabled())
+            obs::emit_event(
+                "fault_quarantined",
+                {obs::arg("fault_id", static_cast<std::int64_t>(fault_id)),
+                 obs::arg("attempts",
+                          static_cast<std::int64_t>(r.attempts)),
+                 obs::arg("error", r.error)});
+    }
+    return r;
 }
 
 } // namespace
@@ -81,6 +193,19 @@ std::vector<int> DcScreenResult::undetected_ids() const {
     return out;
 }
 
+std::size_t DcScreenResult::failed() const {
+    return static_cast<std::size_t>(std::count_if(
+        results.begin(), results.end(), [](const DcFaultResult& r) {
+            return !r.converged && !r.quarantined;
+        }));
+}
+
+std::size_t DcScreenResult::quarantined() const {
+    return static_cast<std::size_t>(
+        std::count_if(results.begin(), results.end(),
+                      [](const DcFaultResult& r) { return r.quarantined; }));
+}
+
 std::uint64_t dc_screen_manifest(const Circuit& ckt,
                                  const lift::FaultList& faults,
                                  const DcScreenOptions& opt) {
@@ -100,6 +225,9 @@ std::uint64_t dc_screen_manifest(const Circuit& ckt,
     o += opt.share_symbolic ? "|sharesym" : "|nosharesym";
     o += opt.collapse ? "|collapse" : "|nocollapse";
     o += opt.warm_start ? "|warm" : "|cold";
+    // The retry ladder can converge a fault the base config fails, so a
+    // store written under a different retry depth is foreign.
+    o += "|retries:" + std::to_string(opt.max_retries);
     return batch::fnv1a(o, h);
 }
 
@@ -117,6 +245,10 @@ batch::FaultSimResult dc_to_record(const DcFaultResult& r) {
     rec.ordering_seconds = r.ordering_seconds;
     rec.numeric_seconds = r.numeric_seconds;
     rec.carried = r.carried;
+    rec.error = r.error;
+    rec.attempts = r.attempts;
+    rec.quarantined = r.quarantined;
+    rec.retry_log = r.retry_log;
     return rec;
 }
 
@@ -134,6 +266,10 @@ DcFaultResult dc_from_record(const batch::FaultSimResult& rec) {
     r.ordering_seconds = rec.ordering_seconds;
     r.numeric_seconds = rec.numeric_seconds;
     r.carried = rec.carried;
+    r.error = rec.error;
+    r.attempts = rec.attempts;
+    r.quarantined = rec.quarantined;
+    r.retry_log = rec.retry_log;
     return r;
 }
 
@@ -182,8 +318,8 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             std::error_code ec;
             std::filesystem::remove(opt.result_store, ec);
         }
-        store = std::make_unique<batch::ResultStore>(opt.result_store,
-                                                     manifest);
+        store = std::make_unique<batch::ResultStore>(
+            opt.result_store, manifest, opt.store_durability);
         std::map<int, std::size_t> by_id;
         for (std::size_t i = 0; i < n_faults; ++i)
             by_id[faults.faults[i].id] = i;
@@ -225,6 +361,29 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
 
     std::atomic<std::size_t> kernel_runs{0};
     std::atomic<std::size_t> warm_hits{0}, nr_saved{0};
+    std::atomic<std::size_t> retries{0};
+    std::atomic<std::size_t> store_errors{0};
+    // Contained store append: an I/O failure must not fail the fault --
+    // its verdict is already computed and stays in memory; a later resume
+    // re-simulates it.  Counted and published, never rethrown.
+    auto safe_append = [&](const DcFaultResult& r) {
+        if (!store) return;
+        try {
+            store->append(dc_to_record(r));
+        } catch (const std::exception& e) {
+            store_errors.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metrics_enabled())
+                obs::Registry::global()
+                    .counter("store.append_errors")
+                    .add(1);
+            if (obs::events_enabled())
+                obs::emit_event(
+                    "store_error",
+                    {obs::arg("fault_id",
+                              static_cast<std::int64_t>(r.fault_id)),
+                     obs::arg("error", std::string(e.what()))});
+        }
+    };
     auto run_class = [&](std::size_t c) {
         const std::vector<std::size_t>& members = classes[c].members;
         const DcFaultResult* verdict = nullptr;
@@ -245,46 +404,26 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
                               static_cast<std::int64_t>(f.id))});
             obs::Span sp(obs::Phase::FaultSim);
             DcFaultResult r;
-            r.fault_id = f.id;
-            r.description = f.describe();
-            r.probability = f.probability;
             try {
                 const Circuit faulty = inject(ckt, f, opt.injection);
                 kernel_runs.fetch_add(1, std::memory_order_relaxed);
-                spice::Simulator sim(faulty, fault_sim);
-                const spice::DcResult op = opt.warm_start
-                                               ? sim.dc_op(res.nominal_op)
-                                               : sim.dc_op();
-                r.converged = op.converged;
-                r.nr_iterations = op.iterations;
-                r.strategy = op.strategy;
-                r.symbolic_cache_hits = sim.stats().symbolic_cache_hits;
-                r.ordering_seconds = sim.stats().ordering_seconds;
-                r.numeric_seconds = sim.stats().numeric_seconds;
-                if (op.strategy == "warm") {
-                    warm_hits.fetch_add(1, std::memory_order_relaxed);
-                    // Saved vs the nominal circuit's own cold cost -- the
-                    // best available baseline for a one-shot faulty solve.
-                    if (res.nominal_iterations > op.iterations)
-                        nr_saved.fetch_add(
-                            static_cast<std::size_t>(res.nominal_iterations -
-                                                     op.iterations),
-                            std::memory_order_relaxed);
-                }
-                if (op.converged) {
-                    for (const std::string& n : opt.observed) {
-                        const double dv = std::fabs(op.voltages.at(n) -
-                                                    res.nominal_op.at(n));
-                        r.max_deviation = std::max(r.max_deviation, dv);
-                    }
-                    r.detected = r.max_deviation > opt.v_tol;
-                }
-            } catch (const Error&) {
+                r = solve_with_retries(faulty, opt, fault_sim,
+                                       res.nominal_op,
+                                       res.nominal_iterations, f.id,
+                                       retries, warm_hits, nr_saved);
+            } catch (const std::exception& e) {
+                // Injection failure (or any exception the ladder did not
+                // already contain): injection is deterministic, so the
+                // retry ladder has nothing to offer -- retire `failed`.
                 r.converged = false;
+                r.error = e.what();
             }
+            r.fault_id = f.id;
+            r.description = f.describe();
+            r.probability = f.probability;
             res.results[rep] = std::move(r);
             done[rep] = 1;
-            if (store) store->append(dc_to_record(res.results[rep]));
+            safe_append(res.results[rep]);
             publish_dc_fault_obs(sp, res.results[rep],
                                  batch::effect_signature(f));
             verdict = &res.results[rep];
@@ -295,14 +434,18 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
             copy.fault_id = faults.faults[m].id;
             copy.description = faults.faults[m].describe();
             copy.probability = faults.faults[m].probability;
-            // Kernel cost stays attributed to the class representative.
+            // Kernel cost -- and retry cost -- stays attributed to the
+            // class representative; the verdict (quarantined included)
+            // fans out.
             copy.nr_iterations = 0;
             copy.symbolic_cache_hits = 0;
             copy.ordering_seconds = 0.0;
             copy.numeric_seconds = 0.0;
+            copy.attempts = 1;
+            copy.retry_log.clear();
             res.results[m] = std::move(copy);
             done[m] = 1;
-            if (store) store->append(dc_to_record(res.results[m]));
+            safe_append(res.results[m]);
             if (obs::metrics_enabled())
                 obs::Registry::global()
                     .counter("campaign.fanned_out")
@@ -320,12 +463,19 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
     };
 
     const batch::Scheduler scheduler(opt.threads);
-    const batch::SchedulerStats sstats = scheduler.run(jobs, run_class);
+    // RecordAndContinue: the per-fault handling above already retires
+    // every failure; an exception still reaching the scheduler is recorded
+    // and the remaining faults keep their verdicts.
+    const batch::SchedulerStats sstats =
+        scheduler.run(jobs, run_class, batch::ErrorPolicy::RecordAndContinue);
     res.batch.collapsed = n_faults - classes.size();
     res.batch.scheduled = kernel_runs.load();
     res.batch.steals = sstats.steals;
     res.batch.warm_start_solves = warm_hits.load();
     res.batch.nr_saved_warm = nr_saved.load();
+    res.batch.job_errors = sstats.failed_jobs;
+    res.batch.retries = retries.load();
+    res.batch.store_errors = store_errors.load();
 
     for (std::size_t i = 0; i < n_faults; ++i) {
         if (resumed_here[i]) continue;
@@ -333,6 +483,7 @@ DcScreenResult run_dc_screen(const Circuit& ckt,
         res.batch.symbolic_cache_hits += r.symbolic_cache_hits;
         res.batch.ordering_seconds += r.ordering_seconds;
         res.batch.numeric_seconds += r.numeric_seconds;
+        if (r.quarantined) ++res.batch.quarantined;
     }
     if (obs::events_enabled())
         obs::emit_event(

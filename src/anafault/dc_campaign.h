@@ -21,6 +21,7 @@
 #pragma once
 
 #include "anafault/fault_models.h"
+#include "anafault/retry.h"
 #include "batch/result_store.h"
 #include "batch/scheduler.h"
 #include "lift/fault.h"
@@ -58,8 +59,14 @@ struct DcScreenOptions {
     /// Share the nominal kernel's symbolic analysis (elimination order)
     /// with every faulty solve; see CampaignOptions::share_symbolic.
     bool share_symbolic = true;
+    /// Retry/degradation ladder (anafault/retry.h); see
+    /// CampaignOptions::max_retries.  Verdict-affecting, in the manifest.
+    int max_retries = kDefaultMaxRetries;
     /// Path of the append-only result store ("" disables persistence).
     std::string result_store;
+    /// Durability of each store append (batch::Durability); not
+    /// verdict-affecting, hence not in the manifest.
+    batch::Durability store_durability = batch::Durability::Flush;
     /// Reuse results already in `result_store` from a previous (possibly
     /// crashed) run of the *same* screen.
     bool resume = false;
@@ -84,6 +91,14 @@ struct DcFaultResult {
     double numeric_seconds = 0.0;        ///< sparse refactor time
     /// Verdict carried from a baseline store by the incremental engine.
     bool carried = false;
+    /// Why the solve (or the deviation measurement) failed; empty when
+    /// converged.
+    std::string error;
+    std::uint32_t attempts = 1;  ///< solve attempts (1 = no retry)
+    /// The retry ladder was exhausted: every attempt failed.  Disjoint
+    /// from plain `failed` (!converged && !quarantined).
+    bool quarantined = false;
+    std::string retry_log;  ///< one entry per failed attempt
 };
 
 struct DcScreenResult {
@@ -97,6 +112,10 @@ struct DcScreenResult {
     double coverage() const;
     /// Faults a static test cannot see (candidates for the transient run).
     std::vector<int> undetected_ids() const;
+    /// Faults that failed without exhausting the retry ladder.
+    std::size_t failed() const;
+    /// Faults retired by the retry ladder: every rung failed.
+    std::size_t quarantined() const;
 };
 
 /// Run the DC screen over a fault list.

@@ -117,9 +117,10 @@ CarrySplit split_for_carry(const lift::FaultList& baseline,
                 "fault_carried",
                 {obs::arg("fault_id", static_cast<std::int64_t>(id)),
                  obs::arg("verdict",
-                          std::string(r.detect_time  ? "detected"
-                                      : r.simulated ? "undetected"
-                                                    : "failed"))});
+                          std::string(r.detect_time    ? "detected"
+                                      : r.simulated   ? "undetected"
+                                      : r.quarantined ? "quarantined"
+                                                      : "failed"))});
         obs::emit_event(
             "incremental_carry",
             {obs::arg("carried",
@@ -143,12 +144,13 @@ CarrySplit split_for_carry(const lift::FaultList& baseline,
 /// full campaign had written it.
 void seed_merged_store(const std::string& path, std::uint64_t manifest,
                        bool resume,
-                       const std::map<int, batch::FaultSimResult>& carried) {
+                       const std::map<int, batch::FaultSimResult>& carried,
+                       batch::Durability durability) {
     if (!resume) {
         std::error_code ec;
         std::filesystem::remove(path, ec);
     }
-    batch::ResultStore store(path, manifest);
+    batch::ResultStore store(path, manifest, durability);
     std::set<int> present;
     for (const batch::FaultSimResult& r : store.loaded())
         present.insert(r.fault_id);
@@ -176,7 +178,7 @@ IncrementalResult run_incremental_campaign(const Circuit& ckt,
         const std::uint64_t manifest =
             campaign_manifest(ckt, revision, opt.campaign);
         seed_merged_store(copt.result_store, manifest, opt.campaign.resume,
-                          split.carried_by_id);
+                          split.carried_by_id, copt.store_durability);
         // The subset campaign reopens the merged store under the revision
         // manifest: its own finished records resume, carried ids (not in
         // the subset) pass through untouched.
@@ -231,7 +233,7 @@ IncrementalAcResult run_incremental_ac_campaign(
         const std::uint64_t manifest =
             ac_campaign_manifest(ckt, revision, opt.campaign);
         seed_merged_store(copt.result_store, manifest, opt.campaign.resume,
-                          split.carried_by_id);
+                          split.carried_by_id, copt.store_durability);
         copt.resume = true;
         copt.manifest_override = manifest;
     }
@@ -279,7 +281,7 @@ IncrementalDcResult run_incremental_dc_screen(const Circuit& ckt,
         const std::uint64_t manifest =
             dc_screen_manifest(ckt, revision, opt.campaign);
         seed_merged_store(copt.result_store, manifest, opt.campaign.resume,
-                          split.carried_by_id);
+                          split.carried_by_id, copt.store_durability);
         copt.resume = true;
         copt.manifest_override = manifest;
     }

@@ -15,9 +15,10 @@ std::string campaign_table(const CampaignResult& res) {
           "--------------\n";
     char buf[160];
     for (const FaultSimResult& r : res.results) {
-        const char* status = !r.simulated      ? "SIMFAIL"
-                             : r.detect_time   ? "yes"
-                                               : "no";
+        const char* status = !r.simulated
+                                 ? (r.quarantined ? "QUARANT" : "SIMFAIL")
+                             : r.detect_time ? "yes"
+                                             : "no";
         if (r.detect_time) {
             std::snprintf(buf, sizeof buf,
                           "  %-3d %-44s %-10.3g %-10s %.3g us\n", r.fault_id,
@@ -37,9 +38,10 @@ std::string campaign_summary(const CampaignResult& res) {
     std::ostringstream os;
     char buf[200];
     std::snprintf(buf, sizeof buf,
-                  "faults: %zu  detected: %zu  undetected: %zu  simfail: %zu\n",
+                  "faults: %zu  detected: %zu  undetected: %zu  simfail: %zu"
+                  "  quarantined: %zu\n",
                   res.results.size(), res.detected(), res.undetected(),
-                  res.failed());
+                  res.failed(), res.quarantined());
     os << buf;
     std::snprintf(buf, sizeof buf,
                   "fault coverage: %.1f%%  weighted coverage: %.1f%%\n",
@@ -63,6 +65,15 @@ std::string campaign_summary(const CampaignResult& res) {
                   res.batch.classes, res.batch.collapsed,
                   res.batch.scheduled, res.batch.resumed);
     os << buf;
+    if (res.batch.retries > 0 || res.batch.quarantined > 0 ||
+        res.batch.job_errors > 0 || res.batch.store_errors > 0) {
+        std::snprintf(buf, sizeof buf,
+                      "containment: %zu retries, %zu quarantined, "
+                      "%zu job errors, %zu store errors\n",
+                      res.batch.retries, res.batch.quarantined,
+                      res.batch.job_errors, res.batch.store_errors);
+        os << buf;
+    }
     if (res.batch.early_aborts > 0) {
         std::snprintf(buf, sizeof buf,
                       "early abort: %zu runs stopped at detection, "

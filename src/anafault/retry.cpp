@@ -1,0 +1,58 @@
+#include "anafault/retry.h"
+
+#include <cmath>
+#include <limits>
+
+namespace catlift::anafault {
+
+spice::SimOptions degrade_sim(const spice::SimOptions& base, int attempt) {
+    spice::SimOptions o = base;
+    if (attempt >= 1) {
+        // The bypass replays cached linearizations; a marginal circuit is
+        // better served by an exact Jacobian every iteration.
+        o.bypass = false;
+        o.device_bypass_tol = 0.0;
+    }
+    if (attempt >= 2) {
+        // LTE stride growth can step a barely-stable circuit over its own
+        // dynamics; the fixed grid is the paper's original regime.
+        o.adaptive = false;
+    }
+    if (attempt >= 3) {
+        // Dense partial-pivot LU with no order restriction: immune to the
+        // order-restricted singular pivots the sparse path can hit on
+        // pathological injected topologies.
+        o.sparse_threshold = std::numeric_limits<std::size_t>::max();
+        o.symbolic_cache = nullptr;
+    }
+    if (attempt >= 4) {
+        // Classic last resort: swamp the near-singularity with gmin.  One
+        // decade per further attempt.
+        o.gmin = base.gmin * std::pow(10.0, attempt - 3);
+    }
+    return o;
+}
+
+std::string attempt_label(int attempt) {
+    switch (attempt) {
+        case 0: return "base";
+        case 1: return "no-bypass";
+        case 2: return "fixed-grid";
+        case 3: return "dense";
+        default: {
+            std::string s = "gmin-x1";
+            for (int k = 3; k < attempt; ++k) s += "0";
+            return s;
+        }
+    }
+}
+
+void log_attempt(std::string& retry_log, int attempt,
+                 const std::string& error) {
+    if (!retry_log.empty()) retry_log += "; ";
+    retry_log += "attempt " + std::to_string(attempt + 1) + " [" +
+                 attempt_label(attempt) + "]: " +
+                 (error.empty() ? "failed" : error);
+}
+
+} // namespace catlift::anafault

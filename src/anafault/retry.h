@@ -1,0 +1,46 @@
+// catlift/anafault/retry.h
+//
+// The retry/degradation ladder of the failure-containment layer: a fault
+// whose simulation fails (non-convergence, singular pivot, exhausted
+// budget, injected failure) is re-attempted with progressively more
+// conservative solver configurations before the campaign gives up on it.
+// The rungs trade speed for robustness in the order the speed was added:
+//
+//   attempt 0  the campaign's own configuration
+//   attempt 1  modified-Newton bypass off (every solve factors fresh)
+//   attempt 2  + fixed-grid transient (no LTE stride growth)
+//   attempt 3  + dense kernel (full-pivot dense LU, no shared ordering)
+//   attempt 4+ + gmin raised x10 per further attempt
+//
+// A fault that exhausts every allowed attempt retires with the
+// `quarantined` verdict -- recorded, persisted (store v6), carried across
+// revisions, and reported separately from `failed` (see
+// docs/robustness.md for the taxonomy).  Each attempt is recorded in
+// FaultSimResult::retry_log so the escalation is auditable per fault.
+
+#pragma once
+
+#include "spice/engine.h"
+
+#include <string>
+
+namespace catlift::anafault {
+
+/// Degraded re-attempts allowed after the first failure.  4 walks the
+/// whole ladder above; 0 disables retries (a failure retires `failed`
+/// immediately, the pre-containment behavior).
+inline constexpr int kDefaultMaxRetries = 4;
+
+/// Solver configuration of the given attempt (0 = `base` unchanged).
+/// Rungs accumulate: attempt 3 is no-bypass + fixed-grid + dense.
+spice::SimOptions degrade_sim(const spice::SimOptions& base, int attempt);
+
+/// Human-readable rung name for logs/events: "base", "no-bypass",
+/// "fixed-grid", "dense", "gmin-x10", "gmin-x100", ...
+std::string attempt_label(int attempt);
+
+/// Append one failed attempt to a retry log ("attempt K [rung]: error").
+void log_attempt(std::string& retry_log, int attempt,
+                 const std::string& error);
+
+} // namespace catlift::anafault

@@ -1,9 +1,16 @@
 #include "batch/result_store.h"
 
 #include "obs/obs.h"
+#include "robust/failpoint.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace catlift::batch {
 
@@ -30,10 +37,13 @@ constexpr std::uint32_t kMagic = 0x42544143u;  // "CATB"
 // v4: carried appended (cross-revision carry-over provenance).
 // v5: device_stamp_skips + symbolic_cache_hits + ordering_seconds (the
 // campaign-shared symbolic kernel's counters) and metric (the AC/DC
-// campaigns' detection metric, now that those runners persist too).  Any
-// older-version store is treated as foreign and restarted, like any other
-// manifest mismatch.
-constexpr std::uint32_t kVersion = 5;
+// campaigns' detection metric, now that those runners persist too).
+// v6: attempts + quarantined + retry_log (the failure-containment
+// layer's retry/degradation ladder provenance; `quarantined` is a
+// verdict and must survive store round-trips and incremental carry).
+// Any older-version store is treated as foreign and restarted, like any
+// other manifest mismatch.
+constexpr std::uint32_t kVersion = 6;
 
 template <typename T>
 void put(std::string& buf, const T& v) {
@@ -92,8 +102,11 @@ std::string encode(const FaultSimResult& r) {
     put(p, r.ordering_seconds);
     put(p, r.numeric_seconds);
     put(p, r.metric);
+    put(p, r.attempts);
+    put(p, static_cast<std::uint8_t>(r.quarantined ? 1 : 0));
     put_str(p, r.description);
     put_str(p, r.error);
+    put_str(p, r.retry_log);
     return p;
 }
 
@@ -104,6 +117,7 @@ bool decode(const std::string& payload, FaultSimResult& r) {
     double detect = 0.0;
     std::uint64_t nr = 0, msize = 0, saved = 0, integrated = 0, interp = 0;
     std::uint64_t bypass = 0, refactors = 0, dskips = 0, cache_hits = 0;
+    std::uint8_t quarantined = 0;
     if (!rd.get(id) || !rd.get(simulated) || !rd.get(has_detect) ||
         !rd.get(detect) || !rd.get(r.probability) || !rd.get(r.sim_seconds) ||
         !rd.get(nr) || !rd.get(msize) || !rd.get(saved) ||
@@ -111,10 +125,13 @@ bool decode(const std::string& payload, FaultSimResult& r) {
         !rd.get(refactors) || !rd.get(carried) || !rd.get(dskips) ||
         !rd.get(cache_hits) || !rd.get(r.ordering_seconds) ||
         !rd.get(r.numeric_seconds) || !rd.get(r.metric) ||
-        !rd.get_str(r.description) || !rd.get_str(r.error))
+        !rd.get(r.attempts) || !rd.get(quarantined) ||
+        !rd.get_str(r.description) || !rd.get_str(r.error) ||
+        !rd.get_str(r.retry_log))
         return false;
     r.fault_id = id;
     r.simulated = simulated != 0;
+    r.quarantined = quarantined != 0;
     if (has_detect) r.detect_time = detect;
     r.nr_iterations = static_cast<std::size_t>(nr);
     r.matrix_size = static_cast<std::size_t>(msize);
@@ -188,8 +205,9 @@ std::string read_file_bytes(const std::string& path) {
 
 } // namespace
 
-ResultStore::ResultStore(std::string path, std::uint64_t manifest)
-    : path_(std::move(path)), manifest_(manifest) {
+ResultStore::ResultStore(std::string path, std::uint64_t manifest,
+                         Durability durability)
+    : path_(std::move(path)), manifest_(manifest), durability_(durability) {
     require(!path_.empty(), "result store: empty path");
 
     const std::string bytes = read_file_bytes(path_);
@@ -214,6 +232,30 @@ ResultStore::ResultStore(std::string path, std::uint64_t manifest)
         out_.flush();
         require(out_.good(), "result store: header write failed: " + path_);
     }
+    sync_to_disk();
+}
+
+ResultStore::~ResultStore() {
+    // Close-time durability: whatever the page cache still holds reaches
+    // stable storage before the store object goes away (Fsync mode only;
+    // Flush mode's contract ends at the kernel).
+    out_.flush();
+    sync_to_disk();
+}
+
+void ResultStore::sync_to_disk() {
+    if (durability_ != Durability::Fsync) return;
+#if defined(__unix__) || defined(__APPLE__)
+    // std::ofstream exposes no descriptor; a second descriptor on the same
+    // file suffices -- fsync(2) syncs the file, not the descriptor, and
+    // out_ has already pushed the bytes to the kernel via flush().
+    const int fd = ::open(path_.c_str(), O_WRONLY);
+    if (fd >= 0) {
+        const bool ok = ::fsync(fd) == 0;
+        ::close(fd);
+        require(ok, "result store: fsync failed: " + path_);
+    }
+#endif
 }
 
 void ResultStore::append(const FaultSimResult& r) {
@@ -226,9 +268,27 @@ void ResultStore::append(const FaultSimResult& r) {
 
     {
         std::lock_guard<std::mutex> lk(mu_);
+        if (auto fp = robust::hit("store.append")) {
+            // Torn-write injection: half the record reaches the kernel,
+            // then the append dies -- by exception (`torn`, the contained
+            // I/O-error path) or with the process (`torn_crash`, the
+            // crash-resume path).  Either way the next open must trim the
+            // partial record and resume exactly after the last good one.
+            if (fp->action == robust::FailAction::Torn ||
+                fp->action == robust::FailAction::TornCrash) {
+                out_.write(rec.data(),
+                           static_cast<std::streamsize>(rec.size() / 2));
+                out_.flush();
+                if (fp->action == robust::FailAction::TornCrash)
+                    std::_Exit(137);
+                throw Error("failpoint 'store.append': torn write in " +
+                            path_);
+            }
+        }
         out_.write(rec.data(), static_cast<std::streamsize>(rec.size()));
         out_.flush();
         require(out_.good(), "result store: append failed: " + path_);
+        sync_to_disk();
     }
     if (obs::metrics_enabled()) {
         obs::Registry& reg = obs::Registry::global();
@@ -251,6 +311,28 @@ std::optional<StoreSnapshot> load_store(const std::string& path) {
     snap.manifest = scan.manifest;
     snap.records = std::move(scan.records);
     return snap;
+}
+
+RepairReport repair_store(const std::string& path) {
+    require(std::filesystem::exists(path),
+            "repair-store: no such file: " + path);
+    const std::string bytes = read_file_bytes(path);
+    ScanResult scan = scan_store(bytes);
+    RepairReport rep;
+    rep.bytes_total = bytes.size();
+    rep.header_ok = scan.header_ok;
+    if (!scan.header_ok) {
+        // No recoverable prefix: leave the file alone rather than
+        // truncating it to nothing.
+        rep.bytes_kept = bytes.size();
+        return rep;
+    }
+    rep.manifest = scan.manifest;
+    rep.records_kept = scan.records.size();
+    rep.bytes_kept = scan.good_end;
+    if (scan.good_end < bytes.size())
+        std::filesystem::resize_file(path, scan.good_end);
+    return rep;
 }
 
 } // namespace catlift::batch

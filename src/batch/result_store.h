@@ -68,6 +68,15 @@ struct FaultSimResult {
     /// for transient records -- detect_time likewise holds the analysis'
     /// own coordinate (seconds / hertz / 0-at-detection respectively).
     double metric = 0.0;
+    /// Failure containment (v6): how many simulation attempts this fault
+    /// consumed (1 = first try; >1 means the retry/degradation ladder
+    /// ran), whether the fault retired `quarantined` (every rung of the
+    /// ladder failed -- a verdict, carried across revisions like any
+    /// other), and the per-attempt failure log ("attempt K [config]:
+    /// error; ...", empty when the first attempt succeeded).
+    std::uint32_t attempts = 1;
+    bool quarantined = false;
+    std::string retry_log;
 };
 
 inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
@@ -78,6 +87,22 @@ std::uint64_t fnv1a(const void* data, std::size_t len,
 std::uint64_t fnv1a(const std::string& s,
                     std::uint64_t h = kFnvOffsetBasis);
 
+/// How far an append is pushed toward stable storage before it returns.
+///
+/// Durability contract:
+///  * Flush (default): every append is flushed to the kernel (write(2)
+///    semantics) before returning.  A process kill or crash after append
+///    loses nothing; the trailing-record trim covers a kill *mid*-append.
+///    Power loss may lose recently appended records still in the page
+///    cache -- the log stays well-formed, so a resume re-simulates them.
+///  * Fsync: every append additionally fsyncs the file, and close fsyncs
+///    once more.  Records survive power loss at the cost of one fsync
+///    per fault retired.
+/// In both modes the log tolerates truncation at any byte: loading stops
+/// at the first short or corrupt record and trims back to the last good
+/// byte, so the worst case is always "re-simulate the torn fault".
+enum class Durability : std::uint8_t { Flush, Fsync };
+
 /// Append-only result log.  Thread-safe: workers append concurrently.
 class ResultStore {
 public:
@@ -86,20 +111,28 @@ public:
     /// stored manifest matches; otherwise the file is restarted.  A
     /// trailing partial record is trimmed.  Throws catlift::Error on I/O
     /// failure.
-    ResultStore(std::string path, std::uint64_t manifest);
+    ResultStore(std::string path, std::uint64_t manifest,
+                Durability durability = Durability::Flush);
+    ~ResultStore();
 
     /// Records recovered from disk at open (file order).
     const std::vector<FaultSimResult>& loaded() const { return loaded_; }
 
-    /// Append one result and flush it to disk.
+    /// Append one result and flush (and, under Durability::Fsync, sync)
+    /// it to disk.  Failpoint site `store.append` (torn / torn_crash /
+    /// generic actions) injects the I/O failures the containment tests
+    /// exercise.
     void append(const FaultSimResult& r);
 
     const std::string& path() const { return path_; }
     std::uint64_t manifest() const { return manifest_; }
 
 private:
+    void sync_to_disk();  ///< fsync the file (Durability::Fsync only)
+
     std::string path_;
     std::uint64_t manifest_ = 0;
+    Durability durability_ = Durability::Flush;
     std::vector<FaultSimResult> loaded_;
     std::ofstream out_;
     std::mutex mu_;
@@ -119,5 +152,21 @@ struct StoreSnapshot {
 /// file is missing, unreadable, or not a current-version store; a trailing
 /// torn record is ignored exactly as ResultStore's loader would.
 std::optional<StoreSnapshot> load_store(const std::string& path);
+
+/// Outcome of an explicit offline repair (anafaultc --repair-store).
+struct RepairReport {
+    bool header_ok = false;        ///< magic/version/manifest intact
+    std::uint64_t manifest = 0;
+    std::size_t records_kept = 0;  ///< intact records preserved
+    std::size_t bytes_total = 0;   ///< file size before the repair
+    std::size_t bytes_kept = 0;    ///< size after trimming to last good byte
+};
+
+/// Trim the store at `path` back to its last intact record -- the same
+/// recovery ResultStore performs silently on open, surfaced as an explicit
+/// command that reports what was kept and dropped.  A file without a valid
+/// header is left untouched (header_ok=false: nothing recoverable).
+/// Throws catlift::Error when the file does not exist.
+RepairReport repair_store(const std::string& path);
 
 } // namespace catlift::batch

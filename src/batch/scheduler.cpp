@@ -1,6 +1,7 @@
 #include "batch/scheduler.h"
 
 #include "obs/obs.h"
+#include "robust/failpoint.h"
 
 #include <algorithm>
 #include <atomic>
@@ -22,10 +23,39 @@ struct WorkDeque {
     std::deque<std::size_t> jobs;
 };
 
-} // namespace
+/// Publish one contained job failure (RecordAndContinue).
+void record_job_error(const std::exception_ptr& ep, std::size_t idx) {
+    if (obs::metrics_enabled())
+        obs::Registry::global().counter("scheduler.job_errors").add(1);
+    if (obs::events_enabled()) {
+        std::string what = "unknown exception";
+        try {
+            std::rethrow_exception(ep);
+        } catch (const std::exception& e) {
+            what = e.what();
+        } catch (...) {
+        }
+        obs::emit_event("job_error",
+                        {obs::arg("job", static_cast<std::int64_t>(idx)),
+                         obs::arg("error", what)});
+    }
+}
 
-SchedulerStats Scheduler::run(
-    std::vector<Job> jobs, const std::function<void(std::size_t)>& fn) const {
+std::string what_of(const std::exception_ptr& ep) {
+    try {
+        std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+        return e.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
+
+}  // namespace
+
+SchedulerStats Scheduler::run(std::vector<Job> jobs,
+                              const std::function<void(std::size_t)>& fn,
+                              ErrorPolicy policy) const {
     SchedulerStats stats;
     if (jobs.empty()) return stats;
 
@@ -37,11 +67,20 @@ SchedulerStats Scheduler::run(
                      });
 
     if (threads_ == 1 || jobs.size() == 1) {
-        // Same cancel-on-error contract as the threaded path.  Inline
-        // jobs run on the caller's trace lane.
+        // Same error-policy contract as the threaded path.  Inline jobs
+        // run on the caller's trace lane.
         if (obs::enabled_mask()) obs::set_lane_name("main");
         for (const Job& j : jobs) {
-            fn(j.index);
+            try {
+                robust::hit("sched.job");  // injected-exception / crash site
+                fn(j.index);
+            } catch (...) {
+                if (policy == ErrorPolicy::CancelCampaign) throw;
+                const std::exception_ptr ep = std::current_exception();
+                if (stats.failed_jobs == 0) stats.first_error = what_of(ep);
+                ++stats.failed_jobs;
+                record_job_error(ep, j.index);
+            }
             ++stats.executed;
         }
         if (obs::metrics_enabled())
@@ -59,6 +98,7 @@ SchedulerStats Scheduler::run(
 
     std::atomic<std::size_t> executed{0};
     std::atomic<std::size_t> steals{0};
+    std::atomic<std::size_t> failed{0};
     std::atomic<bool> cancelled{false};
     std::mutex err_mu;
     std::exception_ptr first_error;
@@ -96,11 +136,20 @@ SchedulerStats Scheduler::run(
             if (!have) return;  // every deque empty: done
             if (stolen) steals.fetch_add(1, std::memory_order_relaxed);
             try {
+                robust::hit("sched.job");  // injected-exception / crash site
                 fn(idx);
             } catch (...) {
-                cancelled.store(true, std::memory_order_relaxed);
-                std::lock_guard<std::mutex> lk(err_mu);
-                if (!first_error) first_error = std::current_exception();
+                const std::exception_ptr ep = std::current_exception();
+                if (policy == ErrorPolicy::CancelCampaign)
+                    cancelled.store(true, std::memory_order_relaxed);
+                else
+                    failed.fetch_add(1, std::memory_order_relaxed);
+                {
+                    std::lock_guard<std::mutex> lk(err_mu);
+                    if (!first_error) first_error = ep;
+                }
+                if (policy == ErrorPolicy::RecordAndContinue)
+                    record_job_error(ep, idx);
             }
             executed.fetch_add(1, std::memory_order_relaxed);
         }
@@ -111,9 +160,12 @@ SchedulerStats Scheduler::run(
     for (unsigned t = 0; t < w; ++t) pool.emplace_back(worker, t);
     for (auto& th : pool) th.join();
 
-    if (first_error) std::rethrow_exception(first_error);
+    if (policy == ErrorPolicy::CancelCampaign && first_error)
+        std::rethrow_exception(first_error);
     stats.executed = executed.load();
     stats.steals = steals.load();
+    stats.failed_jobs = failed.load();
+    if (first_error) stats.first_error = what_of(first_error);
     if (obs::metrics_enabled()) {
         obs::Registry& reg = obs::Registry::global();
         reg.counter("scheduler.jobs").add(stats.executed);

@@ -36,6 +36,27 @@ struct Job {
 struct SchedulerStats {
     std::size_t executed = 0;  ///< jobs run (each job exactly once)
     std::size_t steals = 0;    ///< jobs taken from another worker's deque
+    /// Jobs whose closure threw under ErrorPolicy::RecordAndContinue (0
+    /// under CancelCampaign, where the first exception rethrows instead).
+    std::size_t failed_jobs = 0;
+    /// what() of the first recorded job exception (RecordAndContinue).
+    std::string first_error;
+};
+
+/// What Scheduler::run does when a job closure throws.
+enum class ErrorPolicy {
+    /// Cancel the campaign: jobs not yet started are abandoned and the
+    /// first exception is rethrown after every worker has stopped.  The
+    /// right policy when an exception means the whole campaign is doomed
+    /// (it must not burn hours of kernel time first).
+    CancelCampaign,
+    /// Contain the failure: record it (SchedulerStats::failed_jobs, obs
+    /// counter `scheduler.job_errors`, event `job_error`) and keep
+    /// draining the queue.  The campaign runners use this -- their per
+    /// -fault handling already retires a failing fault as failed or
+    /// quarantined, so anything reaching the scheduler is a last-resort
+    /// escape that must not kill the other faults' verdicts.
+    RecordAndContinue,
 };
 
 /// Aggregate statistics of one batch campaign: what the scheduler, the
@@ -90,6 +111,13 @@ struct BatchStats {
     // -- DC campaign / sweeps -----------------------------------------------
     std::size_t warm_start_solves = 0; ///< OPs converged from a warm start
     std::size_t nr_saved_warm = 0;     ///< NR iterations saved vs cold solves
+    // -- failure containment ------------------------------------------------
+    std::size_t retries = 0;       ///< degraded re-attempts (retry ladder)
+    std::size_t quarantined = 0;   ///< faults that exhausted the ladder
+    std::size_t job_errors = 0;    ///< exceptions contained by the scheduler
+                                   ///< (RecordAndContinue policy)
+    std::size_t store_errors = 0;  ///< store appends that failed and were
+                                   ///< contained (verdict kept in memory)
 };
 
 /// Work-stealing thread pool.  `run` sorts the jobs by descending priority
@@ -106,13 +134,15 @@ public:
 
     unsigned threads() const { return threads_; }
 
-    /// Execute fn(job.index) for every job.  On a worker exception the
-    /// pool cancels: jobs not yet started are abandoned (an unrecoverable
-    /// campaign error must not burn hours of kernel time first), in-flight
-    /// jobs finish, and the first exception is rethrown after all workers
-    /// have stopped.
+    /// Execute fn(job.index) for every job.  A worker exception follows
+    /// `policy`: CancelCampaign (default, the historical contract)
+    /// abandons jobs not yet started, lets in-flight jobs finish, and
+    /// rethrows the first exception after all workers have stopped;
+    /// RecordAndContinue counts the failure and drains the rest of the
+    /// queue (see ErrorPolicy).
     SchedulerStats run(std::vector<Job> jobs,
-                       const std::function<void(std::size_t)>& fn) const;
+                       const std::function<void(std::size_t)>& fn,
+                       ErrorPolicy policy = ErrorPolicy::CancelCampaign) const;
 
 private:
     unsigned threads_ = 1;

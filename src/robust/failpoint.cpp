@@ -1,0 +1,188 @@
+#include "robust/failpoint.h"
+
+#include "geom/base.h"
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace catlift::robust {
+
+namespace detail {
+std::atomic<int> g_armed{0};
+}  // namespace detail
+
+namespace {
+
+struct Entry {
+    FailAction action = FailAction::Error;
+    double param = 0.0;
+    std::uint64_t first = 1;                ///< 1-based hit the window opens at
+    std::uint64_t count = ~std::uint64_t{0};  ///< hits that fire
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+};
+
+std::mutex g_mu;
+std::vector<std::pair<std::string, Entry>>& table() {
+    static std::vector<std::pair<std::string, Entry>> t;
+    return t;
+}
+
+FailAction parse_action(const std::string& word, double& param) {
+    const auto colon = word.find(':');
+    const std::string name = word.substr(0, colon);
+    if (colon != std::string::npos) param = std::stod(word.substr(colon + 1));
+    if (name == "error") return FailAction::Error;
+    if (name == "throw") return FailAction::Runtime;
+    if (name == "oor") return FailAction::OutOfRange;
+    if (name == "crash") return FailAction::Crash;
+    if (name == "sleep") return FailAction::Sleep;
+    if (name == "torn") return FailAction::Torn;
+    if (name == "torn_crash") return FailAction::TornCrash;
+    if (name == "singular") return FailAction::Singular;
+    if (name == "nan") return FailAction::Nan;
+    throw Error("failpoint: unknown action '" + name + "'");
+}
+
+void arm_one(const std::string& item) {
+    const auto eq = item.find('=');
+    require(eq != std::string::npos && eq > 0,
+            "failpoint: spec item '" + item + "' is not name=action");
+    const std::string name = item.substr(0, eq);
+    std::string rhs = item.substr(eq + 1);
+
+    Entry e;
+    const auto at = rhs.find('@');
+    if (at != std::string::npos) {
+        std::string window = rhs.substr(at + 1);
+        rhs = rhs.substr(0, at);
+        const auto plus = window.find('+');
+        try {
+            if (plus != std::string::npos) {
+                e.first = std::stoull(window.substr(0, plus));
+                e.count = std::stoull(window.substr(plus + 1));
+            } else {
+                e.first = std::stoull(window);
+            }
+        } catch (const std::exception&) {
+            throw Error("failpoint: bad hit window in '" + item + "'");
+        }
+        require(e.first >= 1, "failpoint: hit index is 1-based: " + item);
+    }
+    try {
+        e.action = parse_action(rhs, e.param);
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception&) {
+        throw Error("failpoint: bad action/param in '" + item + "'");
+    }
+
+    std::lock_guard<std::mutex> lk(g_mu);
+    auto& t = table();
+    for (auto& [n, old] : t)
+        if (n == name) {
+            old = e;
+            return;
+        }
+    t.emplace_back(name, e);
+    detail::g_armed.store(static_cast<int>(t.size()),
+                          std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void arm(const std::string& spec) {
+    std::string item;
+    for (std::size_t i = 0; i <= spec.size(); ++i) {
+        const char c = i < spec.size() ? spec[i] : ';';
+        if (c == ';' || c == ',') {
+            // Trim surrounding whitespace.
+            const auto b = item.find_first_not_of(" \t");
+            const auto e = item.find_last_not_of(" \t");
+            if (b != std::string::npos) arm_one(item.substr(b, e - b + 1));
+            item.clear();
+        } else {
+            item.push_back(c);
+        }
+    }
+}
+
+void arm_from_env() {
+    const char* spec = std::getenv("CATLIFT_FAILPOINTS");
+    if (spec && *spec) arm(spec);
+}
+
+void disarm_all() {
+    std::lock_guard<std::mutex> lk(g_mu);
+    table().clear();
+    detail::g_armed.store(0, std::memory_order_relaxed);
+}
+
+std::vector<FailpointStatus> status() {
+    std::lock_guard<std::mutex> lk(g_mu);
+    std::vector<FailpointStatus> out;
+    for (const auto& [name, e] : table())
+        out.push_back({name, e.action, e.hits, e.fired});
+    return out;
+}
+
+std::uint64_t total_fired() {
+    std::lock_guard<std::mutex> lk(g_mu);
+    std::uint64_t n = 0;
+    for (const auto& [name, e] : table()) n += e.fired;
+    return n;
+}
+
+namespace detail {
+
+std::optional<FailHit> hit_slow(const char* site) {
+    FailHit h;
+    {
+        std::lock_guard<std::mutex> lk(g_mu);
+        Entry* e = nullptr;
+        for (auto& [name, entry] : table())
+            if (name == site) {
+                e = &entry;
+                break;
+            }
+        if (!e) return std::nullopt;
+        const std::uint64_t n = ++e->hits;
+        if (n < e->first || n - e->first >= e->count) return std::nullopt;
+        ++e->fired;
+        h.action = e->action;
+        h.param = e->param;
+    }
+    if (obs::metrics_enabled())
+        obs::Registry::global().counter("failpoint.fired").add(1);
+    if (obs::events_enabled())
+        obs::emit_event("failpoint_hit",
+                        {obs::arg("site", std::string(site)),
+                         obs::arg("action",
+                                  static_cast<std::int64_t>(h.action))});
+    switch (h.action) {
+        case FailAction::Error:
+            throw Error(std::string("failpoint '") + site +
+                        "': injected error");
+        case FailAction::Runtime:
+            throw std::runtime_error(std::string("failpoint '") + site +
+                                     "': injected exception");
+        case FailAction::OutOfRange:
+            throw std::out_of_range(std::string("failpoint '") + site +
+                                    "': injected out_of_range");
+        case FailAction::Crash:
+            std::_Exit(137);
+        case FailAction::Sleep:
+            std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(h.param));
+            return std::nullopt;
+        default:
+            return h;  // signal actions: the site interprets them
+    }
+}
+
+}  // namespace detail
+
+}  // namespace catlift::robust

@@ -1,0 +1,117 @@
+// catlift/robust/failpoint.h
+//
+// Deterministic failpoint framework: named fault-injection sites compiled
+// into the production binaries, off by default, armed by tests / CI / the
+// CLI to prove the campaign's failure-containment behavior byte for byte.
+// Follows the src/obs/ discipline: a disarmed site costs one relaxed
+// atomic load and a branch, so the hot paths keep their <2% overhead
+// guarantee with the framework compiled in.
+//
+// A site is a named call:
+//
+//     if (auto fp = robust::hit("store.append")) { ...site-specific... }
+//
+// Arming binds a site name to an action, an optional parameter and a hit
+// window.  Spec grammar (env CATLIFT_FAILPOINTS or `anafaultc
+// --failpoints`):
+//
+//     name=action[:param][@first[+count]] [;,] ...
+//
+//   action  error       throw catlift::Error        (handled in hit())
+//           throw       throw std::runtime_error    (handled in hit())
+//           oor         throw std::out_of_range     (handled in hit())
+//           crash       std::_Exit(137)             (handled in hit())
+//           sleep:MS    sleep MS milliseconds       (handled in hit())
+//           torn        signal: site tears the operation (store.append)
+//           torn_crash  signal: tear, then _Exit(137)    (store.append)
+//           singular    signal: force factor failure     (kernel.factor)
+//           nan         signal: poison the solution      (kernel.solve)
+//   first   1-based hit index the window opens at (default 1)
+//   count   number of hits that fire (default: every hit from `first`)
+//
+// e.g. "store.append=torn@3" tears the 3rd append and every later one is
+// normal; "kernel.factor=singular@1+2" forces the first two
+// factorizations singular.  Hit counters are per-name atomics, so with a
+// single worker thread the firing sequence is fully deterministic; tests
+// that need cross-thread determinism pin threads=1 or use wide windows.
+//
+// Generic actions (error/throw/oor/crash/sleep) are executed inside
+// hit() itself -- any site can exercise them.  Signal actions are
+// returned to the site, which implements the named misbehavior; a signal
+// a site does not understand is ignored.  Every firing increments the
+// obs counter `failpoint.fired` and emits a `failpoint_hit` event when
+// observability is on.  The site catalog lives in docs/robustness.md.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catlift::robust {
+
+enum class FailAction : std::uint8_t {
+    Error,       ///< throw catlift::Error (generic)
+    Runtime,     ///< throw std::runtime_error (generic)
+    OutOfRange,  ///< throw std::out_of_range (generic)
+    Crash,       ///< std::_Exit(137) (generic)
+    Sleep,       ///< sleep param milliseconds (generic)
+    Torn,        ///< signal: tear the operation mid-way
+    TornCrash,   ///< signal: tear, then _Exit(137)
+    Singular,    ///< signal: force a factorization failure
+    Nan,         ///< signal: poison the solution vector
+};
+
+/// One firing, as returned to a site for signal actions.
+struct FailHit {
+    FailAction action = FailAction::Error;
+    double param = 0.0;
+};
+
+/// Introspection row for --stats and tests.
+struct FailpointStatus {
+    std::string name;
+    FailAction action = FailAction::Error;
+    std::uint64_t hits = 0;   ///< times the site was reached while armed
+    std::uint64_t fired = 0;  ///< times the hit window matched
+};
+
+namespace detail {
+extern std::atomic<int> g_armed;
+std::optional<FailHit> hit_slow(const char* site);
+}  // namespace detail
+
+/// True when any failpoint is armed (one relaxed load).
+inline bool armed() noexcept {
+    return detail::g_armed.load(std::memory_order_relaxed) != 0;
+}
+
+/// The failpoint site: no-op (nullopt) unless `site` is armed and its hit
+/// window matches.  Generic actions throw / crash / sleep from inside;
+/// signal actions are returned for the site to interpret.
+inline std::optional<FailHit> hit(const char* site) {
+    if (!armed()) return std::nullopt;
+    return detail::hit_slow(site);
+}
+
+/// Arm failpoints from a spec string (grammar above).  Specs accumulate;
+/// re-arming a name replaces its entry.  Throws catlift::Error on a
+/// malformed spec.
+void arm(const std::string& spec);
+
+/// Arm from the CATLIFT_FAILPOINTS environment variable (no-op when
+/// unset or empty).
+void arm_from_env();
+
+/// Disarm everything and reset all hit counters.
+void disarm_all();
+
+/// Snapshot of every armed failpoint's counters.
+std::vector<FailpointStatus> status();
+
+/// Total firings across all failpoints since the last disarm_all().
+std::uint64_t total_fired();
+
+}  // namespace catlift::robust

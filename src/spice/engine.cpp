@@ -1,6 +1,7 @@
 #include "spice/engine.h"
 
 #include "obs/obs.h"
+#include "robust/failpoint.h"
 #include "spice/mos1.h"
 
 #include <algorithm>
@@ -504,8 +505,39 @@ void Simulator::sync_sparse_timers() {
     stats_.numeric_seconds = slu_.numeric_seconds() + cslu_.numeric_seconds();
 }
 
+void Simulator::begin_analysis() {
+    analysis_base_ = stats_;
+    budget_armed_ = opt_.max_wall_seconds > 0.0 || opt_.max_nr_total > 0 ||
+                    opt_.max_tran_steps > 0;
+    if (budget_armed_) budget_t0_ = std::chrono::steady_clock::now();
+}
+
+void Simulator::check_budget() {
+    if (!budget_armed_) return;
+    if (opt_.max_nr_total > 0 &&
+        stats_.nr_iterations - analysis_base_.nr_iterations >=
+            opt_.max_nr_total)
+        throw BudgetExceeded("budget: NR iteration budget of " +
+                             std::to_string(opt_.max_nr_total) +
+                             " exhausted");
+    if (opt_.max_tran_steps > 0 &&
+        stats_.tran_steps - analysis_base_.tran_steps >= opt_.max_tran_steps)
+        throw BudgetExceeded("budget: transient step budget of " +
+                             std::to_string(opt_.max_tran_steps) +
+                             " exhausted");
+    if (opt_.max_wall_seconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      budget_t0_)
+                .count() >= opt_.max_wall_seconds)
+        throw BudgetExceeded("budget: wall-clock deadline of " +
+                             std::to_string(opt_.max_wall_seconds) +
+                             " s exceeded");
+}
+
 bool Simulator::factor_work() {
     obs::Span sp(obs::Phase::Factor);
+    if (auto fp = robust::hit("kernel.factor"))
+        if (fp->action == robust::FailAction::Singular) return false;
     if (sparse_) {
         const std::size_t before_full = slu_.full_factors();
         const bool ok = slu_.factor(svals_work_);
@@ -532,11 +564,15 @@ void Simulator::solve_work() {
     } else {
         lu_.solve(rhs_, x_new_);
     }
+    if (auto fp = robust::hit("kernel.solve"))
+        if (fp->action == robust::FailAction::Nan && !x_new_.empty())
+            x_new_[0] = std::numeric_limits<double>::quiet_NaN();
 }
 
 bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
                        double src_scale, double extra_gmin, int max_iter) {
     obs::Span sp(obs::Phase::Newton);
+    robust::hit("kernel.newton");  // hang/exception injection site
     const std::size_t n = n_nodes_ + n_branches_;
     ensure_static(dc, h, extra_gmin);
     build_rhs_base(dc, h, t, src_scale);
@@ -565,6 +601,7 @@ bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
         }
         solve_work();
         ++stats_.nr_iterations;
+        check_budget();
 
         // Damped update with voltage limiting on node unknowns.
         double max_rel = 0.0;
@@ -587,9 +624,17 @@ bool Simulator::newton(std::vector<double>& x, double h, double t, bool dc,
     return false;
 }
 
-DcResult Simulator::dc_op() { return dc_op_impl(nullptr); }
+DcResult Simulator::dc_op() {
+    // A standalone operating-point solve (DC fault screens) is its own
+    // analysis window, so the execution budgets cover the whole strategy
+    // ladder.  tran()/ac() call dc_op_impl() directly: their windows span
+    // the internal OP solve.
+    begin_analysis();
+    return dc_op_impl(nullptr);
+}
 
 DcResult Simulator::dc_op(const std::map<std::string, double>& initial) {
+    begin_analysis();
     std::vector<double> x0(n_nodes_ + n_branches_, 0.0);
     for (std::size_t i = 0; i < n_nodes_; ++i) {
         const auto it = initial.find(node_names_[i]);
@@ -767,8 +812,9 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
             "bad .ac parameters");
     begin_analysis();
 
-    // Operating point.
-    const DcResult op = dc_op();
+    // Operating point (dc_op_impl keeps the sweep's own analysis window
+    // and budgets intact; the public dc_op() would re-arm them).
+    const DcResult op = dc_op_impl(nullptr);
     require(op.converged, "ac: DC operating point failed");
     const std::size_t n = n_nodes_ + n_branches_;
     std::vector<double> x0(n, 0.0);
@@ -841,6 +887,9 @@ AcResult Simulator::ac(const AcSpec& spec, const AcPointObserver& observer) {
         2, static_cast<int>(decades * spec.points_per_decade + 0.5) + 1);
     std::vector<std::complex<double>> sol(n);
     for (int k = 0; k < total; ++k) {
+        // The sweep is linear (no Newton iterations), so the wall-clock
+        // budget needs its own per-point check here.
+        check_budget();
         const double f =
             spec.fstart * std::pow(10.0, decades * k / (total - 1));
         const double w = 2.0 * M_PI * f;
@@ -924,7 +973,9 @@ Waveforms Simulator::tran(const netlist::TranSpec& spec,
     } else {
         // Solve the DC operating point (sources at their dc_value(), which
         // for PULSE/PWL/SIN equals the t=0 level on standard decks).
-        DcResult dc = dc_op();
+        // dc_op_impl: the transient's analysis window and budgets, armed
+        // by begin_analysis() above, span this internal solve.
+        DcResult dc = dc_op_impl(nullptr);
         require(dc.converged, "transient: initial operating point failed");
         for (std::size_t i = 0; i < n_nodes_; ++i)
             x[i] = dc.voltages.at(node_names_[i]);

@@ -93,6 +93,7 @@
 #include "spice/symbolic_cache.h"
 #include "spice/waveform.h"
 
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -179,6 +180,31 @@ struct SimOptions {
     /// degree itself.  Campaigns harvest it from the nominal simulator
     /// (Simulator::symbolic_cache()) and hand it to every faulty variant.
     std::shared_ptr<const SymbolicCache> symbolic_cache;
+
+    // -- per-analysis execution budgets (0 = unlimited) ---------------------
+    // A pathological faulty circuit must not grind a campaign worker
+    // forever: max_nr bounds one Newton solve, but nothing above it bounds
+    // the DC strategy ladder, the gmin/source stepping loops or a
+    // transient that limps through millions of tiny steps.  Each budget
+    // covers one analysis (a tran, an AC sweep, or one dc_op with its
+    // whole strategy ladder); exhaustion throws the typed BudgetExceeded
+    // below -- a catchable, attributable failure instead of a hang.
+    /// Wall-clock deadline per analysis [s] (checked every NR iteration).
+    double max_wall_seconds = 0.0;
+    /// Total NR iterations per analysis, all solves and strategies summed.
+    std::size_t max_nr_total = 0;
+    /// Companion steps per transient analysis (accepted solves, not grid
+    /// samples: an adaptive stride counts once, like SimStats::tran_steps).
+    std::size_t max_tran_steps = 0;
+};
+
+/// Typed per-analysis budget exhaustion (SimOptions::max_wall_seconds /
+/// max_nr_total / max_tran_steps).  Derives from catlift::Error so every
+/// existing per-fault catch already contains it; campaigns distinguish it
+/// to drive the retry/degradation ladder.
+class BudgetExceeded : public Error {
+public:
+    explicit BudgetExceeded(const std::string& what) : Error(what) {}
 };
 
 /// Counters for performance reporting (the source-model vs resistor-model
@@ -453,8 +479,14 @@ private:
     std::string unknown_name(std::size_t i) const;
     /// Copy the sparse backends' time split into stats_.
     void sync_sparse_timers();
-    /// Snapshot stats_ as the base of a new analysis window.
-    void begin_analysis() { analysis_base_ = stats_; }
+    /// Snapshot stats_ as the base of a new analysis window and arm the
+    /// per-analysis execution budgets against it.
+    void begin_analysis();
+    /// Throw BudgetExceeded when any armed budget is exhausted relative to
+    /// the current analysis window.  Called once per NR iteration (which
+    /// covers the wall clock everywhere a solve loops) and once per
+    /// accepted transient step; a no-op bool test when budgets are off.
+    void check_budget();
     /// Factor the work values on the active backend.
     bool factor_work();
     /// Solve the factored system for rhs_ into x_new_.
@@ -517,6 +549,8 @@ private:
                                        ///< per-device linearizations)
     std::vector<double> rhs_, x_new_, x_try_, row_buf_;  ///< hot-path buffers
     SimStats analysis_base_;           ///< stats_ at the last analysis start
+    bool budget_armed_ = false;        ///< any execution budget nonzero
+    std::chrono::steady_clock::time_point budget_t0_;  ///< analysis start
 
     // Complex (AC) backend state, built lazily on the first ac() call.
     bool ac_kernel_ready_ = false;

@@ -159,6 +159,31 @@ TEST(Scheduler, PropagatesWorkerException) {
                  Error);
 }
 
+TEST(Scheduler, RecordAndContinueDrainsQueueOnError) {
+    const std::size_t n = 50;
+    std::vector<batch::Job> jobs;
+    for (std::size_t i = 0; i < n; ++i) jobs.push_back(batch::Job{i, 1.0});
+    std::vector<std::atomic<int>> hits(n);
+    for (const unsigned threads : {1u, 4u}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        for (auto& h : hits) h = 0;
+        const batch::Scheduler sched(threads);
+        const auto stats = sched.run(
+            jobs,
+            [&](std::size_t i) {
+                ++hits[i];
+                if (i % 10 == 3) throw Error("boom " + std::to_string(i));
+            },
+            batch::ErrorPolicy::RecordAndContinue);
+        // Every job ran exactly once -- the five throwers were recorded,
+        // not allowed to cancel the rest of the queue.
+        EXPECT_EQ(stats.executed, n);
+        EXPECT_EQ(stats.failed_jobs, 5u);
+        EXPECT_FALSE(stats.first_error.empty());
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Collapse
 

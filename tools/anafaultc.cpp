@@ -36,6 +36,20 @@
 //                        markowitz
 //     --no-share-symbolic  every faulty kernel runs its own ordering
 //                        instead of adopting the nominal one
+//     --wall-budget <s>  per-fault wall-clock deadline (0 = unlimited)
+//     --nr-budget <n>    per-fault total-NR-iteration budget (0 = unlimited)
+//     --step-budget <n>  per-fault transient-step budget (0 = unlimited)
+//     --max-retries <n>  degraded re-attempts before quarantine (default 4;
+//                        0 = first failure retires the fault as failed)
+//     --store-durability <d>  flush (default: survives process death) |
+//                        fsync (survives power loss; one fsync per append)
+//     --repair-store <file>  offline store repair: trim the file to its
+//                        last intact record, report records kept / bytes
+//                        dropped, and exit (no deck/fault list needed)
+//     --failpoints <spec>  arm deterministic failpoints, e.g.
+//                        "store.append=torn@3;kernel.factor=singular"
+//                        (also read from env CATLIFT_FAILPOINTS;
+//                        see docs/robustness.md for the site catalog)
 //     --stats            batch/kernel counter block (scheduler, bypass,
 //                        symbolic cache, ordering/numeric time split,
 //                        per-phase latency percentiles)
@@ -54,6 +68,7 @@
 #include "lift/fault.h"
 #include "netlist/parser.h"
 #include "obs/obs.h"
+#include "robust/failpoint.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -75,7 +90,10 @@ namespace {
         "[--no-collapse] [--no-adaptive] [--lte-tol tol] [--no-sparse] "
         "[--sparse] [--no-bypass] [--bypass-tol tol] "
         "[--device-bypass-tol tol] [--ordering amd|markowitz] "
-        "[--no-share-symbolic] [--stats] [--trace file] "
+        "[--no-share-symbolic] [--wall-budget s] [--nr-budget n] "
+        "[--step-budget n] [--max-retries n] "
+        "[--store-durability flush|fsync] [--repair-store file] "
+        "[--failpoints spec] [--stats] [--trace file] "
         "[--metrics-json file] [--events file] [--progress] [--table] "
         "[--plot] [--csv file]\n");
     std::exit(2);
@@ -91,9 +109,18 @@ catlift::lift::FaultList read_faults_file(const std::string& path) {
 
 int main(int argc, char** argv) {
     using namespace catlift;
+    // Env-armed failpoints first, so an explicit --failpoints wins when
+    // both name the same site.
+    try {
+        robust::arm_from_env();
+    } catch (const Error& e) {
+        std::fprintf(stderr, "anafaultc: CATLIFT_FAILPOINTS: %s\n", e.what());
+        return 2;
+    }
     std::string deck_path, flt_path, csv_path;
     std::string baseline_store, baseline_flt_path;
     std::string trace_path, metrics_path, events_path;
+    std::string repair_path;
     double diff_tol = 0.05;
     anafault::CampaignOptions opt;
     opt.detection.observed.clear();
@@ -176,6 +203,47 @@ int main(int argc, char** argv) {
                 usage();
         }
         else if (a == "--no-share-symbolic") opt.share_symbolic = false;
+        else if (a == "--wall-budget") {
+            opt.sim.max_wall_seconds = std::atof(next());
+            if (!(opt.sim.max_wall_seconds >= 0.0)) {
+                std::fprintf(stderr,
+                             "anafaultc: --wall-budget needs a non-negative "
+                             "number of seconds\n");
+                return 2;
+            }
+        }
+        else if (a == "--nr-budget")
+            opt.sim.max_nr_total =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (a == "--step-budget")
+            opt.sim.max_tran_steps =
+                static_cast<std::size_t>(std::atoll(next()));
+        else if (a == "--max-retries") {
+            opt.max_retries = std::atoi(next());
+            if (opt.max_retries < 0) {
+                std::fprintf(stderr,
+                             "anafaultc: --max-retries needs a non-negative "
+                             "count\n");
+                return 2;
+            }
+        }
+        else if (a == "--store-durability") {
+            const std::string d = next();
+            if (d == "flush") opt.store_durability = batch::Durability::Flush;
+            else if (d == "fsync")
+                opt.store_durability = batch::Durability::Fsync;
+            else
+                usage();
+        }
+        else if (a == "--repair-store") repair_path = next();
+        else if (a == "--failpoints") {
+            try {
+                robust::arm(next());
+            } catch (const Error& e) {
+                std::fprintf(stderr, "anafaultc: %s\n", e.what());
+                return 2;
+            }
+        }
         else if (a == "--stats") stats = true;
         else if (a == "--trace") trace_path = next();
         else if (a == "--metrics-json") metrics_path = next();
@@ -188,6 +256,28 @@ int main(int argc, char** argv) {
         else if (deck_path.empty()) deck_path = a;
         else if (flt_path.empty()) flt_path = a;
         else usage();
+    }
+    // --repair-store is a standalone command: repair, report, exit.
+    if (!repair_path.empty()) {
+        try {
+            const batch::RepairReport rep = batch::repair_store(repair_path);
+            if (!rep.header_ok) {
+                std::printf("repair %s: no valid store header -- nothing "
+                            "recoverable, file left untouched\n",
+                            repair_path.c_str());
+                return 1;
+            }
+            std::printf("repair %s: manifest %016llx, %zu records kept, "
+                        "%zu of %zu bytes kept (%zu trimmed)\n",
+                        repair_path.c_str(),
+                        static_cast<unsigned long long>(rep.manifest),
+                        rep.records_kept, rep.bytes_kept, rep.bytes_total,
+                        rep.bytes_total - rep.bytes_kept);
+            return 0;
+        } catch (const Error& e) {
+            std::fprintf(stderr, "anafaultc: %s\n", e.what());
+            return 1;
+        }
     }
     if (deck_path.empty() || flt_path.empty()) usage();
     if (opt.resume && opt.result_store.empty()) {
@@ -264,6 +354,15 @@ int main(int argc, char** argv) {
                                 : 0.0;
             std::printf("  symbolic cache hits %zu / %zu kernels (%.1f%%)\n",
                         b.symbolic_cache_hits, b.scheduled, hit_rate);
+            std::printf("  containment: retries %zu, quarantined %zu, "
+                        "job errors %zu, store errors %zu\n",
+                        b.retries, b.quarantined, b.job_errors,
+                        b.store_errors);
+            for (const robust::FailpointStatus& fs : robust::status())
+                std::printf("  failpoint %-20s hits %llu fired %llu\n",
+                            fs.name.c_str(),
+                            static_cast<unsigned long long>(fs.hits),
+                            static_cast<unsigned long long>(fs.fired));
             // The ordering/numeric split as shares of the total kernel
             // time this run spent solving (nominal + faulty).
             const double kernel_s = res.nominal_seconds + res.total_seconds;
@@ -311,7 +410,7 @@ int main(int argc, char** argv) {
         }
         obs::detach_event_sinks();
         return 0;
-    } catch (const Error& e) {
+    } catch (const std::exception& e) {
         std::fprintf(stderr, "anafaultc: %s\n", e.what());
         return 1;
     }

@@ -1,0 +1,98 @@
+// crash_resume_smoke -- kill a fault campaign mid-run and prove the
+// resumed verdicts are byte-identical to an uninterrupted reference.
+//
+// The CI crash-resume job drives the paper's VCO campaign (layout-
+// extracted fault list, early abort and collapsing on) through three
+// invocations of this binary:
+//
+//   crash_resume_smoke reference <store>      cold run, print verdict digest
+//   crash_resume_smoke crash     <store> [N]  arm store.append=torn_crash@N:
+//                                             the Nth append tears mid-record
+//                                             and the process _Exit(137)s
+//   crash_resume_smoke resume    <store>      reopen the torn store, resume,
+//                                             print verdict digest
+//
+// The digest is one sorted line per fault -- id, verdict, detection time
+// and metric in hex-float -- so `diff reference.txt resumed.txt` is the
+// whole byte-identity assertion.  Everything runs at threads=1 so the
+// failpoint's hit ordering (and therefore which fault's record tears) is
+// deterministic.
+
+#include "core/cat.h"
+#include "robust/failpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace {
+
+[[noreturn]] void usage() {
+    std::fprintf(stderr,
+                 "usage: crash_resume_smoke reference|crash|resume "
+                 "<store> [crash-at-append-N]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace catlift;
+    if (argc < 3) usage();
+    const std::string mode = argv[1];
+    const std::string store = argv[2];
+    if (mode != "reference" && mode != "crash" && mode != "resume") usage();
+
+    try {
+        if (mode == "crash") {
+            const int n = argc > 3 ? std::atoi(argv[3]) : 20;
+            robust::arm("store.append=torn_crash@" + std::to_string(n));
+        }
+
+        const core::VcoExperiment e = core::make_vco_experiment();
+        const lift::LiftResult lifted =
+            lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+        anafault::CampaignOptions opt = e.config.campaign;
+        opt.threads = 1;  // deterministic failpoint hit ordering
+        opt.result_store = store;
+        opt.resume = mode == "resume";
+        const anafault::CampaignResult res =
+            anafault::run_campaign(e.sim_circuit, lifted.faults, opt);
+
+        // In crash mode the failpoint should have killed the process long
+        // before this point; reaching it means the campaign was too small
+        // for the chosen append index.
+        if (mode == "crash") {
+            std::fprintf(stderr,
+                         "crash_resume_smoke: campaign finished without "
+                         "hitting the crash failpoint (lower N)\n");
+            return 1;
+        }
+
+        std::vector<std::string> lines;
+        lines.reserve(res.results.size());
+        char buf[256];
+        for (const anafault::FaultSimResult& r : res.results) {
+            const char* verdict = r.detect_time    ? "detected"
+                                  : r.simulated    ? "undetected"
+                                  : r.quarantined  ? "quarantined"
+                                                   : "failed";
+            std::snprintf(buf, sizeof buf, "%d %s t=%a m=%a\n", r.fault_id,
+                          verdict, r.detect_time.value_or(-1.0), r.metric);
+            lines.push_back(buf);
+        }
+        std::sort(lines.begin(), lines.end());
+        for (const std::string& l : lines) std::fputs(l.c_str(), stdout);
+        std::fprintf(stderr,
+                     "crash_resume_smoke %s: %zu faults, %zu resumed, "
+                     "%zu simulated\n",
+                     mode.c_str(), res.results.size(), res.batch.resumed,
+                     res.batch.scheduled);
+        return 0;
+    } catch (const std::exception& ex) {
+        std::fprintf(stderr, "crash_resume_smoke: %s\n", ex.what());
+        return 1;
+    }
+}
