@@ -48,6 +48,8 @@ struct AcCampaignOptions {
     double db_tol = 3.0;  ///< magnitude deviation tolerance [dB]
     spice::SimOptions sim;
     /// Worker threads for the batch scheduler (1 = serial).
+    // manifest-exempt: parallelism only changes wall-clock, never
+    // which verdict a fault retires with.
     unsigned threads = 1;
     /// Sweep each electrical-effect equivalence class once.
     bool collapse = true;
@@ -61,15 +63,20 @@ struct AcCampaignOptions {
     /// CampaignOptions::max_retries.  Verdict-affecting, in the manifest.
     int max_retries = kDefaultMaxRetries;
     /// Path of the append-only result store ("" disables persistence).
+    // manifest-exempt: where results land, not what they are.
     std::string result_store;
     /// Durability of each store append (batch::Durability); not
     /// verdict-affecting, hence not in the manifest.
+    // manifest-exempt: crash-durability of the store file only.
     batch::Durability store_durability = batch::Durability::Flush;
     /// Reuse results already in `result_store` from a previous (possibly
     /// crashed) run of the *same* campaign.
+    // manifest-exempt: replays already-verified same-manifest records.
     bool resume = false;
     /// Bind the result store to this manifest instead of the campaign's
     /// own hash (set only by the incremental cross-revision engine).
+    // manifest-exempt: IS the manifest binding; hashing it into the
+    // hash it overrides would be circular.
     std::optional<std::uint64_t> manifest_override;
 };
 

@@ -35,6 +35,9 @@ struct CampaignOptions {
     /// Analysis grid; falls back to the circuit's own .tran card.
     std::optional<netlist::TranSpec> tran;
     /// Worker threads (1 = serial).
+    // manifest-exempt: parallelism only changes wall-clock; the
+    // work-stealing scheduler retires identical verdicts at any
+    // worker count (pinned by batch_test.cpp determinism cases).
     unsigned threads = 1;
 
     // -- batch engine knobs --------------------------------------------------
@@ -61,20 +64,28 @@ struct CampaignOptions {
     /// so it is part of the campaign manifest.
     int max_retries = kDefaultMaxRetries;
     /// Path of the append-only result store ("" disables persistence).
+    // manifest-exempt: where results land, not what they are; the
+    // store binds to the campaign via the manifest hash, not its path.
     std::string result_store;
     /// Durability of each store append (batch::Durability): Flush
     /// survives process death, Fsync survives power loss.  Not
     /// verdict-affecting, hence not in the manifest.
+    // manifest-exempt: crash-durability of the store file only.
     batch::Durability store_durability = batch::Durability::Flush;
     /// Reuse results already in `result_store` from a previous (possibly
     /// crashed) run of the *same* campaign; without this flag an existing
     /// store is restarted.
+    // manifest-exempt: resume replays *already-verified* records of
+    // the same manifest; it cannot change what a fault retires as.
     bool resume = false;
     /// Bind the result store to this manifest instead of the campaign's
     /// own hash.  Set only by the incremental cross-revision engine, which
     /// runs a *subset* campaign against the full revision's store (the
     /// carried records must survive the subset run and the merged store
     /// must identify as the full revision campaign).
+    // manifest-exempt: IS the manifest binding (hashing the override
+    // into the hash it overrides would be circular); only the
+    // incremental engine sets it, to a hash it computed itself.
     std::optional<std::uint64_t> manifest_override;
 
     CampaignOptions() {

@@ -267,7 +267,7 @@ void ResultStore::append(const FaultSimResult& r) {
     put(rec, fnv1a(payload));
 
     {
-        std::lock_guard<std::mutex> lk(mu_);
+        MutexLock lk(mu_);
         if (auto fp = robust::hit("store.append")) {
             // Torn-write injection: half the record reaches the kernel,
             // then the append dies -- by exception (`torn`, the contained

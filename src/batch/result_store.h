@@ -16,12 +16,12 @@
 
 #pragma once
 
+#include "core/thread_annotations.h"
 #include "geom/base.h"
 
 #include <cstddef>
 #include <cstdint>
 #include <fstream>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -130,12 +130,16 @@ public:
 private:
     void sync_to_disk();  ///< fsync the file (Durability::Fsync only)
 
+    // path_/manifest_/durability_/loaded_ are immutable after the
+    // constructor; only the append path is concurrent, so the log stream
+    // is the one guarded field (the constructor and destructor touch it
+    // before/after the store is shared -- clang's analysis exempts them).
     std::string path_;
     std::uint64_t manifest_ = 0;
     Durability durability_ = Durability::Flush;
     std::vector<FaultSimResult> loaded_;
-    std::ofstream out_;
-    std::mutex mu_;
+    Mutex mu_;
+    std::ofstream out_ CATLIFT_GUARDED_BY(mu_);
 };
 
 /// Read-only view of a store file: the manifest it was written under plus

@@ -1,5 +1,6 @@
 #include "batch/scheduler.h"
 
+#include "core/thread_annotations.h"
 #include "obs/obs.h"
 #include "robust/failpoint.h"
 
@@ -7,7 +8,6 @@
 #include <atomic>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 
 namespace catlift::batch {
@@ -19,8 +19,8 @@ namespace {
 /// One worker's deque with its lock.  Owner pops the front, thieves pop the
 /// back.
 struct WorkDeque {
-    std::mutex mu;
-    std::deque<std::size_t> jobs;
+    Mutex mu;
+    std::deque<std::size_t> jobs CATLIFT_GUARDED_BY(mu);
 };
 
 /// Publish one contained job failure (RecordAndContinue).
@@ -100,8 +100,14 @@ SchedulerStats Scheduler::run(std::vector<Job> jobs,
     std::atomic<std::size_t> steals{0};
     std::atomic<std::size_t> failed{0};
     std::atomic<bool> cancelled{false};
-    std::mutex err_mu;
-    std::exception_ptr first_error;
+    // First-exception slot: workers race to publish under the slot's
+    // mutex; the post-join reads below reacquire it so the analysis (and
+    // TSan) see one consistent discipline rather than a join-ordered
+    // exception.  (A struct because guarded_by binds to data members.)
+    struct ErrorSlot {
+        Mutex mu;
+        std::exception_ptr first CATLIFT_GUARDED_BY(mu);
+    } err;
 
     auto worker = [&](unsigned self) {
         // Name this worker's trace lane so fault spans land on a
@@ -113,7 +119,7 @@ SchedulerStats Scheduler::run(std::vector<Job> jobs,
             std::size_t idx = 0;
             bool have = false, stolen = false;
             {
-                std::lock_guard<std::mutex> lk(deques[self].mu);
+                MutexLock lk(deques[self].mu);
                 if (!deques[self].jobs.empty()) {
                     idx = deques[self].jobs.front();
                     deques[self].jobs.pop_front();
@@ -125,7 +131,7 @@ SchedulerStats Scheduler::run(std::vector<Job> jobs,
                 // from the back (the victim's lowest-priority pending job).
                 for (unsigned k = 1; k < w && !have; ++k) {
                     WorkDeque& victim = deques[(self + k) % w];
-                    std::lock_guard<std::mutex> lk(victim.mu);
+                    MutexLock lk(victim.mu);
                     if (!victim.jobs.empty()) {
                         idx = victim.jobs.back();
                         victim.jobs.pop_back();
@@ -145,8 +151,8 @@ SchedulerStats Scheduler::run(std::vector<Job> jobs,
                 else
                     failed.fetch_add(1, std::memory_order_relaxed);
                 {
-                    std::lock_guard<std::mutex> lk(err_mu);
-                    if (!first_error) first_error = ep;
+                    MutexLock lk(err.mu);
+                    if (!err.first) err.first = ep;
                 }
                 if (policy == ErrorPolicy::RecordAndContinue)
                     record_job_error(ep, idx);
@@ -160,12 +166,18 @@ SchedulerStats Scheduler::run(std::vector<Job> jobs,
     for (unsigned t = 0; t < w; ++t) pool.emplace_back(worker, t);
     for (auto& th : pool) th.join();
 
-    if (policy == ErrorPolicy::CancelCampaign && first_error)
-        std::rethrow_exception(first_error);
+    {
+        // Workers are joined, but holding err.mu keeps the annotated
+        // contract (and the analysis) exact instead of relying on the
+        // happens-before edge of the joins.
+        MutexLock lk(err.mu);
+        if (policy == ErrorPolicy::CancelCampaign && err.first)
+            std::rethrow_exception(err.first);
+        if (err.first) stats.first_error = what_of(err.first);
+    }
     stats.executed = executed.load();
     stats.steals = steals.load();
     stats.failed_jobs = failed.load();
-    if (first_error) stats.first_error = what_of(first_error);
     if (obs::metrics_enabled()) {
         obs::Registry& reg = obs::Registry::global();
         reg.counter("scheduler.jobs").add(stats.executed);

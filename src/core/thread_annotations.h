@@ -1,0 +1,104 @@
+// catlift/core/thread_annotations.h
+//
+// Clang thread-safety-analysis vocabulary for the campaign's concurrent
+// subsystems, plus annotated std::mutex wrappers the analysis can reason
+// about.  Under clang, `-Wthread-safety -Werror` (the CI job
+// `clang-thread-safety`) statically proves that every CATLIFT_GUARDED_BY
+// field is only touched with its mutex held and that every
+// CATLIFT_REQUIRES contract is met at each call site; under any other
+// compiler every macro expands to nothing and the wrappers degrade to
+// plain std::mutex / std::lock_guard, so the annotations are free.
+//
+// Why wrappers instead of annotating std::mutex directly: libstdc++'s
+// std::mutex carries no capability attributes, so clang cannot treat it
+// as a lockable object.  catlift::Mutex is std::mutex with the
+// capability attributes attached; catlift::MutexLock is the annotated
+// scoped guard.  Both are drop-in (same API subset, zero overhead).
+//
+// Annotation conventions for this repo (docs/static-analysis.md):
+//  * Every field written by more than one thread is either a std::atomic
+//    or CATLIFT_GUARDED_BY its Mutex -- no third category.
+//  * Private helpers called with a lock already held are marked
+//    CATLIFT_REQUIRES(mu) instead of re-locking.
+//  * A deliberately unanalyzed function (e.g. lock juggling the analysis
+//    cannot follow) carries CATLIFT_NO_THREAD_SAFETY_ANALYSIS and a
+//    comment saying why.
+
+#pragma once
+
+#include <mutex>
+
+// clang implements the analysis; gcc and MSVC parse nothing of it.
+#if defined(__clang__)
+#define CATLIFT_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CATLIFT_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Type attribute: this class is a lockable capability ("mutex").
+#define CATLIFT_CAPABILITY(x) CATLIFT_THREAD_ANNOTATION(capability(x))
+/// Type attribute: RAII object that holds a capability for its lifetime.
+#define CATLIFT_SCOPED_CAPABILITY CATLIFT_THREAD_ANNOTATION(scoped_lockable)
+/// Field attribute: reads/writes require holding `x`.
+#define CATLIFT_GUARDED_BY(x) CATLIFT_THREAD_ANNOTATION(guarded_by(x))
+/// Field attribute: the pointed-to data (not the pointer) requires `x`.
+#define CATLIFT_PT_GUARDED_BY(x) CATLIFT_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function attribute: caller must hold the listed capabilities.
+#define CATLIFT_REQUIRES(...) \
+    CATLIFT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function attribute: acquires the listed capabilities.
+#define CATLIFT_ACQUIRE(...) \
+    CATLIFT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function attribute: releases the listed capabilities.
+#define CATLIFT_RELEASE(...) \
+    CATLIFT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function attribute: acquires the capability iff it returns `r`.
+#define CATLIFT_TRY_ACQUIRE(r, ...) \
+    CATLIFT_THREAD_ANNOTATION(try_acquire_capability(r, __VA_ARGS__))
+/// Function attribute: caller must NOT hold the listed capabilities
+/// (deadlock prevention for functions that will acquire them).
+#define CATLIFT_EXCLUDES(...) \
+    CATLIFT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function attribute: opt this function out of the analysis.
+#define CATLIFT_NO_THREAD_SAFETY_ANALYSIS \
+    CATLIFT_THREAD_ANNOTATION(no_thread_safety_analysis)
+/// Function attribute: returns a reference to the given capability.
+#define CATLIFT_RETURN_CAPABILITY(x) \
+    CATLIFT_THREAD_ANNOTATION(lock_returned(x))
+
+namespace catlift {
+
+/// std::mutex with capability attributes: the lockable object the
+/// analysis tracks.  Same cost, same semantics.
+class CATLIFT_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() CATLIFT_ACQUIRE() { mu_.lock(); }
+    void unlock() CATLIFT_RELEASE() { mu_.unlock(); }
+    bool try_lock() CATLIFT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    std::mutex mu_;
+};
+
+/// Annotated scoped guard: std::lock_guard<catlift::Mutex> with the
+/// scoped-capability attributes so the analysis knows the critical
+/// section's extent.
+class CATLIFT_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& mu) CATLIFT_ACQUIRE(mu) : mu_(mu) {
+        mu_.lock();
+    }
+    ~MutexLock() CATLIFT_RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+    Mutex& mu_;
+};
+
+}  // namespace catlift

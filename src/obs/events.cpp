@@ -93,17 +93,17 @@ void ProgressSink::on_event(const char* name, std::uint64_t,
 
 void CaptureSink::on_event(const char* name, std::uint64_t ts_ns,
                            const std::vector<TraceArg>& fields) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     events_.push_back(Captured{name, ts_ns, fields});
 }
 
 std::vector<CaptureSink::Captured> CaptureSink::take() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return std::move(events_);
 }
 
 std::size_t CaptureSink::count_of(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return static_cast<std::size_t>(
         std::count_if(events_.begin(), events_.end(),
                       [&](const Captured& c) { return c.name == name; }));
@@ -115,8 +115,11 @@ std::size_t CaptureSink::count_of(const std::string& name) {
 namespace {
 
 struct Bus {
-    std::mutex mu;
-    std::vector<std::shared_ptr<EventSink>> sinks;
+    Mutex mu;
+    // The sink list AND every sink's delivery are serialized by `mu`:
+    // on_event implementations (ProgressSink's counters in particular)
+    // rely on the bus calling them one event at a time.
+    std::vector<std::shared_ptr<EventSink>> sinks CATLIFT_GUARDED_BY(mu);
 };
 
 Bus& bus() {
@@ -129,14 +132,14 @@ Bus& bus() {
 void attach_event_sink(std::shared_ptr<EventSink> sink) {
     if (!sink) return;
     Bus& b = bus();
-    std::lock_guard<std::mutex> lock(b.mu);
+    MutexLock lock(b.mu);
     b.sinks.push_back(std::move(sink));
     detail::g_events_enabled.store(true, std::memory_order_relaxed);
 }
 
 void detach_event_sinks() {
     Bus& b = bus();
-    std::lock_guard<std::mutex> lock(b.mu);
+    MutexLock lock(b.mu);
     b.sinks.clear();
     detail::g_events_enabled.store(false, std::memory_order_relaxed);
 }
@@ -144,7 +147,7 @@ void detach_event_sinks() {
 void emit_event(const char* name, const std::vector<TraceArg>& fields) {
     Bus& b = bus();
     const std::uint64_t ts = now_ns();
-    std::lock_guard<std::mutex> lock(b.mu);
+    MutexLock lock(b.mu);
     for (auto& sink : b.sinks) sink->on_event(name, ts, fields);
 }
 

@@ -14,6 +14,7 @@
 
 #pragma once
 
+#include "core/thread_annotations.h"
 #include "obs/trace.h"  // TraceArg doubles as the event field type
 
 #include <atomic>
@@ -21,7 +22,6 @@
 #include <cstdio>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -85,8 +85,8 @@ public:
     std::size_t count_of(const std::string& name);
 
 private:
-    std::mutex mu_;
-    std::vector<Captured> events_;
+    Mutex mu_;
+    std::vector<Captured> events_ CATLIFT_GUARDED_BY(mu_);
 };
 
 // ---------------------------------------------------------------------------

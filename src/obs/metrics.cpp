@@ -117,28 +117,28 @@ double HistogramSnapshot::percentile(double p) const noexcept {
 // Registry
 
 Counter& Registry::counter(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = counters_[name];
     if (!slot) slot = std::make_unique<Counter>();
     return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = gauges_[name];
     if (!slot) slot = std::make_unique<Gauge>();
     return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto& slot = histograms_[name];
     if (!slot) slot = std::make_unique<Histogram>();
     return *slot;
 }
 
 void Registry::reset() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (auto& [name, c] : counters_) c->reset();
     for (auto& [name, g] : gauges_) g->reset();
     for (auto& [name, h] : histograms_) h->reset();
@@ -156,7 +156,7 @@ std::string json_number(double v) {
 } // namespace
 
 std::string Registry::to_json(const std::string& indent) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     std::string js;
     const std::string i1 = indent + "  ";
     const std::string i2 = i1 + "  ";

@@ -15,13 +15,14 @@
 
 #pragma once
 
+#include "core/thread_annotations.h"
+
 #include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 namespace catlift::obs {
@@ -161,10 +162,17 @@ public:
     static Registry& global();
 
 private:
-    mutable std::mutex mu_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    // The maps are guarded; the *metrics* they own are not -- a returned
+    // Counter& is written lock-free through its sharded atomics, and the
+    // unique_ptr indirection keeps those shards at a stable address
+    // across concurrent registrations.
+    mutable Mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        CATLIFT_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        CATLIFT_GUARDED_BY(mu_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        CATLIFT_GUARDED_BY(mu_);
 };
 
 } // namespace catlift::obs

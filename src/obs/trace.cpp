@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include "core/thread_annotations.h"
 #include "obs/metrics.h"
 
 #include <algorithm>
@@ -7,7 +8,6 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
-#include <mutex>
 #include <ostream>
 
 namespace catlift::obs {
@@ -94,15 +94,17 @@ Histogram& phase_histogram(Phase p) {
 namespace {
 
 struct Lane {
-    std::uint32_t tid = 0;
-    std::string name;
-    std::mutex mu;
-    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;  ///< immutable after construction (no guard)
+    Mutex mu;
+    std::string name CATLIFT_GUARDED_BY(mu);
+    std::vector<TraceEvent> events CATLIFT_GUARDED_BY(mu);
 };
 
 struct LaneRegistry {
-    std::mutex mu;
-    std::vector<std::unique_ptr<Lane>> lanes;
+    Mutex mu;
+    // unique_ptr indirection: a Lane's address is stable while the vector
+    // grows, so owners append to their lane without the registry lock.
+    std::vector<std::unique_ptr<Lane>> lanes CATLIFT_GUARDED_BY(mu);
 };
 
 LaneRegistry& lane_registry() {
@@ -113,7 +115,7 @@ LaneRegistry& lane_registry() {
 Lane& this_lane() {
     thread_local Lane* lane = [] {
         LaneRegistry& reg = lane_registry();
-        std::lock_guard<std::mutex> lock(reg.mu);
+        MutexLock lock(reg.mu);
         auto owned = std::make_unique<Lane>();
         owned->tid = static_cast<std::uint32_t>(reg.lanes.size());
         Lane* raw = owned.get();
@@ -127,14 +129,14 @@ Lane& this_lane() {
 
 void set_lane_name(const std::string& name) {
     Lane& lane = this_lane();
-    std::lock_guard<std::mutex> lock(lane.mu);
+    MutexLock lock(lane.mu);
     lane.name = name;
 }
 
 void append_event(TraceEvent ev) {
     Lane& lane = this_lane();
     ev.tid = lane.tid;
-    std::lock_guard<std::mutex> lock(lane.mu);
+    MutexLock lock(lane.mu);
     lane.events.push_back(std::move(ev));
 }
 
@@ -174,9 +176,9 @@ void Span::finish() {
 std::vector<TraceEvent> trace_snapshot() {
     std::vector<TraceEvent> out;
     LaneRegistry& reg = lane_registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (auto& lane : reg.lanes) {
-        std::lock_guard<std::mutex> ll(lane->mu);
+        MutexLock ll(lane->mu);
         out.insert(out.end(), lane->events.begin(), lane->events.end());
     }
     std::stable_sort(out.begin(), out.end(),
@@ -190,9 +192,9 @@ std::vector<TraceEvent> trace_snapshot() {
 std::size_t trace_event_count() {
     std::size_t n = 0;
     LaneRegistry& reg = lane_registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (auto& lane : reg.lanes) {
-        std::lock_guard<std::mutex> ll(lane->mu);
+        MutexLock ll(lane->mu);
         n += lane->events.size();
     }
     return n;
@@ -200,9 +202,9 @@ std::size_t trace_event_count() {
 
 void trace_reset() {
     LaneRegistry& reg = lane_registry();
-    std::lock_guard<std::mutex> lock(reg.mu);
+    MutexLock lock(reg.mu);
     for (auto& lane : reg.lanes) {
-        std::lock_guard<std::mutex> ll(lane->mu);
+        MutexLock ll(lane->mu);
         lane->events.clear();
     }
 }
@@ -271,9 +273,9 @@ void write_chrome_trace(std::ostream& os) {
     bool first = true;
     {
         LaneRegistry& reg = lane_registry();
-        std::lock_guard<std::mutex> lock(reg.mu);
+        MutexLock lock(reg.mu);
         for (auto& lane : reg.lanes) {
-            std::lock_guard<std::mutex> ll(lane->mu);
+            MutexLock ll(lane->mu);
             if (lane->name.empty()) continue;
             if (!first) os << ",\n";
             first = false;

@@ -1,11 +1,11 @@
 #include "robust/failpoint.h"
 
+#include "core/thread_annotations.h"
 #include "geom/base.h"
 #include "obs/obs.h"
 
 #include <chrono>
 #include <cstdlib>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -26,10 +26,18 @@ struct Entry {
     std::uint64_t fired = 0;
 };
 
-std::mutex g_mu;
-std::vector<std::pair<std::string, Entry>>& table() {
-    static std::vector<std::pair<std::string, Entry>> t;
-    return t;
+/// The armed-failpoint registry: entries (and their hit counters, which
+/// every armed `hit()` bumps) are guarded by `mu`; `detail::g_armed`
+/// mirrors the entry count so the disarmed fast path stays lock-free.
+struct FailTable {
+    Mutex mu;
+    std::vector<std::pair<std::string, Entry>> entries
+        CATLIFT_GUARDED_BY(mu);
+};
+
+FailTable& table() {
+    static FailTable* t = new FailTable;  // outlives worker threads
+    return *t;
 }
 
 FailAction parse_action(const std::string& word, double& param) {
@@ -81,15 +89,15 @@ void arm_one(const std::string& item) {
         throw Error("failpoint: bad action/param in '" + item + "'");
     }
 
-    std::lock_guard<std::mutex> lk(g_mu);
-    auto& t = table();
-    for (auto& [n, old] : t)
+    FailTable& t = table();
+    MutexLock lk(t.mu);
+    for (auto& [n, old] : t.entries)
         if (n == name) {
             old = e;
             return;
         }
-    t.emplace_back(name, e);
-    detail::g_armed.store(static_cast<int>(t.size()),
+    t.entries.emplace_back(name, e);
+    detail::g_armed.store(static_cast<int>(t.entries.size()),
                           std::memory_order_relaxed);
 }
 
@@ -117,23 +125,26 @@ void arm_from_env() {
 }
 
 void disarm_all() {
-    std::lock_guard<std::mutex> lk(g_mu);
-    table().clear();
+    FailTable& t = table();
+    MutexLock lk(t.mu);
+    t.entries.clear();
     detail::g_armed.store(0, std::memory_order_relaxed);
 }
 
 std::vector<FailpointStatus> status() {
-    std::lock_guard<std::mutex> lk(g_mu);
+    FailTable& t = table();
+    MutexLock lk(t.mu);
     std::vector<FailpointStatus> out;
-    for (const auto& [name, e] : table())
+    for (const auto& [name, e] : t.entries)
         out.push_back({name, e.action, e.hits, e.fired});
     return out;
 }
 
 std::uint64_t total_fired() {
-    std::lock_guard<std::mutex> lk(g_mu);
+    FailTable& t = table();
+    MutexLock lk(t.mu);
     std::uint64_t n = 0;
-    for (const auto& [name, e] : table()) n += e.fired;
+    for (const auto& [name, e] : t.entries) n += e.fired;
     return n;
 }
 
@@ -142,9 +153,10 @@ namespace detail {
 std::optional<FailHit> hit_slow(const char* site) {
     FailHit h;
     {
-        std::lock_guard<std::mutex> lk(g_mu);
+        FailTable& t = table();
+        MutexLock lk(t.mu);
         Entry* e = nullptr;
-        for (auto& [name, entry] : table())
+        for (auto& [name, entry] : t.entries)
             if (name == site) {
                 e = &entry;
                 break;

@@ -138,6 +138,9 @@ struct SimOptions {
     /// (static part included) on every Newton iteration, reproducing the
     /// seed kernel's work profile so speedups are measured against it
     /// within one run.  Always leave true in production.
+    // manifest-exempt: ablation switch only redistributes Jacobian
+    // assembly work; the assembled matrix and thus every waveform and
+    // verdict are identical either way (pinned by kernel_test.cpp).
     bool incremental = true;
     /// Modified-Newton Jacobian bypass, *per device*: a MOS whose terminal
     /// voltages all moved less than bypass_tol * max(1 V, |v|) since its
@@ -179,6 +182,10 @@ struct SimOptions {
     /// rank, injected unknowns are appended -- instead of running minimum
     /// degree itself.  Campaigns harvest it from the nominal simulator
     /// (Simulator::symbolic_cache()) and hand it to every faulty variant.
+    // manifest-exempt: a runtime acceleration handle, not a knob -- the
+    // adopted elimination order changes operation count, not solutions
+    // (identity pinned per-device in tests/symbolic_test.cpp), and the
+    // pointer value itself is meaningless across processes.
     std::shared_ptr<const SymbolicCache> symbolic_cache;
 
     // -- per-analysis execution budgets (0 = unlimited) ---------------------

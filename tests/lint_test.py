@@ -1,0 +1,90 @@
+"""Seeded-violation tests for tools/catlift_lint.py.
+
+Each case copies the lint-relevant slice of the real repo into a
+fixture tree, injects one contract violation (an unhashed SimOptions
+field, a store-record change without a kVersion bump, a narrowed
+per-fault catch, ...) and asserts the linter fails with exactly the
+expected rule id -- pinning both that every rule fires and that the
+rules don't bleed into each other.  The pristine tree must stay clean.
+
+Run via ctest (`ctest -R lint_test`) or directly:
+    python3 -m unittest discover -s tests -p lint_test.py
+"""
+
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tools"))
+
+import catlift_lint  # noqa: E402
+
+
+class PristineTreeTest(unittest.TestCase):
+    def test_repo_is_clean(self):
+        findings = catlift_lint.run_lint(REPO)
+        self.assertEqual(
+            [], [str(f) for f in findings],
+            "the committed tree must lint clean; fix the finding or "
+            "add a documented exemption")
+
+
+class SeededViolationTest(unittest.TestCase):
+    """One test per scenario: the violation fires its rule and no other."""
+
+
+def _make_case(rule_id, name, mutator):
+    def test(self):
+        with tempfile.TemporaryDirectory(prefix="catlift_lint_") as tmp:
+            fixture = catlift_lint.make_fixture(REPO, Path(tmp))
+            mutator(fixture)
+            findings = catlift_lint.run_lint(fixture)
+            fired = sorted({f.rule for f in findings})
+            self.assertIn(
+                rule_id, fired,
+                f"seeding '{name}' must trip {rule_id}; "
+                f"findings: {[str(f) for f in findings]}")
+            self.assertEqual(
+                [rule_id], fired,
+                f"seeding '{name}' must trip only {rule_id}")
+    return test
+
+
+for _rule, _name, _mutator in catlift_lint.SCENARIOS:
+    _slug = _name.replace(" ", "_").replace("-", "_").replace("(", "").replace(
+        ")", "")
+    setattr(SeededViolationTest, f"test_{_rule}_{_slug}",
+            _make_case(_rule, _name, _mutator))
+
+
+class CliTest(unittest.TestCase):
+    """The linter's command-line contract, as CI invokes it."""
+
+    def run_lint(self, *args):
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "catlift_lint.py"), *args],
+            capture_output=True, text=True)
+
+    def test_clean_tree_exits_zero(self):
+        proc = self.run_lint("--root", str(REPO))
+        self.assertEqual(0, proc.returncode, proc.stdout + proc.stderr)
+        self.assertIn("clean", proc.stdout)
+
+    def test_violation_exits_nonzero_with_rule_id(self):
+        with tempfile.TemporaryDirectory(prefix="catlift_lint_") as tmp:
+            fixture = catlift_lint.make_fixture(REPO, Path(tmp))
+            catlift_lint.SCENARIOS[0][2](fixture)  # unhashed SimOptions field
+            proc = self.run_lint("--root", str(fixture))
+            self.assertEqual(1, proc.returncode)
+            self.assertIn("CL001", proc.stdout)
+
+    def test_self_test_passes(self):
+        proc = self.run_lint("--self-test", "--root", str(REPO))
+        self.assertEqual(0, proc.returncode, proc.stdout + proc.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

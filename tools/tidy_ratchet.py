@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""clang-tidy warning ratchet: the count may fall, never rise.
+
+Runs clang-tidy (profile: .clang-tidy) over every source file in
+compile_commands.json, counts warnings per check, and compares the total
+against tools/tidy_ratchet.lock:
+
+  * total > locked ceiling          -> fail (new warnings were added)
+  * total < locked ceiling          -> fail with a reminder to re-lock,
+                                       so the ceiling always tracks the
+                                       best state the tree has reached
+  * no lock file yet                -> fail with instructions
+
+`--update` rewrites the lock from the current count (the only way the
+ceiling moves, so it moves in a reviewed commit).
+
+Usage:
+  tidy_ratchet.py --build-dir build [--update] [--jobs N]
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+LOCK = Path(__file__).resolve().parent / "tidy_ratchet.lock"
+WARNING_RX = re.compile(r"warning:.*\[([\w.,-]+)\]\s*$")
+
+
+def tidy_one(binary, build_dir, source):
+    proc = subprocess.run(
+        [binary, "-p", str(build_dir), "--quiet", source],
+        capture_output=True, text=True)
+    counts = Counter()
+    for line in proc.stdout.splitlines():
+        m = WARNING_RX.search(line)
+        if m:
+            counts[m.group(1)] += 1
+    return counts
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", type=Path, default=Path("build"),
+                    help="build tree containing compile_commands.json")
+    ap.add_argument("--binary", default="clang-tidy")
+    ap.add_argument("--jobs", type=int, default=2)
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the lock from the current count")
+    args = ap.parse_args()
+
+    db_path = args.build_dir / "compile_commands.json"
+    if not db_path.exists():
+        print(f"tidy_ratchet: {db_path} not found; configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON (the default here)")
+        return 2
+    sources = sorted({
+        entry["file"] for entry in json.loads(db_path.read_text())
+        if "/src/" in entry["file"].replace("\\", "/")})
+
+    totals = Counter()
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for counts in pool.map(
+                lambda s: tidy_one(args.binary, args.build_dir, s), sources):
+            totals.update(counts)
+    total = sum(totals.values())
+    print(f"tidy_ratchet: {total} warning(s) across {len(sources)} files")
+    for check, n in totals.most_common():
+        print(f"  {n:5d}  {check}")
+
+    if args.update:
+        LOCK.write_text(json.dumps(
+            {"total": total,
+             "by_check": dict(sorted(totals.items()))}, indent=2) + "\n")
+        print(f"tidy_ratchet: locked ceiling at {total}")
+        return 0
+
+    if not LOCK.exists():
+        print("tidy_ratchet: no lock file; create one with --update")
+        return 2
+    ceiling = json.loads(LOCK.read_text())["total"]
+    if ceiling is None:
+        # Bootstrap state: the committed lock predates the first measured
+        # CI run.  Report without failing; the next maintainer locks the
+        # measured count with --update and the ratchet engages.
+        print(f"tidy_ratchet: baseline not yet locked; measured {total}. "
+              "Run tidy_ratchet.py --update and commit the lock to "
+              "engage the ratchet.")
+        return 0
+    if total > ceiling:
+        print(f"tidy_ratchet: FAIL -- {total} warnings exceed the locked "
+              f"ceiling of {ceiling}; fix the new warnings (the ceiling "
+              "only moves down)")
+        return 1
+    if total < ceiling:
+        print(f"tidy_ratchet: count fell to {total} (ceiling {ceiling}); "
+              "run tidy_ratchet.py --update and commit the lock so the "
+              "improvement sticks")
+        return 1
+    print(f"tidy_ratchet: OK -- at the locked ceiling of {ceiling}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
