@@ -8,16 +8,25 @@
 // counts and emits machine-readable BENCH_parallel_speedup.json so the
 // perf trajectory is recorded run over run.
 
+#include "anafault/worker.h"
+#include "batch/fabric.h"
+#include "batch/shard.h"
 #include "core/cat.h"
 #include "obs/obs.h"
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
 
 using namespace catlift;
 
@@ -140,9 +149,151 @@ ObsSample measure_obs_overhead(const core::VcoExperiment& e,
     return out;
 }
 
+// ---------------------------------------------------------------------------
+// Multi-process fabric overhead (batch/fabric.h)
+
+/// Supervision cost of the crash-isolated fabric on a kill-free run.
+/// Both sides of the overhead ratio time the *whole* job -- experiment
+/// construction, layout fault extraction, nominal + campaign -- once:
+/// direct runs it in-process, fabric w1 runs it in one supervised worker
+/// process, so the difference is exactly what the fabric adds (spawn,
+/// heartbeats, the supervision poll loop, the shard merge).
+struct FabricSample {
+    double wall_direct_s = 0.0;  ///< single process, threads=1, store on
+    double wall_w1_s = 0.0;      ///< 1 supervised worker + merge
+    double wall_w2_s = 0.0;
+    double wall_w4_s = 0.0;
+    double supervision_overhead = 0.0;  ///< wall_w1 / wall_direct - 1
+    std::size_t spawns = 0;             ///< across all fabric runs
+    std::size_t deaths = 0;             ///< must stay 0 (nothing injected)
+    bool verdicts_identical = false;    ///< merged store vs direct run
+};
+
+std::string bench_self_exe(const char* argv0) {
+#if defined(__linux__)
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+#endif
+    return argv0;
+}
+
+double now_minus(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/// `bench_parallel_speedup --fabric-worker <shard> <lo> <hi> <fd>`:
+/// one supervised worker of the fabric row below (self-exec'd).
+int run_fabric_worker(char** argv) {
+    const core::VcoExperiment e = core::make_vco_experiment();
+    const lift::LiftResult lifted =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    anafault::CampaignOptions opt = e.config.campaign;
+    opt.threads = 1;
+    anafault::WorkerOptions w;
+    w.shard = argv[2];
+    w.id_lo = std::atoi(argv[3]);
+    w.id_hi = std::atoi(argv[4]);
+    w.heartbeat_fd = std::atoi(argv[5]);
+    anafault::run_worker_campaign(e.sim_circuit, lifted.faults, opt, w);
+    return 0;
+}
+
+FabricSample measure_fabric(const char* argv0) {
+    FabricSample out;
+    const std::string direct_store = "BENCH_fabric_direct.store";
+    const std::string fab_base = "BENCH_fabric.store";
+    const std::string exe = bench_self_exe(argv0);
+    auto cleanup = [&] {
+        std::error_code ec;
+        std::filesystem::remove(direct_store, ec);
+        std::filesystem::remove(fab_base, ec);
+        for (const std::string& s : batch::list_shards(fab_base))
+            std::filesystem::remove(s, ec);
+    };
+
+    // Direct single-process reference (min of 2 reps).
+    anafault::CampaignResult direct;
+    out.wall_direct_s = 1e30;
+    for (int rep = 0; rep < 2; ++rep) {
+        cleanup();
+        const auto t0 = std::chrono::steady_clock::now();
+        const core::VcoExperiment e = core::make_vco_experiment();
+        const auto lifted =
+            lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+        anafault::CampaignOptions opt = e.config.campaign;
+        opt.threads = 1;
+        opt.result_store = direct_store;
+        direct = anafault::run_campaign(e.sim_circuit, lifted.faults, opt);
+        out.wall_direct_s = std::min(out.wall_direct_s, now_minus(t0));
+    }
+
+    // The fabric needs the manifest and fault ids up front; this
+    // (deliberately untimed) setup is the supervisor's own startup cost
+    // in anafaultc too, where it is shared with the in-process path.
+    const core::VcoExperiment e = core::make_vco_experiment();
+    const auto lifted =
+        lift::extract_faults(e.layout, e.config.tech, e.config.lift);
+    anafault::CampaignOptions opt = e.config.campaign;
+    opt.threads = 1;
+    const std::uint64_t manifest =
+        anafault::campaign_manifest(e.sim_circuit, lifted.faults, opt);
+    std::vector<int> ids;
+    for (const lift::Fault& f : lifted.faults.faults) ids.push_back(f.id);
+
+    batch::WorkerCommand cmd = [&](const batch::WorkerSlot& s) {
+        return std::vector<std::string>{
+            exe, "--fabric-worker", s.shard, std::to_string(s.range.lo),
+            std::to_string(s.range.hi), std::to_string(s.heartbeat_fd)};
+    };
+    batch::PoisonRecord poison = [&](int id, int deaths,
+                                     const std::string& log) {
+        return anafault::quarantine_record(lifted.faults, id, deaths, log);
+    };
+    anafault::CampaignResult merged;
+    auto fabric_once = [&](unsigned workers) {
+        cleanup();
+        batch::FabricOptions fo;
+        fo.workers = workers;
+        fo.worker_timeout_s = 120.0;
+        const auto t0 = std::chrono::steady_clock::now();
+        const batch::FabricReport rep =
+            batch::run_fabric(ids, manifest, fab_base, cmd, poison, fo);
+        batch::merge_shards(fab_base, manifest,
+                            batch::list_shards(fab_base));
+        const double wall = now_minus(t0);
+        out.spawns += rep.spawns;
+        out.deaths += rep.deaths + rep.timeouts + rep.spawn_failures;
+        merged = anafault::load_campaign_result(e.sim_circuit, lifted.faults,
+                                                opt, fab_base);
+        return wall;
+    };
+
+    out.wall_w1_s = 1e30;
+    for (int rep = 0; rep < 2; ++rep)
+        out.wall_w1_s = std::min(out.wall_w1_s, fabric_once(1));
+    out.verdicts_identical = same_verdicts(direct, merged);
+    out.wall_w2_s = fabric_once(2);
+    out.wall_w4_s = fabric_once(4);
+    out.verdicts_identical =
+        out.verdicts_identical && same_verdicts(direct, merged);
+    out.supervision_overhead =
+        out.wall_direct_s > 0.0 ? out.wall_w1_s / out.wall_direct_s - 1.0
+                                : 0.0;
+    cleanup();
+    return out;
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    if (argc >= 6 && std::string(argv[1]) == "--fabric-worker")
+        return run_fabric_worker(argv);
     std::printf("== batch fault simulation: VCO campaign ==\n\n");
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     std::printf("  hardware threads: %u\n\n", hw);
@@ -214,6 +365,17 @@ int main() {
     if (obs::write_chrome_trace_file("TRACE_vco_campaign.json"))
         std::printf("  wrote TRACE_vco_campaign.json\n");
 
+    const FabricSample fab = measure_fabric(argv[0]);
+    std::printf("\n  fabric: direct %.3f s | w1 %.3f s (supervision "
+                "%+.1f%%) | w2 %.3f s | w4 %.3f s\n",
+                fab.wall_direct_s, fab.wall_w1_s,
+                100.0 * fab.supervision_overhead, fab.wall_w2_s,
+                fab.wall_w4_s);
+    std::printf("  fabric: %zu spawns, %zu deaths (guard: 0), merged "
+                "verdicts vs direct: %s\n\n",
+                fab.spawns, fab.deaths,
+                fab.verdicts_identical ? "identical" : "DIFFER");
+
     std::ofstream js("BENCH_parallel_speedup.json");
     js << "{\n  \"bench\": \"parallel_speedup\",\n";
     js << "  \"circuit\": \"vco\",\n";
@@ -242,6 +404,15 @@ int main() {
        << ", \"traced_off_overhead_est\": " << obs_s.traced_off_overhead_est
        << ", \"verdicts_identical_traced\": "
        << (obs_s.verdicts_identical ? "true" : "false") << "},\n";
+    js << "  \"fabric\": {\"wall_direct_s\": " << fab.wall_direct_s
+       << ", \"wall_w1_s\": " << fab.wall_w1_s
+       << ", \"wall_w2_s\": " << fab.wall_w2_s
+       << ", \"wall_w4_s\": " << fab.wall_w4_s
+       << ", \"supervision_overhead\": " << fab.supervision_overhead
+       << ", \"spawns\": " << fab.spawns
+       << ", \"deaths\": " << fab.deaths
+       << ", \"verdicts_identical_fabric\": "
+       << (fab.verdicts_identical ? "true" : "false") << "},\n";
     js << "  \"metrics\": " << obs::Registry::global().to_json("  ") << "\n";
     js << "}\n";
     std::printf("  wrote BENCH_parallel_speedup.json\n");

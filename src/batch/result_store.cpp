@@ -205,6 +205,37 @@ std::string read_file_bytes(const std::string& path) {
 
 } // namespace
 
+std::string store_header(std::uint64_t manifest) {
+    std::string hdr;
+    put(hdr, kMagic);
+    put(hdr, kVersion);
+    put(hdr, manifest);
+    return hdr;
+}
+
+std::string encode_record(const FaultSimResult& r) {
+    const std::string payload = encode(r);
+    std::string rec;
+    put(rec, static_cast<std::uint32_t>(payload.size()));
+    rec.append(payload);
+    put(rec, fnv1a(payload));
+    return rec;
+}
+
+void sync_parent_directory(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+    std::filesystem::path dir = std::filesystem::path(path).parent_path();
+    if (dir.empty()) dir = ".";
+    const int fd = ::open(dir.c_str(), O_RDONLY);
+    if (fd >= 0) {
+        ::fsync(fd);
+        ::close(fd);
+    }
+#else
+    (void)path;
+#endif
+}
+
 ResultStore::ResultStore(std::string path, std::uint64_t manifest,
                          Durability durability)
     : path_(std::move(path)), manifest_(manifest), durability_(durability) {
@@ -222,15 +253,17 @@ ResultStore::ResultStore(std::string path, std::uint64_t manifest,
         require(out_.good(), "result store: cannot append to " + path_);
     } else {
         // Fresh or foreign store: restart with our manifest.
+        const bool existed = std::filesystem::exists(path_);
         out_.open(path_, std::ios::binary | std::ios::trunc);
         require(out_.good(), "result store: cannot write " + path_);
-        std::string hdr;
-        put(hdr, kMagic);
-        put(hdr, kVersion);
-        put(hdr, manifest_);
+        const std::string hdr = store_header(manifest_);
         out_.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
         out_.flush();
         require(out_.good(), "result store: header write failed: " + path_);
+        // A crash right after create could lose the *directory entry* even
+        // with every append fsynced: in Fsync mode pin the new name too.
+        if (!existed && durability_ == Durability::Fsync)
+            sync_parent_directory(path_);
     }
     sync_to_disk();
 }
@@ -260,11 +293,7 @@ void ResultStore::sync_to_disk() {
 
 void ResultStore::append(const FaultSimResult& r) {
     obs::Span sp(obs::Phase::StoreAppend);
-    const std::string payload = encode(r);
-    std::string rec;
-    put(rec, static_cast<std::uint32_t>(payload.size()));
-    rec.append(payload);
-    put(rec, fnv1a(payload));
+    const std::string rec = encode_record(r);
 
     {
         MutexLock lk(mu_);

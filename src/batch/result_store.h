@@ -157,6 +157,22 @@ struct StoreSnapshot {
 /// torn record is ignored exactly as ResultStore's loader would.
 std::optional<StoreSnapshot> load_store(const std::string& path);
 
+/// The exact header bytes a fresh ResultStore writes for `manifest`.
+std::string store_header(std::uint64_t manifest);
+
+/// One record (length + payload + checksum), byte-identical to what
+/// ResultStore::append writes.  The shard merge pass composes a canonical
+/// store from these directly, bypassing the append path (and its
+/// `store.append` failpoint site) so a merge can never be torn by an
+/// injection aimed at a worker.
+std::string encode_record(const FaultSimResult& r);
+
+/// fsync the directory containing `path`, so a freshly created file's
+/// directory entry itself survives power loss (fsync on the file alone
+/// does not cover the rename/create in its parent).  Best-effort no-op
+/// off POSIX.
+void sync_parent_directory(const std::string& path);
+
 /// Outcome of an explicit offline repair (anafaultc --repair-store).
 struct RepairReport {
     bool header_ok = false;        ///< magic/version/manifest intact

@@ -118,6 +118,13 @@ struct BatchStats {
                                    ///< (RecordAndContinue policy)
     std::size_t store_errors = 0;  ///< store appends that failed and were
                                    ///< contained (verdict kept in memory)
+    // -- multi-process fabric (filled by the supervisor, not the runner) ----
+    std::size_t worker_processes = 0; ///< fabric worker slots (0: in-process)
+    std::size_t worker_spawns = 0;    ///< processes launched (respawns incl.)
+    std::size_t worker_deaths = 0;    ///< crashes / nonzero exits / timeouts
+    std::size_t worker_timeouts = 0;  ///< deaths from heartbeat silence
+    std::size_t poisoned = 0;         ///< faults quarantined by the
+                                      ///< supervisor's poison-fault detector
 };
 
 /// Work-stealing thread pool.  `run` sorts the jobs by descending priority

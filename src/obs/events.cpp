@@ -144,10 +144,39 @@ void detach_event_sinks() {
     detail::g_events_enabled.store(false, std::memory_order_relaxed);
 }
 
+namespace {
+
+// Re-entrancy depth of emit_event on this thread.  A sink's on_event can
+// itself emit -- the canonical case is a failpoint site firing inside a
+// sink (batch::HeartbeatSink hits `worker.fault`, whose hit path emits
+// `failpoint_hit`).  The nested emit runs on the thread that already
+// holds the bus mutex, so re-acquiring would self-deadlock; instead it
+// dispatches directly, which also preserves the one-event-at-a-time
+// delivery contract the sinks rely on.
+thread_local int g_emit_depth = 0;
+
+// Nested-dispatch path: the caller's frame below us holds bus().mu on
+// this very thread, which the static analysis cannot see.
+void emit_nested(Bus& b, const char* name, std::uint64_t ts,
+                 const std::vector<TraceArg>& fields)
+    CATLIFT_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto& sink : b.sinks) sink->on_event(name, ts, fields);
+}
+
+} // namespace
+
 void emit_event(const char* name, const std::vector<TraceArg>& fields) {
     Bus& b = bus();
     const std::uint64_t ts = now_ns();
+    if (g_emit_depth > 0) {
+        emit_nested(b, name, ts, fields);
+        return;
+    }
     MutexLock lock(b.mu);
+    struct Depth {
+        Depth() { ++g_emit_depth; }
+        ~Depth() { --g_emit_depth; }
+    } depth;
     for (auto& sink : b.sinks) sink->on_event(name, ts, fields);
 }
 

@@ -53,6 +53,7 @@ FailAction parse_action(const std::string& word, double& param) {
     if (name == "torn_crash") return FailAction::TornCrash;
     if (name == "singular") return FailAction::Singular;
     if (name == "nan") return FailAction::Nan;
+    if (name == "poison") return FailAction::Poison;
     throw Error("failpoint: unknown action '" + name + "'");
 }
 

@@ -26,6 +26,7 @@
 //           torn_crash  signal: tear, then _Exit(137)    (store.append)
 //           singular    signal: force factor failure     (kernel.factor)
 //           nan         signal: poison the solution      (kernel.solve)
+//           poison:ID   signal: fault ID crashes the worker (worker.fault)
 //   first   1-based hit index the window opens at (default 1)
 //   count   number of hits that fire (default: every hit from `first`)
 //
@@ -62,6 +63,7 @@ enum class FailAction : std::uint8_t {
     TornCrash,   ///< signal: tear, then _Exit(137)
     Singular,    ///< signal: force a factorization failure
     Nan,         ///< signal: poison the solution vector
+    Poison,      ///< signal: the fault id in `param` kills the worker
 };
 
 /// One firing, as returned to a site for signal actions.

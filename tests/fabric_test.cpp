@@ -1,0 +1,427 @@
+// Multi-process campaign fabric tests: fault-range partitioning, store
+// shard naming and merge (idempotent, torn-tolerant, strict about
+// manifest identity), the worker-side heartbeat channel, and the
+// supervision loop itself -- run-to-completion, respawn after a death,
+// heartbeat-timeout SIGKILL, poison-fault conviction, per-range
+// abandonment, and the `fabric.heartbeat` / `worker.spawn` failpoints.
+// Supervisor tests drive /bin/sh one-liners as workers; the real
+// campaign-runner integration is crash_resume_smoke's `fabric` mode.
+
+#include "batch/fabric.h"
+#include "batch/result_store.h"
+#include "batch/shard.h"
+#include "geom/base.h"
+#include "robust/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+using namespace catlift;
+using batch::FaultRange;
+using batch::FaultSimResult;
+
+namespace {
+
+std::string temp_path(const std::string& tag) {
+    return (std::filesystem::temp_directory_path() /
+            ("catlift_fabric_" + tag + ".store"))
+        .string();
+}
+
+void remove_with_shards(const std::string& base) {
+    std::error_code ec;
+    std::filesystem::remove(base, ec);
+    for (const std::string& s : batch::list_shards(base))
+        std::filesystem::remove(s, ec);
+}
+
+FaultSimResult make_result(int id) {
+    FaultSimResult r;
+    r.fault_id = id;
+    r.description = "#" + std::to_string(id);
+    r.probability = 1e-3 * id;
+    r.simulated = true;
+    r.detect_time = 1e-6 * id;
+    r.metric = 0.5 * id;
+    return r;
+}
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+/// Every test arms and disarms its own failpoints; the global table must
+/// never leak into the next test.
+class FabricFailpoints : public ::testing::Test {
+protected:
+    void SetUp() override { robust::disarm_all(); }
+    void TearDown() override { robust::disarm_all(); }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Fault-range partitioning
+
+TEST(PartitionFaultRanges, NearEqualContiguousCover) {
+    std::vector<int> ids(10);
+    std::iota(ids.begin(), ids.end(), 1);  // 1..10
+    const std::vector<FaultRange> r = batch::partition_fault_ranges(ids, 4);
+    ASSERT_EQ(r.size(), 4u);
+    EXPECT_EQ(r[0].count, 3u);  // 10 = 3 + 3 + 2 + 2
+    EXPECT_EQ(r[1].count, 3u);
+    EXPECT_EQ(r[2].count, 2u);
+    EXPECT_EQ(r[3].count, 2u);
+    EXPECT_EQ(r.front().lo, 1);
+    EXPECT_EQ(r.back().hi, 10);
+    for (std::size_t k = 1; k < r.size(); ++k)
+        EXPECT_LT(r[k - 1].hi, r[k].lo);  // disjoint, ascending
+}
+
+TEST(PartitionFaultRanges, FewerIdsThanWorkers) {
+    const std::vector<FaultRange> r =
+        batch::partition_fault_ranges({7, 3, 9}, 8);
+    ASSERT_EQ(r.size(), 3u);  // never more ranges than ids
+    EXPECT_EQ(r[0].lo, 3);    // input order does not matter
+    EXPECT_EQ(r[2].hi, 9);
+    EXPECT_TRUE(batch::partition_fault_ranges({}, 4).empty());
+    EXPECT_THROW(batch::partition_fault_ranges({1}, 0), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Shard naming and discovery
+
+TEST(Shards, PathAndListing) {
+    const std::string base = temp_path("list");
+    remove_with_shards(base);
+    EXPECT_EQ(batch::shard_path(base, 2), base + ".shard-2");
+    EXPECT_TRUE(batch::list_shards(base).empty());
+
+    // Create out of order, plus decoys that must not match.
+    for (const char* suffix : {".shard-10", ".shard-0", ".shard-2"})
+        std::ofstream(base + suffix) << "x";
+    std::ofstream(base + ".shard-x") << "x";
+    std::ofstream(base + ".merge-tmp") << "x";
+    const std::vector<std::string> got = batch::list_shards(base);
+    ASSERT_EQ(got.size(), 3u);  // numeric order, not lexicographic
+    EXPECT_EQ(got[0], base + ".shard-0");
+    EXPECT_EQ(got[1], base + ".shard-2");
+    EXPECT_EQ(got[2], base + ".shard-10");
+    remove_with_shards(base);
+    std::filesystem::remove(base + ".shard-x");
+    std::filesystem::remove(base + ".merge-tmp");
+}
+
+// ---------------------------------------------------------------------------
+// Shard merge
+
+TEST(MergeShards, DedupesSortsAndIsIdempotent) {
+    const std::string base = temp_path("merge");
+    remove_with_shards(base);
+    const std::uint64_t manifest = 0xABCDu;
+    {
+        batch::ResultStore s0(batch::shard_path(base, 0), manifest);
+        s0.append(make_result(3));
+        s0.append(make_result(1));
+        batch::ResultStore s1(batch::shard_path(base, 1), manifest);
+        s1.append(make_result(2));
+        s1.append(make_result(3));  // duplicate of shard 0's record
+    }
+    const auto rep =
+        batch::merge_shards(base, manifest, batch::list_shards(base));
+    EXPECT_EQ(rep.shards_merged, 2u);
+    EXPECT_EQ(rep.records_in, 4u);
+    EXPECT_EQ(rep.records_kept, 3u);
+    EXPECT_EQ(rep.duplicates, 1u);
+    EXPECT_TRUE(rep.changed);
+
+    batch::ResultStore canon(base, manifest);
+    ASSERT_EQ(canon.loaded().size(), 3u);
+    for (int i = 0; i < 3; ++i)  // sorted by fault id
+        EXPECT_EQ(canon.loaded()[i].fault_id, i + 1);
+
+    // Re-merging the same inputs is a byte-identical no-op.
+    const std::string before = read_file(base);
+    const auto rep2 =
+        batch::merge_shards(base, manifest, batch::list_shards(base));
+    EXPECT_FALSE(rep2.changed);
+    EXPECT_EQ(rep2.records_kept, 3u);
+    EXPECT_EQ(read_file(base), before);
+    remove_with_shards(base);
+}
+
+TEST(MergeShards, ToleratesTornShardTail) {
+    const std::string base = temp_path("torn");
+    remove_with_shards(base);
+    const std::uint64_t manifest = 0x17u;
+    const std::string shard = batch::shard_path(base, 0);
+    {
+        batch::ResultStore s(shard, manifest);
+        s.append(make_result(1));
+        s.append(make_result(2));
+    }
+    // Tear the tail of the second record, as a worker SIGKILLed
+    // mid-append leaves it.
+    std::filesystem::resize_file(shard,
+                                 std::filesystem::file_size(shard) - 4);
+    const auto rep = batch::merge_shards(base, manifest, {shard});
+    EXPECT_EQ(rep.records_kept, 1u);
+    batch::ResultStore canon(base, manifest);
+    ASSERT_EQ(canon.loaded().size(), 1u);
+    EXPECT_EQ(canon.loaded()[0].fault_id, 1);
+    remove_with_shards(base);
+}
+
+TEST(MergeShards, RejectsForeignManifestShard) {
+    const std::string base = temp_path("foreign");
+    remove_with_shards(base);
+    const std::string shard = batch::shard_path(base, 0);
+    {
+        batch::ResultStore s(shard, 0x1111u);
+        s.append(make_result(1));
+    }
+    EXPECT_THROW(batch::merge_shards(base, 0x2222u, {shard}), Error);
+    EXPECT_FALSE(std::filesystem::exists(base));  // nothing written
+    remove_with_shards(base);
+}
+
+TEST(MergeShards, ExistingCanonicalRecordWins) {
+    const std::string base = temp_path("firstwins");
+    remove_with_shards(base);
+    const std::uint64_t manifest = 0x33u;
+    {
+        batch::ResultStore canon(base, manifest);
+        canon.append(make_result(1));  // detect_time 1e-6
+        batch::ResultStore s(batch::shard_path(base, 0), manifest);
+        FaultSimResult later = make_result(1);
+        later.detect_time = 9e-6;  // a re-simulation must not displace it
+        s.append(later);
+    }
+    const auto rep =
+        batch::merge_shards(base, manifest, batch::list_shards(base));
+    EXPECT_EQ(rep.duplicates, 1u);
+    batch::ResultStore canon(base, manifest);
+    ASSERT_EQ(canon.loaded().size(), 1u);
+    EXPECT_EQ(canon.loaded()[0].detect_time, 1e-6);
+    remove_with_shards(base);
+}
+
+// ---------------------------------------------------------------------------
+// Heartbeat channel and supervision loop (POSIX)
+
+#if defined(__unix__) || defined(__APPLE__)
+
+TEST(Heartbeat, EmitterWritesAtomic8ByteFrames) {
+    int fds[2] = {-1, -1};
+    ASSERT_EQ(::pipe(fds), 0);
+    {
+        // Interval long enough that the ticker never fires during the test;
+        // the constructor's initial Alive beat plus the two explicit calls
+        // are the whole stream.
+        batch::HeartbeatEmitter hb(fds[1], 60.0);
+        hb.fault_started(7);
+        hb.fault_retired(7);
+    }
+    ::close(fds[1]);
+    std::int32_t frames[16][2];
+    const ssize_t n = ::read(fds[0], frames, sizeof frames);
+    ::close(fds[0]);
+    ASSERT_EQ(n, 24);  // 3 frames x 8 bytes, no partials
+    EXPECT_EQ(frames[0][0], 0);   // Alive
+    EXPECT_EQ(frames[0][1], -1);
+    EXPECT_EQ(frames[1][0], 1);   // FaultStarted
+    EXPECT_EQ(frames[1][1], 7);
+    EXPECT_EQ(frames[2][0], 2);   // FaultRetired
+    EXPECT_EQ(frames[2][1], 7);
+}
+
+namespace {
+
+std::vector<int> some_ids() { return {1, 2, 3, 4, 5, 6}; }
+
+batch::PoisonRecord plain_poison() {
+    return [](int fault_id, int deaths, const std::string& retry_log) {
+        FaultSimResult r;
+        r.fault_id = fault_id;
+        r.simulated = false;
+        r.quarantined = true;
+        r.attempts = static_cast<std::uint32_t>(deaths);
+        r.error = "poison";
+        r.retry_log = retry_log;
+        return r;
+    };
+}
+
+/// A WorkerCommand running `scripts[min(spawn_index, last)]` under
+/// /bin/sh, for every slot.  Shell workers inherit fd 3 = the heartbeat
+/// pipe, so `printf '...' >&3` writes beats.
+batch::WorkerCommand sh_workers(std::vector<std::string> scripts) {
+    return [scripts = std::move(scripts)](const batch::WorkerSlot& s) {
+        const std::size_t i = std::min<std::size_t>(
+            static_cast<std::size_t>(s.spawn_index), scripts.size() - 1);
+        return std::vector<std::string>{"/bin/sh", "-c", scripts[i]};
+    };
+}
+
+batch::FabricOptions fast_options(unsigned workers) {
+    batch::FabricOptions fo;
+    fo.workers = workers;
+    fo.worker_timeout_s = 30.0;
+    fo.backoff_base_s = 0.01;
+    return fo;
+}
+
+// FaultStarted beat for fault 5, as shell bytes: int32 kind=1, id=5 LE.
+const char* kStartFault5 = "printf '\\001\\000\\000\\000\\005\\000\\000\\000' >&3";
+
+} // namespace
+
+TEST(Fabric, RunsCleanWorkersToCompletion) {
+    const std::string base = temp_path("clean");
+    remove_with_shards(base);
+    const auto rep = batch::run_fabric(some_ids(), 1u, base,
+                                       sh_workers({"exit 0"}),
+                                       plain_poison(), fast_options(2));
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.slots.size(), 2u);
+    EXPECT_EQ(rep.spawns, 2u);
+    EXPECT_EQ(rep.deaths, 0u);
+    EXPECT_EQ(rep.poisoned, 0u);
+    remove_with_shards(base);
+}
+
+TEST(Fabric, RespawnsAfterWorkerDeath) {
+    const std::string base = temp_path("respawn");
+    remove_with_shards(base);
+    const auto rep = batch::run_fabric(some_ids(), 1u, base,
+                                       sh_workers({"exit 1", "exit 0"}),
+                                       plain_poison(), fast_options(2));
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.deaths, 2u);   // each slot's first spawn exits 1
+    EXPECT_EQ(rep.spawns, 4u);   // ... and is respawned once
+    EXPECT_EQ(rep.poisoned, 0u);
+    remove_with_shards(base);
+}
+
+TEST(Fabric, SigkillsSilentWorkerOnHeartbeatTimeout) {
+    const std::string base = temp_path("timeout");
+    remove_with_shards(base);
+    batch::FabricOptions fo = fast_options(1);
+    fo.worker_timeout_s = 0.3;
+    const auto rep = batch::run_fabric(some_ids(), 1u, base,
+                                       sh_workers({"sleep 5", "exit 0"}),
+                                       plain_poison(), fo);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.timeouts, 1u);
+    EXPECT_EQ(rep.deaths, 1u);
+    EXPECT_EQ(rep.spawns, 2u);
+    remove_with_shards(base);
+}
+
+TEST(Fabric, ConvictsFaultInFlightAtTwoConsecutiveDeaths) {
+    const std::string base = temp_path("poison");
+    remove_with_shards(base);
+    const std::uint64_t manifest = 0x77u;
+    const std::string die_on_5 = std::string(kStartFault5) + "; exit 1";
+    const auto rep = batch::run_fabric(
+        some_ids(), manifest, base,
+        sh_workers({die_on_5, die_on_5, "exit 0"}), plain_poison(),
+        fast_options(1));
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.deaths, 2u);
+    ASSERT_EQ(rep.poisoned, 1u);
+    ASSERT_EQ(rep.slots[0].poisoned.size(), 1u);
+    EXPECT_EQ(rep.slots[0].poisoned[0], 5);
+
+    // The conviction is durable: a `quarantined` record for fault 5 in the
+    // slot's shard, under the campaign manifest, retry_log naming the
+    // fault -- so the respawned worker's resume pass skips it.
+    batch::ResultStore shard(batch::shard_path(base, 0), manifest);
+    ASSERT_EQ(shard.loaded().size(), 1u);
+    const FaultSimResult& q = shard.loaded()[0];
+    EXPECT_EQ(q.fault_id, 5);
+    EXPECT_TRUE(q.quarantined);
+    EXPECT_FALSE(q.simulated);
+    EXPECT_EQ(q.attempts, 2u);
+    EXPECT_NE(q.retry_log.find("fault 5"), std::string::npos);
+    remove_with_shards(base);
+}
+
+TEST(Fabric, DifferentCandidatesNeverConvict) {
+    const std::string base = temp_path("nopoison");
+    remove_with_shards(base);
+    // First death with fault 5 in flight, second with fault 2: no fault
+    // is in flight at two *consecutive* deaths, so nothing is quarantined.
+    const char* start2 = "printf '\\001\\000\\000\\000\\002\\000\\000\\000' >&3";
+    const auto rep = batch::run_fabric(
+        some_ids(), 1u, base,
+        sh_workers({std::string(kStartFault5) + "; exit 1",
+                    std::string(start2) + "; exit 1", "exit 0"}),
+        plain_poison(), fast_options(1));
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.deaths, 2u);
+    EXPECT_EQ(rep.poisoned, 0u);
+    EXPECT_FALSE(std::filesystem::exists(batch::shard_path(base, 0)));
+    remove_with_shards(base);
+}
+
+TEST(Fabric, AbandonsRangeAfterMaxDeaths) {
+    const std::string base = temp_path("abandon");
+    remove_with_shards(base);
+    batch::FabricOptions fo = fast_options(1);
+    fo.max_deaths_per_range = 2;
+    const auto rep = batch::run_fabric(some_ids(), 1u, base,
+                                       sh_workers({"exit 1"}),
+                                       plain_poison(), fo);
+    EXPECT_FALSE(rep.completed);
+    EXPECT_FALSE(rep.slots[0].completed);
+    EXPECT_EQ(rep.deaths, 3u);  // the death *exceeding* max abandons
+    remove_with_shards(base);
+}
+
+TEST_F(FabricFailpoints, TornHeartbeatsDriveTheTimeoutPath) {
+    const std::string base = temp_path("fptorn");
+    remove_with_shards(base);
+    // The worker beats diligently, but every beat is lost in transit:
+    // from the supervisor's seat that is indistinguishable from a wedged
+    // worker, and the timeout SIGKILL must fire.
+    robust::arm("fabric.heartbeat=torn");
+    batch::FabricOptions fo = fast_options(1);
+    fo.worker_timeout_s = 0.3;
+    const std::string beat_loop =
+        "while :; do printf '\\000\\000\\000\\000\\377\\377\\377\\377' >&3; "
+        "sleep 0.05; done";
+    const auto rep = batch::run_fabric(some_ids(), 1u, base,
+                                       sh_workers({beat_loop, "exit 0"}),
+                                       plain_poison(), fo);
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.timeouts, 1u);
+    EXPECT_EQ(rep.deaths, 1u);
+    remove_with_shards(base);
+}
+
+TEST_F(FabricFailpoints, SpawnFailureBacksOffAndRetries) {
+    const std::string base = temp_path("fpspawn");
+    remove_with_shards(base);
+    robust::arm("worker.spawn=error@1+1");  // only the first launch fails
+    const auto rep = batch::run_fabric(some_ids(), 1u, base,
+                                       sh_workers({"exit 0"}),
+                                       plain_poison(), fast_options(1));
+    EXPECT_TRUE(rep.completed);
+    EXPECT_EQ(rep.spawn_failures, 1u);
+    EXPECT_EQ(rep.spawns, 1u);
+    EXPECT_EQ(rep.deaths, 0u);
+    remove_with_shards(base);
+}
+
+#endif  // POSIX

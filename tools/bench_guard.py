@@ -75,6 +75,36 @@ def guard_parallel_speedup(base, fresh, ctol, rtol):
         if label != "seed-serial":
             check_ratio(f"parallel_speedup.{label}.speedup_vs_seed",
                         bs["speedup_vs_seed"], fs["speedup_vs_seed"], rtol)
+    # Multi-process fabric row: all absolute properties of the fresh run.
+    # On a kill-free campaign the supervisor must stay invisible (< 5% of
+    # the single-process wall), nothing may die, and the merged store's
+    # verdicts must match the direct run exactly.
+    fab = fresh.get("fabric")
+    if fab is None:
+        if "fabric" in base:
+            print("  [FAIL] parallel_speedup.fabric section missing")
+            FAILURES.append("parallel_speedup.fabric-missing")
+    else:
+        overhead = fab.get("supervision_overhead")
+        if not isinstance(overhead, (int, float)) or overhead >= 0.05:
+            print(f"  [FAIL] parallel_speedup.fabric.supervision_overhead "
+                  f"{overhead} breaches the 5% pin")
+            FAILURES.append("parallel_speedup.fabric.supervision_overhead")
+        else:
+            print(f"  [ok] parallel_speedup.fabric.supervision_overhead "
+                  f"{overhead:.4%} (< 5%)")
+        if fab.get("deaths", 1) != 0:
+            print(f"  [FAIL] parallel_speedup.fabric.deaths "
+                  f"{fab.get('deaths')} on a kill-free run")
+            FAILURES.append("parallel_speedup.fabric.deaths")
+        else:
+            print("  [ok] parallel_speedup.fabric.deaths 0")
+        if not fab.get("verdicts_identical_fabric", False):
+            print("  [FAIL] parallel_speedup.fabric."
+                  "verdicts_identical_fabric is false")
+            FAILURES.append("parallel_speedup.fabric.verdicts_identical")
+        else:
+            print("  [ok] parallel_speedup.fabric.verdicts_identical_fabric")
     # Observability overhead row: the traced-OFF cost model must stay
     # under the 2% acceptance pin, and tracing must never change a
     # verdict.  Both are absolute properties of the fresh run, not
